@@ -1,0 +1,79 @@
+// Regenerates paper Figure 2: RocksDB benchmark with 100% GET requests.
+//
+//   (a) 99% latency vs load     (b) % dropped requests vs load
+//
+// 6 server threads / sockets / cores, 50 client flows, open-loop UDP load.
+// "Vanilla Linux" is the kernel-default 5-tuple-hash socket selection;
+// "Round Robin" is the Fig. 5a Syrup policy deployed at the Socket Select
+// hook. The paper runs 20 seeds and reports mean +/- stddev; we run a
+// handful of seeds per point for the same reason (the vanilla imbalance is
+// a property of how the flow set hashes).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/experiments.h"
+
+namespace syrup {
+namespace {
+
+struct Stats {
+  double mean = 0;
+  double stddev = 0;
+};
+
+Stats MeanStd(const std::vector<double>& values) {
+  Stats stats;
+  for (double v : values) {
+    stats.mean += v;
+  }
+  stats.mean /= static_cast<double>(values.size());
+  for (double v : values) {
+    stats.stddev += (v - stats.mean) * (v - stats.mean);
+  }
+  stats.stddev = std::sqrt(stats.stddev / static_cast<double>(values.size()));
+  return stats;
+}
+
+void Run() {
+  constexpr int kSeeds = 5;
+  std::printf("# Figure 2: RocksDB, 100%% GET, 6 threads, 50 flows\n");
+  std::printf("# p99 latency (us, mean +/- stddev over %d seeds) and "
+              "dropped-request fraction (%%)\n", kSeeds);
+  std::printf("%10s | %12s %12s %8s | %12s %12s %8s\n", "load_rps",
+              "vanilla_p99", "+/-", "drop%", "rr_p99", "+/-", "drop%");
+
+  for (double load = 50'000; load <= 500'000; load += 50'000) {
+    Stats p99[2], drops[2];
+    for (int variant = 0; variant < 2; ++variant) {
+      std::vector<double> p99_samples, drop_samples;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        RocksDbExperimentConfig config;
+        config.socket_policy = variant == 0 ? SocketPolicyKind::kVanilla
+                                            : SocketPolicyKind::kRoundRobin;
+        config.load_rps = load;
+        config.seed = static_cast<uint64_t>(seed);
+        config.measure = 800 * kMillisecond;
+        const RocksDbResult result = RunRocksDbExperiment(config);
+        p99_samples.push_back(result.p99_us);
+        drop_samples.push_back(result.drop_fraction * 100.0);
+      }
+      p99[variant] = MeanStd(p99_samples);
+      drops[variant] = MeanStd(drop_samples);
+    }
+    std::printf("%10.0f | %12.1f %12.1f %8.2f | %12.1f %12.1f %8.2f\n", load,
+                p99[0].mean, p99[0].stddev, drops[0].mean, p99[1].mean,
+                p99[1].stddev, drops[1].mean);
+  }
+  std::printf("# Expected shape (paper): vanilla p99 is high/noisy with "
+              "drops beyond ~250-350k;\n");
+  std::printf("# round robin holds low tails ~80%% further.\n");
+}
+
+}  // namespace
+}  // namespace syrup
+
+int main() {
+  syrup::Run();
+  return 0;
+}

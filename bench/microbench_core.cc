@@ -1,0 +1,163 @@
+// Google-benchmark microbenchmarks for the framework's building blocks:
+// VM interpretation, verification, map operations, histogram recording,
+// event dispatch, and native policy decisions. These are the costs behind
+// Table 2/3 and the simulator's own throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/bpf/assembler.h"
+#include "src/bpf/interpreter.h"
+#include "src/bpf/verifier.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/map/hash_map.h"
+#include "src/map/map.h"
+#include "src/net/packet.h"
+#include "src/policies/builtin.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+Packet BenchPacket() {
+  Packet pkt;
+  pkt.tuple.src_port = 20'001;
+  pkt.tuple.dst_port = 9000;
+  pkt.SetHeader(ReqType::kGet, 1, 12'345, 1, 0);
+  return pkt;
+}
+
+bpf::Program LoadProgram(const std::string& source) {
+  auto assembled = bpf::Assemble(source).value();
+  bpf::Program prog;
+  prog.name = assembled.name;
+  prog.insns = assembled.insns;
+  for (const bpf::MapSlot& slot : assembled.map_slots) {
+    prog.maps.push_back(CreateMap(slot.spec).value());
+  }
+  return prog;
+}
+
+void BM_InterpreterSitaDecision(benchmark::State& state) {
+  bpf::Program prog = LoadProgram(SitaPolicyAsm(6));
+  bpf::ExecEnv env;
+  bpf::Interpreter interp(env);
+  const Packet pkt = BenchPacket();
+  for (auto _ : state) {
+    auto result =
+        interp.Run(prog, reinterpret_cast<uint64_t>(pkt.wire.data()),
+                   reinterpret_cast<uint64_t>(pkt.wire.data() + kWireSize),
+                   true);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_InterpreterSitaDecision);
+
+void BM_NativeSitaDecision(benchmark::State& state) {
+  SitaPolicy policy(6);
+  const Packet pkt = BenchPacket();
+  const PacketView view = PacketView::Of(pkt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.Schedule(view));
+  }
+}
+BENCHMARK(BM_NativeSitaDecision);
+
+void BM_VerifySita(benchmark::State& state) {
+  bpf::Program prog = LoadProgram(SitaPolicyAsm(6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bpf::Verify(prog, bpf::ProgramContext::kPacket));
+  }
+}
+BENCHMARK(BM_VerifySita);
+
+void BM_VerifyScanAvoidLoops(benchmark::State& state) {
+  // Loop exploration cost scales with executor count.
+  bpf::Program prog =
+      LoadProgram(ScanAvoidPolicyAsm(static_cast<uint32_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bpf::Verify(prog, bpf::ProgramContext::kPacket));
+  }
+}
+BENCHMARK(BM_VerifyScanAvoidLoops)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_HashMapLookup(benchmark::State& state) {
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = 1u << 16;
+  HashMap map(spec);
+  for (uint32_t key = 0; key < (1u << 16); ++key) {
+    (void)map.UpdateU64(key, key);
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBounded(1u << 16));
+    benchmark::DoNotOptimize(map.Lookup(&key));
+  }
+}
+BENCHMARK(BM_HashMapLookup);
+
+void BM_HashMapLookupContended(benchmark::State& state) {
+  static HashMap* map = [] {
+    MapSpec spec;
+    spec.type = MapType::kHash;
+    spec.max_entries = 1u << 16;
+    auto* m = new HashMap(spec);
+    for (uint32_t key = 0; key < (1u << 16); ++key) {
+      (void)m->UpdateU64(key, key);
+    }
+    return m;
+  }();
+  Rng rng(5 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    const uint32_t key = static_cast<uint32_t>(rng.NextBounded(1u << 16));
+    benchmark::DoNotOptimize(map->Lookup(&key));
+  }
+}
+BENCHMARK(BM_HashMapLookupContended)->Threads(2)->Threads(4);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(6);
+  for (auto _ : state) {
+    histogram.Record(rng.NextBounded(1'000'000));
+  }
+  benchmark::DoNotOptimize(histogram.Percentile(99));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  // Self-rescheduling event: steady-state queue of depth 1.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    uint64_t count = 0;
+    std::function<void()> tick = [&]() {
+      if (++count < 10'000) {
+        sim.ScheduleAfter(1, tick);
+      }
+    };
+    sim.ScheduleAfter(1, tick);
+    state.ResumeTiming();
+    sim.RunToCompletion();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_FiveTupleHash(benchmark::State& state) {
+  FiveTuple tuple{0x0a000001, 0x0a0000ff, 20'000, 9000, 17};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuple.Hash());
+    tuple.src_port++;
+  }
+}
+BENCHMARK(BM_FiveTupleHash);
+
+}  // namespace
+}  // namespace syrup
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Multi-tenancy & isolation (paper §3.5, §4.3).
+//
+// Two co-located applications each deploy their own socket-select policy
+// through syrupd. The daemon's per-port dispatch guarantees each policy
+// only ever schedules its own application's packets — including when one
+// tenant deploys a hostile drop-everything policy, which hurts only itself.
+//
+// Build & run:  ./build/examples/multi_tenant
+#include <cstdio>
+
+#include "src/apps/loadgen.h"
+#include "src/apps/rocksdb_server.h"
+#include "src/core/syrup_api.h"
+#include "src/core/syrupd.h"
+#include "src/policies/builtin.h"
+#include "src/sched/pinned_scheduler.h"
+#include "src/sim/simulator.h"
+
+int main() {
+  using namespace syrup;
+  Simulator sim;
+  StackConfig stack_config;
+  stack_config.num_nic_queues = 6;
+  HostStack stack(sim, stack_config);
+  Syrupd syrupd(sim, &stack);
+
+  // Tenant A: a well-behaved KV store on port 9000 with round robin.
+  const AppId app_a = syrupd.RegisterApp("tenant_a", 1001, 9000).value();
+  SyrupClient client_a(syrupd, app_a);
+  auto fd_a = client_a.syr_deploy_policy(RoundRobinPolicyAsm(3),
+                                         Hook::kSocketSelect);
+  std::printf("tenant A deploy: %s\n", fd_a.ok() ? "ok" : "FAILED");
+
+  // Tenant B: hostile — its policy drops every packet it schedules.
+  const AppId app_b = syrupd.RegisterApp("tenant_b", 1002, 9001).value();
+  SyrupClient client_b(syrupd, app_b);
+  auto fd_b = client_b.syr_deploy_policy(R"(
+.name drop_everything
+.ctx packet
+  mov r0, DROP
+  exit
+)", Hook::kSocketSelect);
+  std::printf("tenant B deploy: %s\n", fd_b.ok() ? "ok" : "FAILED");
+
+  // Tenant B also tries to steal tenant A's port and to open A's maps:
+  // both are refused.
+  std::printf("tenant B claims port 9000: %s\n",
+              syrupd.AddPort(app_b, 9000).ToString().c_str());
+  std::printf("tenant B opens A's pinned map: %s\n",
+              client_b.syr_map_open("/syrup/tenant_a/rr_state")
+                  .status()
+                  .ToString()
+                  .c_str());
+
+  // Both servers run on the shared machine.
+  Machine machine_a(sim, 3);
+  PinnedScheduler sched_a(machine_a);
+  machine_a.SetScheduler(&sched_a);
+  RocksDbConfig config_a;
+  config_a.num_threads = 3;
+  config_a.port = 9000;
+  RocksDbServer server_a(sim, stack, machine_a, config_a);
+
+  Machine machine_b(sim, 3);
+  PinnedScheduler sched_b(machine_b);
+  machine_b.SetScheduler(&sched_b);
+  RocksDbConfig config_b;
+  config_b.num_threads = 3;
+  config_b.port = 9001;
+  RocksDbServer server_b(sim, stack, machine_b, config_b);
+
+  LoadGenConfig gen_a;
+  gen_a.rate_rps = 100'000;
+  gen_a.dst_port = 9000;
+  LoadGenerator generator_a(sim, stack, gen_a);
+  LoadGenConfig gen_b;
+  gen_b.rate_rps = 100'000;
+  gen_b.dst_port = 9001;
+  gen_b.seed = 77;
+  LoadGenerator generator_b(sim, stack, gen_b);
+
+  generator_a.Start(500 * kMillisecond);
+  generator_b.Start(500 * kMillisecond);
+  sim.RunUntil(600 * kMillisecond);
+
+  std::printf("\nafter 0.5s at 100k RPS each:\n");
+  std::printf("tenant A served %llu requests (p99 %.1f us)\n",
+              static_cast<unsigned long long>(server_a.completed()),
+              static_cast<double>(server_a.overall_latency().Percentile(99)) /
+                  1000.0);
+  std::printf("tenant B served %llu requests; its policy dropped %llu\n",
+              static_cast<unsigned long long>(server_b.completed()),
+              static_cast<unsigned long long>(stack.stats().policy_drops));
+  std::printf("=> B's hostile policy only ever saw (and killed) B's own "
+              "traffic.\n");
+  return 0;
+}

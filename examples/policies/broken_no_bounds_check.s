@@ -1,0 +1,6 @@
+; Deliberately unsafe: reads packet bytes without checking pkt_end first.
+; The verifier must reject this — try it through the playground.
+.name broken_no_bounds_check
+.ctx packet
+  ldxdw r0, [r1+8]
+  exit

@@ -1,0 +1,26 @@
+; Example: drop best-effort traffic (user id != 1) under pressure signaled
+; through a shared map, otherwise pass everything through.
+;   key 0 of pressure_map: 0 = calm, 1 = shed best-effort load
+.name priority_drop
+.ctx packet
+.map pressure_map array 4 8 1
+  mov r3, r1
+  add r3, 20
+  jgt r3, r2, pass          ; runt packet
+  ldxw r6, [r1+16]          ; user id
+  jeq r6, 1, pass           ; user 1 is latency-sensitive: always admit
+  mov r7, 0
+  stxw [r10-4], r7
+  ldmapfd r1, pressure_map
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jeq r0, 0, pass
+  ldxdw r7, [r0+0]
+  jne r7, 0, shed
+pass:
+  mov r0, PASS
+  exit
+shed:
+  mov r0, DROP
+  exit

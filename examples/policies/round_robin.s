@@ -1,0 +1,21 @@
+; Round-robin socket selection (paper Fig. 5a).
+; Try it:  ./build/examples/policy_playground examples/policies/round_robin.s
+.name round_robin
+.ctx packet
+.map rr_state array 4 8 1
+  mov r6, 0
+  stxw [r10-4], r6
+  ldmapfd r1, rr_state
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jne r0, 0, have
+  mov r0, PASS
+  exit
+have:
+  ldxdw r6, [r0+0]
+  add r6, 1
+  stxdw [r0+0], r6
+  mod r6, 6
+  mov r0, r6
+  exit

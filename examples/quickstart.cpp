@@ -1,0 +1,113 @@
+// Quickstart: deploy your first Syrup policy.
+//
+// This walks the paper's Fig. 3 workflow end to end on the simulated host:
+//   1. write a scheduling policy as a `schedule` matching function
+//      (a policy file in VM assembly),
+//   2. hand it to syrupd with syr_deploy_policy(<policy>, <hook>),
+//   3. watch it fix the kernel's hash-based socket imbalance.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/apps/loadgen.h"
+#include "src/apps/rocksdb_server.h"
+#include "src/core/syrup_api.h"
+#include "src/core/syrupd.h"
+#include "src/sched/pinned_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+// The Fig. 5a round-robin policy, as an untrusted policy file. `schedule`
+// receives (pkt_start, pkt_end) in r1/r2 and returns an executor index —
+// here an index into the app's socket executor map.
+constexpr char kRoundRobinPolicy[] = R"(
+.name my_round_robin
+.ctx packet
+.map rr_state array 4 8 1       ; one u64 cell holding the rotating index
+  mov r6, 0
+  stxw [r10-4], r6
+  ldmapfd r1, rr_state
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jne r0, 0, have
+  mov r0, PASS                  ; map miss: fall back to the kernel default
+  exit
+have:
+  ldxdw r6, [r0+0]
+  add r6, 1
+  stxdw [r0+0], r6
+  mod r6, 6                     ; six sockets
+  mov r0, r6
+  exit
+)";
+
+struct RunResult {
+  double p99_us;
+  uint64_t drops;
+};
+
+RunResult RunWorkload(bool deploy_policy) {
+  using namespace syrup;
+  Simulator sim;
+  StackConfig stack_config;
+  stack_config.num_nic_queues = 6;
+  HostStack stack(sim, stack_config);
+  Syrupd syrupd(sim, &stack);
+
+  // An application registers with syrupd; its UDP port is the isolation key.
+  const AppId app = syrupd.RegisterApp("quickstart", /*uid=*/1000,
+                                       /*port=*/9000).value();
+  SyrupClient client(syrupd, app);
+
+  if (deploy_policy) {
+    // syrupd assembles the policy file, creates & pins its maps, runs the
+    // verifier, and attaches it behind the per-port dispatcher.
+    auto prog_fd =
+        client.syr_deploy_policy(kRoundRobinPolicy, Hook::kSocketSelect);
+    if (!prog_fd.ok()) {
+      std::fprintf(stderr, "deploy failed: %s\n",
+                   prog_fd.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("deployed policy, prog fd %d\n", *prog_fd);
+  }
+
+  // A 6-thread RocksDB-style server (one SO_REUSEPORT socket per thread).
+  Machine machine(sim, 6);
+  PinnedScheduler scheduler(machine);
+  machine.SetScheduler(&scheduler);
+  RocksDbConfig server_config;
+  RocksDbServer server(sim, stack, machine, server_config);
+
+  // Open-loop clients: 350k GET/s over 50 flows.
+  LoadGenConfig gen_config;
+  gen_config.rate_rps = 350'000;
+  gen_config.dst_port = 9000;
+  LoadGenerator gen(sim, stack, gen_config);
+  gen.Start(1 * kSecond);
+  sim.RunUntil(1 * kSecond + 50 * kMillisecond);
+
+  return RunResult{
+      static_cast<double>(server.overall_latency().Percentile(99)) / 1000.0,
+      stack.stats().TotalDrops()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== without Syrup (kernel 5-tuple hash picks the socket) ==\n");
+  const RunResult vanilla = RunWorkload(/*deploy_policy=*/false);
+  std::printf("p99 latency: %.1f us, dropped datagrams: %llu\n\n",
+              vanilla.p99_us, static_cast<unsigned long long>(vanilla.drops));
+
+  std::printf("== with the Syrup round-robin policy at socket-select ==\n");
+  const RunResult syrup = RunWorkload(/*deploy_policy=*/true);
+  std::printf("p99 latency: %.1f us, dropped datagrams: %llu\n\n",
+              syrup.p99_us, static_cast<unsigned long long>(syrup.drops));
+
+  std::printf("ten lines of policy -> %.0fx lower p99 at this load\n",
+              vanilla.p99_us / syrup.p99_us);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Storage QoS (paper §6.1): the same Syrup policies that schedule packets
+// schedule IO — here protecting a latency-critical tenant's flash reads
+// from a best-effort tenant's write flood, ReFlex-style.
+//
+// Build & run:  ./build/examples/storage_qos
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/policies/builtin.h"
+#include "src/sim/simulator.h"
+#include "src/storage/io_scheduler.h"
+
+namespace {
+
+using namespace syrup;
+
+struct Outcome {
+  double lc_p90_us;
+  double lc_p99_us;
+  uint64_t be_iops;
+};
+
+Outcome Run(std::shared_ptr<PacketPolicy> policy, const char* label,
+            std::shared_ptr<Map> be_tokens = nullptr,
+            uint64_t tokens_per_epoch = 0) {
+  Simulator sim;
+  NvmeDevice device(sim, NvmeConfig{});
+  IoScheduler scheduler(device);
+  scheduler.SetPolicy(std::move(policy));
+
+  // Token agent: refill the best-effort bucket every 10ms epoch.
+  std::shared_ptr<std::function<void()>> replenish;
+  if (be_tokens != nullptr) {
+    replenish = std::make_shared<std::function<void()>>();
+    *replenish = [&sim, be_tokens, tokens_per_epoch,
+                  weak_self =
+                      std::weak_ptr<std::function<void()>>(replenish)]() {
+      (void)be_tokens->UpdateU64(2, tokens_per_epoch);
+      if (auto self = weak_self.lock()) {
+        sim.ScheduleAfter(10 * kMillisecond, *self);
+      }
+    };
+    sim.ScheduleAfter(10 * kMillisecond, *replenish);
+  }
+
+  Histogram lc_latency;
+  uint64_t be_done = 0;
+  device.SetCompletionCallback([&](const IoRequest& request, Time when) {
+    if (request.tenant_id == 1) {
+      lc_latency.Record(when - request.submit_time);
+    } else {
+      ++be_done;
+    }
+  });
+
+  // Deterministic interleaved load: tenant 1 reads 4K every 25us (40k
+  // IOPS); tenant 2 writes 64K every 200us (5k IOPS).
+  Rng rng(1);
+  uint64_t id = 0;
+  for (Time t = 0; t < 1 * kSecond; t += 25 * kMicrosecond) {
+    sim.ScheduleAt(t + 1, [&, t]() {
+      IoRequest read;
+      read.tenant_id = 1;
+      read.op = IoOp::kRead;
+      read.req_id = ++id;
+      read.submit_time = sim.Now();
+      (void)scheduler.Submit(read);
+    });
+    if (t % (200 * kMicrosecond) == 0) {
+      sim.ScheduleAt(t + 2, [&]() {
+        IoRequest write;
+        write.tenant_id = 2;
+        write.op = IoOp::kWrite;
+        write.num_blocks = 16;
+        write.req_id = ++id;
+        write.submit_time = sim.Now();
+        (void)scheduler.Submit(write);
+      });
+    }
+  }
+  // Bounded horizon: the token agent reschedules itself forever.
+  sim.RunUntil(1 * kSecond + 100 * kMillisecond);
+  const double p90 = static_cast<double>(lc_latency.Percentile(90)) / 1000.0;
+  const double p99 = static_cast<double>(lc_latency.Percentile(99)) / 1000.0;
+  std::printf("%-28s LC read p90 %7.1f us  p99 %7.1f us   BE writes done "
+              "%llu\n", label, p90, p99,
+              static_cast<unsigned long long>(be_done));
+  return {p90, p99, be_done};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("two tenants on one flash device (8 queues): 40k IOPS of 4K "
+              "reads vs 5k IOPS of 64K writes\n\n");
+
+  const Outcome none = Run(nullptr, "no policy (round robin):");
+
+  // The Fig. 5d SITA policy, written for sockets, isolates writes (the
+  // long class) on queue 0 — deployed on the storage hook unchanged.
+  const Outcome sita = Run(std::make_shared<SitaPolicy>(8),
+                           "SITA (write isolation):");
+
+  // The §3.4 token policy caps the best-effort tenant at 2k IOPS.
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = 8;
+  auto tokens = CreateMap(spec).value();
+  (void)tokens->UpdateU64(2, 20);  // 2k IOPS in 10ms epochs
+  const Outcome token =
+      Run(std::make_shared<TokenPolicy>(tokens),
+          "token (BE budget 2k/s):", tokens, /*tokens_per_epoch=*/20);
+
+  std::printf(
+      "\nSITA isolates writes on one queue and fixes the tail outright "
+      "(p99 %.0fx lower).\nThe token policy thins the interference "
+      "(p90 %.1fx lower) but round-robin placement\nstill lets the "
+      "admitted writes poison the p99 — queue partitioning, not just "
+      "admission\ncontrol, is what this workload needs. Same policies, "
+      "different hook, real tradeoffs.\n",
+      none.lc_p99_us / sita.lc_p99_us,
+      token.lc_p90_us > 0 ? none.lc_p90_us / token.lc_p90_us : 1.0);
+  return 0;
+}

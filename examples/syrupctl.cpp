@@ -1,0 +1,103 @@
+// syrupctl: bpftool-style introspection of a live Syrup deployment.
+//
+// Demonstrates the operator surface: list attached policies, list pinned
+// maps, and dump map contents — the observability a resource manager
+// (paper §3.2) builds on. Runs against a small in-process deployment since
+// the whole system is a library.
+//
+// Build & run:  ./build/examples/syrupctl
+#include <cstdio>
+#include <cstring>
+
+#include "src/apps/loadgen.h"
+#include "src/apps/rocksdb_server.h"
+#include "src/sched/pinned_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/syrup.h"
+
+int main() {
+  using namespace syrup;
+  Simulator sim;
+  StackConfig stack_config;
+  stack_config.num_nic_queues = 4;
+  HostStack stack(sim, stack_config);
+  Syrupd syrupd(sim, &stack);
+
+  // A deployment to inspect: one app with SCAN Avoid at socket-select and
+  // a token policy file at XDP_SKB.
+  const AppId app = syrupd.RegisterApp("rocksdb", 1000, 9000).value();
+  SyrupClient client(syrupd, app);
+  (void)client.syr_deploy_policy(ScanAvoidPolicyAsm(4), Hook::kSocketSelect);
+  (void)client.syr_deploy_policy(TokenPolicyAsm(), Hook::kXdpSkb);
+  auto token_fd = client.syr_map_open("/syrup/rocksdb/token_map").value();
+  (void)client.syr_map_update_elem(token_fd, /*user=*/1, 35);
+  (void)client.syr_map_update_elem(token_fd, /*user=*/2, 7);
+
+  Machine machine(sim, 4);
+  PinnedScheduler scheduler(machine);
+  machine.SetScheduler(&scheduler);
+  RocksDbConfig server_config;
+  server_config.num_threads = 4;
+  server_config.scan_map =
+      syrupd.registry().Open("/syrup/rocksdb/scan_map", 1000).value();
+  RocksDbServer server(sim, stack, machine, server_config);
+
+  LoadGenConfig gen_config;
+  gen_config.rate_rps = 50'000;
+  gen_config.dst_port = 9000;
+  gen_config.mix = {{ReqType::kGet, 0.99}, {ReqType::kScan, 0.01}};
+  LoadGenerator gen(sim, stack, gen_config);
+  gen.Start(100 * kMillisecond);
+  sim.RunUntil(100 * kMillisecond);
+
+  // --- the syrupctl surface ------------------------------------------------
+
+  std::printf("== deployments ==\n");
+  for (const DeploymentInfo& d : syrupd.ListDeployments()) {
+    std::printf("  app=%-10s port=%-6u hook=%-14s policy=%s\n",
+                d.app_name.c_str(), d.port,
+                std::string(HookName(d.hook)).c_str(),
+                d.policy_name.c_str());
+  }
+
+  std::printf("\n== pinned maps ==\n");
+  for (const std::string& path : syrupd.registry().ListPaths()) {
+    auto map = syrupd.registry().Open(path, 1000);
+    if (!map.ok()) {
+      continue;
+    }
+    const MapSpec& spec = (*map)->spec();
+    std::printf("  %-32s type=%-10s key=%uB value=%uB entries=%u live=%u\n",
+                path.c_str(), std::string(MapTypeName(spec.type)).c_str(),
+                spec.key_size, spec.value_size, spec.max_entries,
+                (*map)->Size());
+  }
+
+  std::printf("\n== map dump: /syrup/rocksdb/token_map ==\n");
+  auto tokens = syrupd.registry().Open("/syrup/rocksdb/token_map", 1000);
+  tokens.value()->Visit([](const void* key, void* value) {
+    uint32_t k;
+    std::memcpy(&k, key, sizeof(k));
+    std::printf("  user %u -> %llu tokens\n", k,
+                static_cast<unsigned long long>(Map::AtomicLoad(value)));
+  });
+
+  std::printf("\n== map dump: /syrup/rocksdb/scan_map (socket states) ==\n");
+  auto scan = syrupd.registry().Open("/syrup/rocksdb/scan_map", 1000);
+  scan.value()->Visit([](const void* key, void* value) {
+    uint32_t k;
+    std::memcpy(&k, key, sizeof(k));
+    const uint64_t type = Map::AtomicLoad(value);
+    std::printf("  socket %u -> %s\n", k,
+                type == static_cast<uint64_t>(ReqType::kScan) ? "SCAN"
+                                                              : "GET");
+  });
+
+  std::printf("\n== dispatch stats ==\n");
+  std::printf("  socket_select: dispatched=%llu pass_through=%llu\n",
+              static_cast<unsigned long long>(
+                  syrupd.dispatch_stats(Hook::kSocketSelect).dispatched),
+              static_cast<unsigned long long>(
+                  syrupd.dispatch_stats(Hook::kSocketSelect).no_policy));
+  return 0;
+}

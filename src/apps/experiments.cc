@@ -1,0 +1,448 @@
+#include "src/apps/experiments.h"
+
+#include <memory>
+
+#include "src/apps/loadgen.h"
+#include "src/apps/rocksdb_server.h"
+#include "src/common/logging.h"
+#include "src/core/syrup_api.h"
+#include "src/core/syrupd.h"
+#include "src/policies/builtin.h"
+#include "src/policies/ghost_policies.h"
+#include "src/sched/cfs_scheduler.h"
+#include "src/sched/pinned_scheduler.h"
+
+namespace syrup {
+namespace {
+
+constexpr uint16_t kRocksDbPort = 9000;
+constexpr uint16_t kMicaPort = 9100;
+constexpr Uid kAppUid = 1000;
+constexpr Duration kDrain = 50 * kMillisecond;
+
+double ToUs(uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+std::string_view SocketPolicyName(SocketPolicyKind kind) {
+  switch (kind) {
+    case SocketPolicyKind::kVanilla: return "vanilla";
+    case SocketPolicyKind::kRoundRobin: return "round_robin";
+    case SocketPolicyKind::kScanAvoid: return "scan_avoid";
+    case SocketPolicyKind::kSita: return "sita";
+  }
+  return "?";
+}
+
+RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
+  Simulator sim;
+  StackConfig stack_config;
+  stack_config.num_nic_queues = config.num_cores;
+  stack_config.protocol_cold_penalty = config.protocol_cold_penalty;
+  HostStack stack(sim, stack_config);
+  Syrupd syrupd(sim, &stack, config.seed);
+  const AppId app =
+      syrupd.RegisterApp("rocksdb", kAppUid, kRocksDbPort).value();
+
+  Machine machine(sim, config.num_cores);
+  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<GetPriorityGhostPolicy> ghost_policy;
+  std::shared_ptr<Map> thread_type_map;
+
+  switch (config.thread_sched) {
+    case ThreadSchedKind::kPinned:
+      scheduler = std::make_unique<PinnedScheduler>(machine);
+      machine.SetScheduler(scheduler.get());
+      break;
+    case ThreadSchedKind::kCfs:
+      scheduler = std::make_unique<CfsScheduler>(machine);
+      machine.SetScheduler(scheduler.get());
+      break;
+    case ThreadSchedKind::kGhostGetPriority: {
+      MapSpec spec;
+      spec.type = MapType::kHash;
+      spec.max_entries = 256;
+      spec.name = "thread_type_map";
+      thread_type_map = CreateMap(spec).value();
+      SYRUP_CHECK_OK(syrupd.registry().Pin("/syrup/rocksdb/thread_type_map",
+                                           thread_type_map, kAppUid));
+      ghost_policy = std::make_unique<GetPriorityGhostPolicy>(thread_type_map);
+      GhostConfig ghost_config;
+      ghost_config.num_managed_cores = config.num_cores - 1;
+      SYRUP_CHECK_OK(syrupd.DeployThreadPolicy(app, ghost_policy.get(),
+                                               machine, ghost_config));
+      break;
+    }
+  }
+
+  // Socket-select policy deployment (the workflow of paper Fig. 3).
+  std::shared_ptr<Map> scan_map;
+  const uint32_t n = static_cast<uint32_t>(config.num_threads);
+  auto policy_rng = std::make_shared<Rng>(config.seed ^ 0x5caf00dULL);
+  if (config.use_bytecode) {
+    SyrupClient client(syrupd, app);
+    switch (config.socket_policy) {
+      case SocketPolicyKind::kVanilla:
+        break;
+      case SocketPolicyKind::kRoundRobin:
+        SYRUP_CHECK(client.syr_deploy_policy(RoundRobinPolicyAsm(n),
+                                             Hook::kSocketSelect)
+                        .ok());
+        break;
+      case SocketPolicyKind::kScanAvoid: {
+        SYRUP_CHECK(client.syr_deploy_policy(ScanAvoidPolicyAsm(n),
+                                             Hook::kSocketSelect)
+                        .ok());
+        // The policy file declared scan_map; open the pin for the server's
+        // userspace half.
+        scan_map =
+            syrupd.registry().Open("/syrup/rocksdb/scan_map", kAppUid).value();
+        break;
+      }
+      case SocketPolicyKind::kSita:
+        SYRUP_CHECK(
+            client.syr_deploy_policy(SitaPolicyAsm(n), Hook::kSocketSelect)
+                .ok());
+        break;
+    }
+  } else {
+    std::shared_ptr<PacketPolicy> policy;
+    switch (config.socket_policy) {
+      case SocketPolicyKind::kVanilla:
+        break;
+      case SocketPolicyKind::kRoundRobin:
+        policy = std::make_shared<RoundRobinPolicy>(n);
+        break;
+      case SocketPolicyKind::kScanAvoid: {
+        MapSpec spec;
+        spec.type = MapType::kArray;
+        spec.max_entries = n;
+        spec.name = "scan_map";
+        scan_map = CreateMap(spec).value();
+        SYRUP_CHECK_OK(
+            syrupd.registry().Pin("/syrup/rocksdb/scan_map", scan_map,
+                                  kAppUid));
+        policy = std::make_shared<ScanAvoidPolicy>(
+            n, scan_map, [policy_rng]() {
+              return static_cast<uint32_t>(policy_rng->Next());
+            });
+        break;
+      }
+      case SocketPolicyKind::kSita:
+        policy = std::make_shared<SitaPolicy>(n);
+        break;
+    }
+    if (policy != nullptr) {
+      SYRUP_CHECK(
+          syrupd.DeployNativePolicy(app, policy, Hook::kSocketSelect).ok());
+    }
+  }
+
+  if (config.late_binding) {
+    stack.EnableLateBinding(kRocksDbPort);
+  }
+  if (config.cpu_redirect_spray) {
+    SYRUP_CHECK(syrupd
+                    .DeployNativePolicy(
+                        app,
+                        std::make_shared<RoundRobinPolicy>(
+                            static_cast<uint32_t>(config.num_cores)),
+                        Hook::kCpuRedirect)
+                    .ok());
+  }
+
+  RocksDbConfig server_config;
+  server_config.num_threads = config.num_threads;
+  server_config.port = kRocksDbPort;
+  server_config.seed = config.seed * 31 + 5;
+  server_config.scan_map = scan_map;
+  server_config.thread_type_map = thread_type_map;
+  RocksDbServer server(sim, stack, machine, server_config);
+
+  LoadGenConfig gen_config;
+  gen_config.rate_rps = config.load_rps;
+  gen_config.dst_port = kRocksDbPort;
+  gen_config.num_flows = config.num_flows;
+  gen_config.flow_skew = config.flow_skew;
+  gen_config.user_id = 1;
+  gen_config.mix = {{ReqType::kGet, config.get_fraction},
+                    {ReqType::kScan, 1.0 - config.get_fraction}};
+  if (config.get_fraction >= 1.0) {
+    gen_config.mix = {{ReqType::kGet, 1.0}};
+  }
+  gen_config.seed = config.seed * 77 + 1;
+  LoadGenerator gen(sim, stack, gen_config);
+  gen.Start(config.warmup + config.measure);
+
+  sim.RunUntil(config.warmup);
+  server.ResetStats();
+  const uint64_t sent_before = gen.sent();
+  const uint64_t drops_before = stack.stats().TotalDrops();
+
+  // Snapshot completion counts at the end of the measurement window; the
+  // drain period afterwards lets queued requests finish so tail latency is
+  // not truncated.
+  uint64_t completed_in_window = 0;
+  uint64_t completed_get_in_window = 0;
+  uint64_t completed_scan_in_window = 0;
+  sim.ScheduleAt(config.warmup + config.measure, [&]() {
+    completed_in_window = server.completed();
+    completed_get_in_window = server.completed(ReqType::kGet);
+    completed_scan_in_window = server.completed(ReqType::kScan);
+  });
+  sim.RunUntil(config.warmup + config.measure + kDrain);
+
+  const double window_sec = ToSeconds(config.measure);
+  RocksDbResult result;
+  result.load_rps = config.load_rps;
+  result.throughput_rps =
+      static_cast<double>(completed_in_window) / window_sec;
+  result.get_throughput_rps =
+      static_cast<double>(completed_get_in_window) / window_sec;
+  result.scan_throughput_rps =
+      static_cast<double>(completed_scan_in_window) / window_sec;
+  result.p50_us = ToUs(server.overall_latency().Percentile(50));
+  result.p99_us = ToUs(server.overall_latency().Percentile(99));
+  result.p99_get_us = ToUs(server.latency(ReqType::kGet).Percentile(99));
+  result.p99_scan_us = ToUs(server.latency(ReqType::kScan).Percentile(99));
+  const uint64_t sent = gen.sent() - sent_before;
+  const uint64_t drops = stack.stats().TotalDrops() - drops_before;
+  result.drop_fraction =
+      sent == 0 ? 0.0
+                : static_cast<double>(drops) / static_cast<double>(sent);
+  return result;
+}
+
+TokenQosResult RunTokenQosExperiment(const TokenQosConfig& config) {
+  Simulator sim;
+  StackConfig stack_config;
+  stack_config.num_nic_queues = config.num_threads;
+  HostStack stack(sim, stack_config);
+  Syrupd syrupd(sim, &stack, config.seed);
+  const AppId app =
+      syrupd.RegisterApp("rocksdb", kAppUid, kRocksDbPort).value();
+
+  Machine machine(sim, config.num_threads);
+  PinnedScheduler scheduler(machine);
+  machine.SetScheduler(&scheduler);
+
+  constexpr uint32_t kLsUser = 1;
+  constexpr uint32_t kBeUser = 2;
+  const uint32_t n = static_cast<uint32_t>(config.num_threads);
+  const uint64_t tokens_per_epoch = static_cast<uint64_t>(
+      config.token_rate_per_sec * ToSeconds(config.epoch));
+
+  std::shared_ptr<Map> token_map;
+  std::shared_ptr<std::function<void()>> replenish;  // token agent closure
+  if (config.token_policy) {
+    MapSpec spec;
+    spec.type = MapType::kHash;
+    spec.max_entries = 16;
+    spec.name = "token_map";
+    token_map = CreateMap(spec).value();
+    SYRUP_CHECK_OK(
+        syrupd.registry().Pin("/syrup/rocksdb/token_map", token_map,
+                              kAppUid));
+    SYRUP_CHECK_OK(token_map->UpdateU64(kLsUser, tokens_per_epoch));
+    SYRUP_CHECK_OK(token_map->UpdateU64(kBeUser, 0));
+    auto policy = std::make_shared<TokenPolicy>(
+        token_map, std::make_shared<RoundRobinPolicy>(n));
+    SYRUP_CHECK(
+        syrupd.DeployNativePolicy(app, policy, Hook::kSocketSelect).ok());
+
+    // The userspace token agent (§3.4 generate_tokens): every epoch the LS
+    // bucket refills and any leftover LS tokens are gifted to BE; stale BE
+    // gifts expire. The closure reschedules itself through a weak
+    // self-reference (a strong one would leak a retain cycle); the strong
+    // owner below lives until the experiment ends.
+    replenish = std::make_shared<std::function<void()>>();
+    *replenish = [&sim, token_map, tokens_per_epoch,
+                  epoch = config.epoch,
+                  weak_self = std::weak_ptr<std::function<void()>>(
+                      replenish)]() {
+      uint32_t ls_key = kLsUser;
+      uint32_t be_key = kBeUser;
+      void* ls = token_map->Lookup(&ls_key);
+      void* be = token_map->Lookup(&be_key);
+      SYRUP_CHECK(ls != nullptr && be != nullptr);
+      const uint64_t leftover = Map::AtomicLoad(ls);
+      Map::AtomicStore(ls, tokens_per_epoch);
+      Map::AtomicStore(be, leftover);
+      if (auto self = weak_self.lock()) {
+        sim.ScheduleAfter(epoch, *self);
+      }
+    };
+    sim.ScheduleAfter(config.epoch, *replenish);
+  } else {
+    auto policy = std::make_shared<RoundRobinPolicy>(n);
+    SYRUP_CHECK(
+        syrupd.DeployNativePolicy(app, policy, Hook::kSocketSelect).ok());
+  }
+
+  RocksDbConfig server_config;
+  server_config.num_threads = config.num_threads;
+  server_config.port = kRocksDbPort;
+  server_config.seed = config.seed * 31 + 5;
+  // Per-user accounting adds overhead; calibrated so the 400k RPS total
+  // offered load sits "slightly higher than the saturation point" as the
+  // paper describes for this experiment (saturation ~410k here).
+  server_config.request_overhead = 3600;
+  RocksDbServer server(sim, stack, machine, server_config);
+
+  auto make_gen = [&](uint32_t user, double rate, uint64_t seed) {
+    LoadGenConfig gen_config;
+    gen_config.rate_rps = rate;
+    gen_config.dst_port = kRocksDbPort;
+    gen_config.user_id = user;
+    gen_config.num_flows = 50;
+    gen_config.seed = seed;
+    return std::make_unique<LoadGenerator>(sim, stack, gen_config);
+  };
+  auto ls_gen = make_gen(kLsUser, config.ls_load_rps, config.seed * 3 + 1);
+  auto be_gen = make_gen(kBeUser, config.be_load_rps, config.seed * 7 + 2);
+  const Time end = config.warmup + config.measure;
+  ls_gen->Start(end);
+  be_gen->Start(end);
+
+  sim.RunUntil(config.warmup);
+  server.ResetStats();
+  uint64_t ls_completed = 0;
+  uint64_t be_completed = 0;
+  sim.ScheduleAt(end, [&]() {
+    ls_completed = server.user_completed(kLsUser);
+    be_completed = server.user_completed(kBeUser);
+  });
+  sim.RunUntil(end + kDrain);
+
+  const double window_sec = ToSeconds(config.measure);
+  TokenQosResult result;
+  result.ls_load_rps = config.ls_load_rps;
+  result.be_load_rps = config.be_load_rps;
+  result.ls_throughput_rps = static_cast<double>(ls_completed) / window_sec;
+  result.be_throughput_rps = static_cast<double>(be_completed) / window_sec;
+  result.ls_p99_us = ToUs(server.user_latency(kLsUser).Percentile(99));
+  result.be_p99_us = ToUs(server.user_latency(kBeUser).Percentile(99));
+  return result;
+}
+
+MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
+  Simulator sim;
+  // Lighter per-packet costs than the RocksDB stack: MICA's receive path is
+  // AF_XDP with busy-polled queues, and the paper's IRQs land on dedicated
+  // hyperthread buddies.
+  StackConfig stack_config;
+  stack_config.num_nic_queues = config.num_threads;
+  stack_config.driver_cost = 400;
+  stack_config.skb_alloc_cost = 300;
+  stack_config.xdp_cost = 200;
+  stack_config.protocol_cost = 900;
+  stack_config.afxdp_deliver_cost = 200;
+  stack_config.afxdp_copy_cost = 300;
+  stack_config.socket_queue_depth = 256;
+  HostStack stack(sim, stack_config);
+  Syrupd syrupd(sim, &stack, config.seed);
+  const AppId app = syrupd.RegisterApp("mica", kAppUid, kMicaPort).value();
+
+  Machine machine(sim, config.num_threads);
+  PinnedScheduler scheduler(machine);
+  machine.SetScheduler(&scheduler);
+
+  MicaConfig server_config;
+  server_config.num_threads = config.num_threads;
+  server_config.port = kMicaPort;
+  server_config.seed = config.seed * 13 + 3;
+  MicaServer server(sim, stack, machine, server_config, config.variant);
+
+  const uint32_t n = static_cast<uint32_t>(config.num_threads);
+  SyrupClient client(syrupd, app);
+  switch (config.variant) {
+    case MicaVariant::kSwRedirect:
+      break;  // no Syrup policies: kernel-default distribution
+    case MicaVariant::kSyrupSw:
+      if (config.use_bytecode) {
+        SYRUP_CHECK(
+            client.syr_deploy_policy(MicaHomePolicyAsm(n), Hook::kXdpSkb)
+                .ok());
+      } else {
+        SYRUP_CHECK(syrupd
+                        .DeployNativePolicy(
+                            app, std::make_shared<MicaHomePolicy>(n),
+                            Hook::kXdpSkb)
+                        .ok());
+      }
+      break;
+    case MicaVariant::kSyrupSwZc:
+      // Zero-copy native mode (XDP_DRV): pre-SKB, no frame copy.
+      if (config.use_bytecode) {
+        SYRUP_CHECK(
+            client.syr_deploy_policy(MicaHomePolicyAsm(n), Hook::kXdpDrv)
+                .ok());
+      } else {
+        SYRUP_CHECK(syrupd
+                        .DeployNativePolicy(
+                            app, std::make_shared<MicaHomePolicy>(n),
+                            Hook::kXdpDrv)
+                        .ok());
+      }
+      break;
+    case MicaVariant::kSyrupHw:
+      // The same matching function, offloaded: the NIC picks the home
+      // queue; the queue's single AF_XDP socket receives locally.
+      if (config.use_bytecode) {
+        SYRUP_CHECK(
+            client.syr_deploy_policy(MicaHomePolicyAsm(n), Hook::kXdpOffload)
+                .ok());
+        SYRUP_CHECK(
+            client.syr_deploy_policy(ConstIndexPolicyAsm(0), Hook::kXdpSkb)
+                .ok());
+      } else {
+        SYRUP_CHECK(syrupd
+                        .DeployNativePolicy(
+                            app, std::make_shared<MicaHomePolicy>(n),
+                            Hook::kXdpOffload)
+                        .ok());
+        SYRUP_CHECK(syrupd
+                        .DeployNativePolicy(
+                            app, std::make_shared<ConstIndexPolicy>(0),
+                            Hook::kXdpSkb)
+                        .ok());
+      }
+      break;
+  }
+
+  LoadGenConfig gen_config;
+  gen_config.rate_rps = config.load_rps;
+  gen_config.dst_port = kMicaPort;
+  gen_config.num_flows = 256;  // MICA clients are many; RSS spreads well
+  gen_config.user_id = 1;
+  gen_config.mix = {{ReqType::kGet, config.get_fraction},
+                    {ReqType::kPut, 1.0 - config.get_fraction}};
+  gen_config.seed = config.seed * 77 + 1;
+  LoadGenerator gen(sim, stack, gen_config);
+  const Time end = config.warmup + config.measure;
+  gen.Start(end);
+
+  sim.RunUntil(config.warmup);
+  server.ResetStats();
+  const uint64_t sent_before = gen.sent();
+  const uint64_t drops_before = stack.stats().TotalDrops();
+  uint64_t completed_in_window = 0;
+  sim.ScheduleAt(end, [&]() { completed_in_window = server.completed(); });
+  sim.RunUntil(end + kDrain);
+
+  MicaResult result;
+  result.load_rps = config.load_rps;
+  result.throughput_rps = static_cast<double>(completed_in_window) /
+                          ToSeconds(config.measure);
+  result.p999_us = ToUs(server.latency().Percentile(99.9));
+  result.p50_us = ToUs(server.latency().Percentile(50));
+  const uint64_t sent = gen.sent() - sent_before;
+  const uint64_t drops = stack.stats().TotalDrops() - drops_before;
+  result.drop_fraction =
+      sent == 0 ? 0.0
+                : static_cast<double>(drops) / static_cast<double>(sent);
+  result.redirected = server.redirected();
+  return result;
+}
+
+}  // namespace syrup

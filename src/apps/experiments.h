@@ -1,0 +1,126 @@
+// Experiment harness: wires simulator + stack + syrupd + policies + servers
+// + load generators for each of the paper's evaluation scenarios. One
+// function per experiment family; the bench binaries sweep these over load
+// and print the paper's rows, and integration tests assert the headline
+// shapes (who wins, where the crossovers are).
+#ifndef SYRUP_SRC_APPS_EXPERIMENTS_H_
+#define SYRUP_SRC_APPS_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/mica_server.h"
+#include "src/common/time.h"
+
+namespace syrup {
+
+// Socket-select policies of §5.2 (Fig. 2 / Fig. 6).
+enum class SocketPolicyKind {
+  kVanilla,     // no Syrup policy: kernel 5-tuple hash
+  kRoundRobin,  // Fig. 5a
+  kScanAvoid,   // Fig. 5c (+5b userspace half)
+  kSita,        // Fig. 5d
+};
+
+std::string_view SocketPolicyName(SocketPolicyKind kind);
+
+// Thread scheduling variants of §5.3 (Fig. 8).
+enum class ThreadSchedKind {
+  kPinned,            // 1:1 threads:cores (Figs. 2/6/7/9)
+  kCfs,               // Linux-default baseline for shared cores
+  kGhostGetPriority,  // Syrup policy deployed via ghOSt
+};
+
+struct RocksDbExperimentConfig {
+  SocketPolicyKind socket_policy = SocketPolicyKind::kVanilla;
+  ThreadSchedKind thread_sched = ThreadSchedKind::kPinned;
+  // Deploy the bytecode policy file through syrupd instead of the native
+  // mirror (slower to simulate; used by the ablation bench and tests).
+  bool use_bytecode = false;
+  // Late binding at the socket layer (paper §6.3 extension): buffer
+  // datagrams centrally and match them to sockets whose worker is idle.
+  bool late_binding = false;
+  // CPU Redirect spray policy: round-robin protocol processing across
+  // softirq cores (work-conserving but affinity-destroying; the §2.1
+  // RFS tension). Used with protocol_cold_penalty > 0.
+  bool cpu_redirect_spray = false;
+  Duration protocol_cold_penalty = 0;
+  double flow_skew = 0.0;
+
+  int num_threads = 6;
+  int num_cores = 6;
+  double load_rps = 100'000;
+  double get_fraction = 1.0;   // remainder are SCANs
+  uint32_t num_flows = 50;
+  Duration warmup = 200 * kMillisecond;
+  Duration measure = 1 * kSecond;
+  uint64_t seed = 1;
+};
+
+struct RocksDbResult {
+  double load_rps = 0;
+  double throughput_rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;        // overall
+  double p99_get_us = 0;
+  double p99_scan_us = 0;
+  double drop_fraction = 0;  // of generated requests
+  double get_throughput_rps = 0;
+  double scan_throughput_rps = 0;
+};
+
+RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config);
+
+// --- Fig. 7: token-based QoS ------------------------------------------------
+
+struct TokenQosConfig {
+  double ls_load_rps = 100'000;
+  double be_load_rps = 300'000;
+  bool token_policy = true;  // false = plain round robin (the comparison)
+  double token_rate_per_sec = 350'000;
+  Duration epoch = 100 * kMicrosecond;
+  int num_threads = 6;
+  Duration warmup = 200 * kMillisecond;
+  Duration measure = 1 * kSecond;
+  uint64_t seed = 1;
+};
+
+struct TokenQosResult {
+  double ls_load_rps = 0;
+  double be_load_rps = 0;
+  double ls_throughput_rps = 0;
+  double be_throughput_rps = 0;
+  double ls_p99_us = 0;
+  double be_p99_us = 0;
+};
+
+TokenQosResult RunTokenQosExperiment(const TokenQosConfig& config);
+
+// --- Fig. 9: MICA across hooks ----------------------------------------------
+
+struct MicaExperimentConfig {
+  MicaVariant variant = MicaVariant::kSwRedirect;
+  double load_rps = 1'000'000;
+  double get_fraction = 0.95;  // remainder are PUTs
+  int num_threads = 8;
+  bool use_bytecode = false;
+  Duration warmup = 100 * kMillisecond;
+  Duration measure = 500 * kMillisecond;
+  uint64_t seed = 1;
+};
+
+struct MicaResult {
+  double load_rps = 0;
+  double throughput_rps = 0;
+  double p999_us = 0;
+  double p50_us = 0;
+  double drop_fraction = 0;
+  uint64_t redirected = 0;
+};
+
+MicaResult RunMicaExperiment(const MicaExperimentConfig& config);
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_APPS_EXPERIMENTS_H_

@@ -1,0 +1,78 @@
+#include "src/apps/loadgen.h"
+
+#include "src/common/logging.h"
+
+namespace syrup {
+namespace {
+
+std::vector<double> MixWeights(
+    const std::vector<std::pair<ReqType, double>>& mix) {
+  SYRUP_CHECK(!mix.empty());
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const auto& [type, weight] : mix) {
+    weights.push_back(weight);
+  }
+  return weights;
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(Simulator& sim, HostStack& stack,
+                             LoadGenConfig config)
+    : LoadGenerator(sim, [&stack](Packet pkt) { stack.Rx(std::move(pkt)); },
+                    std::move(config)) {}
+
+LoadGenerator::LoadGenerator(Simulator& sim, SinkFn sink,
+                             LoadGenConfig config)
+    : sim_(sim),
+      sink_(std::move(sink)),
+      config_(config),
+      rng_(config.seed),
+      inter_arrival_(config.rate_rps),
+      type_picker_(MixWeights(config.mix)),
+      flow_picker_(config.num_flows, config.flow_skew) {
+  SYRUP_CHECK_GT(config_.num_flows, 0u);
+  flows_.reserve(config_.num_flows);
+  for (uint32_t i = 0; i < config_.num_flows; ++i) {
+    FiveTuple tuple;
+    tuple.src_ip = 0x0a000000u + (config_.user_id << 12) + i;
+    tuple.dst_ip = 0x0a0000ffu;
+    tuple.src_port = static_cast<uint16_t>(20'000 + i);
+    tuple.dst_port = config_.dst_port;
+    flows_.push_back(tuple);
+  }
+}
+
+void LoadGenerator::Start(Time until) {
+  until_ = until;
+  ScheduleNext();
+}
+
+void LoadGenerator::ScheduleNext() {
+  const Duration gap = inter_arrival_.Sample(rng_);
+  const Time next = sim_.Now() + gap;
+  if (next >= until_) {
+    return;
+  }
+  sim_.ScheduleAt(next, [this]() {
+    Emit();
+    ScheduleNext();
+  });
+}
+
+void LoadGenerator::Emit() {
+  Packet pkt;
+  pkt.tuple = flows_[flow_picker_.Sample(rng_)];
+  const ReqType type = config_.mix[type_picker_.Sample(rng_)].first;
+  const uint32_t key_hash =
+      static_cast<uint32_t>(rng_.NextBounded(config_.key_space));
+  // The client stamped the packet wire_delay ago; it has just arrived.
+  const Time send_time =
+      sim_.Now() >= config_.wire_delay ? sim_.Now() - config_.wire_delay : 0;
+  pkt.SetHeader(type, config_.user_id, key_hash, next_req_id_++, send_time);
+  ++sent_;
+  sink_(std::move(pkt));
+}
+
+}  // namespace syrup

@@ -1,0 +1,70 @@
+// Open-loop load generator (mutilate-like, paper §5.1.2).
+//
+// Generates Poisson arrivals at a configured rate over a small set of
+// 5-tuples (the paper uses ~50 flows; few flows + hash steering is what
+// exposes the RSS imbalance of Fig. 2). Each request carries type, user id,
+// key hash, id, and a send timestamp; latency is measured by the server at
+// completion, adding the return wire delay.
+#ifndef SYRUP_SRC_APPS_LOADGEN_H_
+#define SYRUP_SRC_APPS_LOADGEN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/distributions.h"
+#include "src/common/rng.h"
+#include "src/net/stack.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+
+struct LoadGenConfig {
+  double rate_rps = 100'000;
+  uint16_t dst_port = 9000;
+  uint32_t num_flows = 50;
+  uint32_t user_id = 0;
+  // (type, weight) pairs; e.g. {{kGet, 99.5}, {kScan, 0.5}}.
+  std::vector<std::pair<ReqType, double>> mix = {{ReqType::kGet, 1.0}};
+  uint32_t key_space = 1u << 20;  // key hashes drawn uniformly
+  // Zipf skew across flows (0 = uniform); heavy flows stress per-flow
+  // steering policies (RSS/RFS imbalance).
+  double flow_skew = 0.0;
+  Duration wire_delay = 5 * kMicrosecond;  // one way client <-> server
+  uint64_t seed = 42;
+};
+
+class LoadGenerator {
+ public:
+  // Packets are emitted into `sink` (e.g. HostStack::Rx, or a switch
+  // uplink in rack-level setups).
+  using SinkFn = std::function<void(Packet)>;
+
+  LoadGenerator(Simulator& sim, SinkFn sink, LoadGenConfig config);
+  LoadGenerator(Simulator& sim, HostStack& stack, LoadGenConfig config);
+
+  // Emits arrivals into the stack from now until `until` (exclusive).
+  void Start(Time until);
+
+  uint64_t sent() const { return sent_; }
+  const LoadGenConfig& config() const { return config_; }
+
+ private:
+  void ScheduleNext();
+  void Emit();
+
+  Simulator& sim_;
+  SinkFn sink_;
+  LoadGenConfig config_;
+  Rng rng_;
+  ExponentialDuration inter_arrival_;
+  DiscreteIndex type_picker_;
+  ZipfIndex flow_picker_;
+  std::vector<FiveTuple> flows_;
+  Time until_ = 0;
+  uint64_t sent_ = 0;
+  uint64_t next_req_id_ = 1;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_APPS_LOADGEN_H_

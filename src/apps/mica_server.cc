@@ -1,0 +1,212 @@
+#include "src/apps/mica_server.h"
+
+#include "src/common/logging.h"
+
+namespace syrup {
+
+std::string_view MicaVariantName(MicaVariant variant) {
+  switch (variant) {
+    case MicaVariant::kSwRedirect:
+      return "sw_redirect";
+    case MicaVariant::kSyrupSw:
+      return "syrup_sw";
+    case MicaVariant::kSyrupSwZc:
+      return "syrup_sw_zc";
+    case MicaVariant::kSyrupHw:
+      return "syrup_hw";
+  }
+  return "?";
+}
+
+MicaServer::MicaServer(Simulator& sim, HostStack& stack, Machine& machine,
+                       MicaConfig config, MicaVariant variant)
+    : sim_(sim),
+      machine_(machine),
+      config_(config),
+      variant_(variant),
+      rng_(config.seed) {
+  SYRUP_CHECK_GT(config_.num_threads, 0);
+  SYRUP_CHECK_EQ(config_.num_threads, stack.config().num_nic_queues)
+      << "MICA maps one NIC queue per thread";
+  workers_.resize(static_cast<size_t>(config_.num_threads));
+
+  for (int i = 0; i < config_.num_threads; ++i) {
+    Worker& worker = workers_[static_cast<size_t>(i)];
+    worker.index = static_cast<uint32_t>(i);
+    worker.thread = machine.CreateThread("mica-" + std::to_string(i));
+    WireWorker(worker);
+  }
+
+  switch (variant_) {
+    case MicaVariant::kSwRedirect: {
+      // One regular socket per thread; kernel-default hash distribution.
+      ReuseportGroup* group = stack.GetOrCreateGroup(config_.port);
+      for (auto& worker : workers_) {
+        Socket* sock = group->AddSocket(config_.socket_depth);
+        worker.sockets.push_back(sock);
+        Worker* w = &worker;
+        sock->SetWakeCallback([this, w]() { OnWake(*w); });
+      }
+      break;
+    }
+    case MicaVariant::kSyrupSw:
+    case MicaVariant::kSyrupSwZc: {
+      // Each thread owns one AF_XDP socket per NIC queue; executor index t
+      // within every queue is thread t's socket (paper §5.4).
+      for (int queue = 0; queue < config_.num_threads; ++queue) {
+        for (auto& worker : workers_) {
+          Socket* sock =
+              stack.RegisterAfXdpSocket(queue, config_.socket_depth);
+          worker.sockets.push_back(sock);
+          Worker* w = &worker;
+          sock->SetWakeCallback([this, w]() { OnWake(*w); });
+        }
+      }
+      break;
+    }
+    case MicaVariant::kSyrupHw: {
+      // One AF_XDP socket per queue (index 0), bound to that queue's
+      // thread; the NIC steers to the home queue directly.
+      for (auto& worker : workers_) {
+        Socket* sock = stack.RegisterAfXdpSocket(
+            static_cast<int>(worker.index), config_.socket_depth);
+        worker.sockets.push_back(sock);
+        Worker* w = &worker;
+        sock->SetWakeCallback([this, w]() { OnWake(*w); });
+      }
+      break;
+    }
+  }
+}
+
+void MicaServer::WireWorker(Worker& worker) {
+  Worker* w = &worker;
+  worker.thread->SetSegmentDoneCallback([this, w]() { OnSegmentDone(*w); });
+}
+
+bool MicaServer::StartNext(Worker& worker) {
+  // Inter-core queue first (original MICA polls its DPDK rings first).
+  if (!worker.forward_queue.empty()) {
+    worker.current = worker.forward_queue.front();
+    worker.forward_queue.pop_front();
+    worker.busy = true;
+    worker.current_needs_redirect = false;
+    const Duration service = worker.current.req_type() == ReqType::kPut
+                                 ? config_.service_put
+                                 : config_.service_get;
+    machine_.AddWork(worker.thread, config_.queue_recv_cost + service);
+    return true;
+  }
+
+  // Poll sockets round-robin (AF_XDP rx rings are serviced fairly); a
+  // fixed scan order would starve high-index queues at overload.
+  const size_t socket_count = worker.sockets.size();
+  for (size_t probe = 0; probe < socket_count; ++probe) {
+    const size_t s = (worker.next_socket + probe) % socket_count;
+    Socket* sock = worker.sockets[s];
+    auto pkt = sock->Dequeue();
+    if (!pkt.has_value()) {
+      continue;
+    }
+    worker.next_socket = (s + 1) % socket_count;
+    worker.current = *pkt;
+    worker.busy = true;
+    const Duration service = pkt->req_type() == ReqType::kPut
+                                 ? config_.service_put
+                                 : config_.service_get;
+    switch (variant_) {
+      case MicaVariant::kSwRedirect: {
+        const uint32_t home =
+            pkt->key_hash() % static_cast<uint32_t>(config_.num_threads);
+        if (home == worker.index) {
+          worker.current_needs_redirect = false;
+          machine_.AddWork(worker.thread, config_.parse_cost + service);
+        } else {
+          // Parse + push onto the home core's queue; service happens there.
+          worker.current_needs_redirect = true;
+          machine_.AddWork(worker.thread,
+                           config_.parse_cost + config_.redirect_cost);
+        }
+        break;
+      }
+      case MicaVariant::kSyrupSw:
+      case MicaVariant::kSyrupSwZc: {
+        // Socket s belongs to NIC queue s; a non-buddy queue means the
+        // frame crossed cores on its way here.
+        const bool local = s == worker.index;
+        Duration recv = local ? config_.local_recv_cost
+                              : config_.remote_recv_cost;
+        if (variant_ == MicaVariant::kSyrupSwZc &&
+            recv > config_.zc_recv_discount) {
+          recv -= config_.zc_recv_discount;  // no frame copy to consume
+        }
+        worker.current_needs_redirect = false;
+        machine_.AddWork(worker.thread, recv + service);
+        break;
+      }
+      case MicaVariant::kSyrupHw: {
+        worker.current_needs_redirect = false;
+        machine_.AddWork(worker.thread, config_.local_recv_cost + service);
+        break;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void MicaServer::OnWake(Worker& worker) {
+  if (worker.thread->state() != Thread::State::kBlocked || worker.busy) {
+    return;
+  }
+  if (StartNext(worker)) {
+    machine_.Wake(worker.thread);
+  }
+}
+
+void MicaServer::ForwardToHome(const Packet& pkt) {
+  const uint32_t home =
+      pkt.key_hash() % static_cast<uint32_t>(config_.num_threads);
+  Worker* target = &workers_[home];
+  sim_.ScheduleAfter(config_.forward_latency, [this, target, pkt]() {
+    target->forward_queue.push_back(pkt);
+    OnWake(*target);
+  });
+}
+
+void MicaServer::OnSegmentDone(Worker& worker) {
+  SYRUP_CHECK(worker.busy);
+  worker.busy = false;
+  if (worker.current_needs_redirect) {
+    ++redirected_;
+    ForwardToHome(worker.current);
+  } else {
+    const Time completion = sim_.Now() + config_.wire_delay;
+    const Time sent = worker.current.send_time();
+    latency_.Record(completion > sent ? completion - sent : 0);
+    ++completed_;
+  }
+
+  if (StartNext(worker)) {
+    return;  // keeps running with the new segment
+  }
+  machine_.Block(worker.thread);
+}
+
+void MicaServer::ResetStats() {
+  latency_.Reset();
+  completed_ = 0;
+  redirected_ = 0;
+}
+
+uint64_t MicaServer::socket_drops() const {
+  uint64_t drops = 0;
+  for (const Worker& worker : workers_) {
+    for (const Socket* sock : worker.sockets) {
+      drops += sock->dropped();
+    }
+  }
+  return drops;
+}
+
+}  // namespace syrup

@@ -1,0 +1,118 @@
+// MICA-like partitioned key-value server (paper §5.1.2, §5.4).
+//
+// MICA partitions the key space across cores; each request has a "home"
+// core = key_hash % num_threads. What Fig. 9 measures is how much cross-core
+// data movement each steering layer removes:
+//
+//   kSwRedirect (original MICA): RSS lands the packet on an arbitrary core;
+//     that core parses it and forwards it over an inter-core queue to the
+//     home core. Two data movements; both cores pay.
+//   kSyrupSw: a Syrup policy at the kernel AF_XDP hook reads the key hash
+//     and redirects straight to the home thread's AF_XDP socket (one per
+//     NIC queue per thread). One (remote) movement.
+//   kSyrupHw: the same policy offloaded to the NIC picks the home thread's
+//     RX queue, whose IRQ lands on the home core's hyperthread buddy. The
+//     local AF_XDP hand-off is all that remains.
+//
+// Threads are pinned 1:1 to cores (MICA's EREW mode).
+#ifndef SYRUP_SRC_APPS_MICA_SERVER_H_
+#define SYRUP_SRC_APPS_MICA_SERVER_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/net/stack.h"
+#include "src/sched/machine.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+
+enum class MicaVariant {
+  kSwRedirect,  // original MICA application-layer redirection
+  kSyrupSw,     // Syrup policy at the kernel AF_XDP (XDP_SKB) hook
+  kSyrupSwZc,   // same policy at the zero-copy XDP_DRV hook (§5.4's Intel
+                // 82599 footnote: no SKB, no copy, cheaper receive)
+  kSyrupHw,     // Syrup policy offloaded to the NIC (XDP offload hook)
+};
+
+std::string_view MicaVariantName(MicaVariant variant);
+
+struct MicaConfig {
+  int num_threads = 8;
+  uint16_t port = 9100;
+  size_t socket_depth = 256;
+  Duration wire_delay = 5 * kMicrosecond;
+
+  // Per-request CPU costs (calibrated so the three variants saturate in
+  // the paper's ~1.75 / ~2.75 / ~3.25 MRPS proportions on 8 cores).
+  Duration service_get = 2100;        // hash-table probe + response
+  Duration service_put = 2400;        // insert + response
+  Duration parse_cost = 800;          // request parse on the RSS core
+  Duration redirect_cost = 900;       // inter-core queue send (original)
+  Duration queue_recv_cost = 700;     // inter-core queue receive (original)
+  Duration remote_recv_cost = 800;    // AF_XDP recv from a non-local queue
+  Duration local_recv_cost = 350;     // AF_XDP recv from the buddy queue
+  Duration zc_recv_discount = 250;    // saved per recv under zero copy
+  Duration forward_latency = 600;     // inter-core queue transit time
+
+  uint64_t seed = 11;
+};
+
+class MicaServer {
+ public:
+  MicaServer(Simulator& sim, HostStack& stack, Machine& machine,
+             MicaConfig config, MicaVariant variant);
+
+  MicaServer(const MicaServer&) = delete;
+  MicaServer& operator=(const MicaServer&) = delete;
+
+  const Histogram& latency() const { return latency_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t redirected() const { return redirected_; }
+  void ResetStats();
+  uint64_t socket_drops() const;
+
+  // For kSyrupSw: AF_XDP executor index within each queue == thread index.
+  // For kSyrupHw: one socket per queue at index 0.
+  int num_threads() const { return config_.num_threads; }
+
+ private:
+  struct Forwarded {
+    Packet pkt;
+  };
+
+  struct Worker {
+    Thread* thread = nullptr;
+    std::vector<Socket*> sockets;  // own AF_XDP or regular sockets
+    std::deque<Packet> forward_queue;  // inter-core queue (original MICA)
+    uint32_t index = 0;
+    size_t next_socket = 0;  // round-robin poll position across sockets
+    bool busy = false;
+    Packet current;
+    Duration pending_extra = 0;  // recv-path cost of the current item
+    bool current_needs_redirect = false;
+  };
+
+  void WireWorker(Worker& worker);
+  bool StartNext(Worker& worker);
+  void OnWake(Worker& worker);
+  void OnSegmentDone(Worker& worker);
+  void ForwardToHome(const Packet& pkt);
+
+  Simulator& sim_;
+  Machine& machine_;
+  MicaConfig config_;
+  MicaVariant variant_;
+  Rng rng_;
+  std::vector<Worker> workers_;
+
+  Histogram latency_;
+  uint64_t completed_ = 0;
+  uint64_t redirected_ = 0;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_APPS_MICA_SERVER_H_

@@ -1,0 +1,175 @@
+#include "src/apps/rocksdb_server.h"
+
+#include "src/common/logging.h"
+
+namespace syrup {
+
+RocksDbServer::RocksDbServer(Simulator& sim, HostStack& stack,
+                             Machine& machine, RocksDbConfig config)
+    : sim_(sim), stack_(stack), machine_(machine), config_(config),
+      rng_(config.seed) {
+  SYRUP_CHECK_GT(config_.num_threads, 0);
+  ReuseportGroup* group = stack.GetOrCreateGroup(config_.port);
+  workers_.resize(static_cast<size_t>(config_.num_threads));
+  for (int i = 0; i < config_.num_threads; ++i) {
+    Worker& worker = workers_[static_cast<size_t>(i)];
+    worker.index = static_cast<uint32_t>(i);
+    worker.socket = group->AddSocket(config_.socket_depth);
+    worker.thread =
+        machine.CreateThread("rocksdb-" + std::to_string(i));
+    worker.thread->SetSegmentDoneCallback(
+        [this, &worker]() { OnSegmentDone(worker); });
+    worker.socket->SetWakeCallback([this, &worker]() { OnWake(worker); });
+    // Every socket starts in the "serving GET" state so SCAN Avoid treats
+    // idle sockets as schedulable.
+    if (config_.scan_map != nullptr) {
+      SYRUP_CHECK_OK(config_.scan_map->UpdateU64(
+          worker.index, static_cast<uint64_t>(ReqType::kGet)));
+    }
+    // All workers start blocked in recvmsg: under late binding their
+    // sockets are immediately available executors.
+    stack_.NotifySocketIdle(config_.port, worker.socket);
+  }
+}
+
+Duration RocksDbServer::ServiceTime(ReqType type) {
+  switch (type) {
+    case ReqType::kGet:
+      return UniformDuration(config_.get_lo, config_.get_hi).Sample(rng_);
+    case ReqType::kScan:
+      return UniformDuration(config_.scan_lo, config_.scan_hi).Sample(rng_);
+    case ReqType::kPut:
+      return UniformDuration(config_.put_lo, config_.put_hi).Sample(rng_);
+  }
+  return config_.get_lo;
+}
+
+void RocksDbServer::PublishType(const Worker& worker, ReqType type) {
+  // Fig. 5b: tell the SCAN Avoid kernel policy what this socket is serving.
+  if (config_.scan_map != nullptr) {
+    SYRUP_CHECK_OK(config_.scan_map->UpdateU64(
+        worker.index, static_cast<uint64_t>(type)));
+  }
+  // §5.3: tell the ghOSt GET-priority policy what this thread is serving.
+  if (config_.thread_type_map != nullptr) {
+    SYRUP_CHECK_OK(config_.thread_type_map->UpdateU64(
+        static_cast<uint32_t>(worker.thread->tid()),
+        static_cast<uint64_t>(type)));
+  }
+}
+
+void RocksDbServer::StartRequest(Worker& worker, const Packet& pkt) {
+  worker.current = pkt;
+  worker.busy = true;
+  PublishType(worker, pkt.req_type());
+  machine_.AddWork(worker.thread,
+                   config_.request_overhead + ServiceTime(pkt.req_type()));
+}
+
+void RocksDbServer::OnWake(Worker& worker) {
+  // recvmsg returns: a blocked worker picks up the datagram and runs.
+  if (worker.thread->state() != Thread::State::kBlocked || worker.busy) {
+    return;
+  }
+  auto pkt = worker.socket->Dequeue();
+  if (!pkt.has_value()) {
+    return;
+  }
+  StartRequest(worker, *pkt);
+  machine_.Wake(worker.thread);
+}
+
+void RocksDbServer::OnSegmentDone(Worker& worker) {
+  SYRUP_CHECK(worker.busy);
+  const Packet& done = worker.current;
+  const ReqType type = done.req_type();
+  const Time completion = sim_.Now() + config_.wire_delay;
+  const uint64_t latency =
+      completion > done.send_time() ? completion - done.send_time() : 0;
+  switch (type) {
+    case ReqType::kGet:
+      get_latency_.Record(latency);
+      ++completed_get_;
+      break;
+    case ReqType::kScan:
+      scan_latency_.Record(latency);
+      ++completed_scan_;
+      break;
+    case ReqType::kPut:
+      put_latency_.Record(latency);
+      ++completed_put_;
+      break;
+  }
+  overall_latency_.Record(latency);
+  ++completed_;
+  UserStats& user = user_stats_[done.user_id()];
+  user.latency.Record(latency);
+  ++user.completed;
+  worker.busy = false;
+  PublishType(worker, ReqType::kGet);  // back to "short work" state
+  if (on_complete_) {
+    on_complete_(done, completion);
+  }
+
+  auto next = worker.socket->Dequeue();
+  if (next.has_value()) {
+    StartRequest(worker, *next);  // keep running: FCFS on this socket
+  } else {
+    machine_.Block(worker.thread);
+    // recvmsg found nothing: the executor is available again (late
+    // binding's trigger, a no-op for early-binding ports).
+    stack_.NotifySocketIdle(config_.port, worker.socket);
+  }
+}
+
+const Histogram& RocksDbServer::latency(ReqType type) const {
+  switch (type) {
+    case ReqType::kGet:
+      return get_latency_;
+    case ReqType::kScan:
+      return scan_latency_;
+    case ReqType::kPut:
+      return put_latency_;
+  }
+  return get_latency_;
+}
+
+uint64_t RocksDbServer::completed(ReqType type) const {
+  switch (type) {
+    case ReqType::kGet:
+      return completed_get_;
+    case ReqType::kScan:
+      return completed_scan_;
+    case ReqType::kPut:
+      return completed_put_;
+  }
+  return 0;
+}
+
+const Histogram& RocksDbServer::user_latency(uint32_t user_id) {
+  return user_stats_[user_id].latency;
+}
+
+uint64_t RocksDbServer::user_completed(uint32_t user_id) const {
+  auto it = user_stats_.find(user_id);
+  return it == user_stats_.end() ? 0 : it->second.completed;
+}
+
+void RocksDbServer::ResetStats() {
+  get_latency_.Reset();
+  scan_latency_.Reset();
+  put_latency_.Reset();
+  overall_latency_.Reset();
+  completed_ = completed_get_ = completed_scan_ = completed_put_ = 0;
+  user_stats_.clear();
+}
+
+uint64_t RocksDbServer::socket_drops() const {
+  uint64_t drops = 0;
+  for (const Worker& worker : workers_) {
+    drops += worker.socket->dropped();
+  }
+  return drops;
+}
+
+}  // namespace syrup

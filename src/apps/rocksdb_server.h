@@ -1,0 +1,129 @@
+// RocksDB-like request server (paper §5.1.2).
+//
+// Reproduces the scheduling-relevant structure of the paper's RocksDB
+// deployment: N server threads, each with its own SO_REUSEPORT socket on a
+// shared UDP port, serving GETs of 10-12 µs and SCANs of ~700 µs. The
+// storage engine itself is irrelevant to the experiments (all queries hit
+// DRAM), so requests are modeled purely by their service-time demand.
+//
+// The server also implements the *userspace halves* of the paper's
+// policies:
+//   * Fig. 5b — updates `scan_map` (socket index -> request type) when a
+//     thread starts/finishes a SCAN, feeding the SCAN Avoid kernel policy.
+//   * §5.3   — updates `thread_type_map` (tid -> request type) feeding the
+//     GET-priority ghOSt policy.
+#ifndef SYRUP_SRC_APPS_ROCKSDB_SERVER_H_
+#define SYRUP_SRC_APPS_ROCKSDB_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/distributions.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/map/map.h"
+#include "src/net/stack.h"
+#include "src/sched/machine.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+
+struct RocksDbConfig {
+  int num_threads = 6;
+  uint16_t port = 9000;
+  size_t socket_depth = 128;
+  // Service-time ranges (uniform), per §5.1.2.
+  Duration get_lo = 10 * kMicrosecond, get_hi = 12 * kMicrosecond;
+  Duration scan_lo = 690 * kMicrosecond, scan_hi = 710 * kMicrosecond;
+  Duration put_lo = 10 * kMicrosecond, put_hi = 12 * kMicrosecond;
+  Duration wire_delay = 5 * kMicrosecond;  // server -> client
+  // Per-request kernel overhead on the worker core (recvmsg + sendmsg +
+  // wakeup); puts the 6-core saturation point near the paper's ~400-450k.
+  Duration request_overhead = 2500;
+  uint64_t seed = 7;
+  // Optional userspace-half maps (see file comment).
+  std::shared_ptr<Map> scan_map;
+  std::shared_ptr<Map> thread_type_map;
+};
+
+class RocksDbServer {
+ public:
+  // Creates num_threads sockets on config.port and num_threads machine
+  // threads wired 1:1 to them. The machine's scheduler decides placement.
+  RocksDbServer(Simulator& sim, HostStack& stack, Machine& machine,
+                RocksDbConfig config);
+
+  RocksDbServer(const RocksDbServer&) = delete;
+  RocksDbServer& operator=(const RocksDbServer&) = delete;
+
+  // --- statistics ---------------------------------------------------------
+
+  const Histogram& latency(ReqType type) const;
+  const Histogram& overall_latency() const { return overall_latency_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t completed(ReqType type) const;
+
+  // Clears latency/throughput stats (call after warmup).
+  void ResetStats();
+
+  // Total socket-level drops across the server's sockets.
+  uint64_t socket_drops() const;
+
+  // Per-user latency/throughput (Fig. 7 tracks an LS and a BE user).
+  const Histogram& user_latency(uint32_t user_id);
+  uint64_t user_completed(uint32_t user_id) const;
+
+  // Invoked at each request completion (response leaving the server);
+  // rack-level models use it to route responses back through a switch.
+  void SetCompletionCallback(
+      std::function<void(const Packet&, Time completion)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  Thread* thread(int index) const { return workers_[index].thread; }
+  Socket* socket(int index) const { return workers_[index].socket; }
+
+ private:
+  struct Worker {
+    Thread* thread = nullptr;
+    Socket* socket = nullptr;
+    uint32_t index = 0;
+    bool busy = false;
+    Packet current;
+  };
+
+  Duration ServiceTime(ReqType type);
+  void StartRequest(Worker& worker, const Packet& pkt);
+  void OnWake(Worker& worker);
+  void OnSegmentDone(Worker& worker);
+  void PublishType(const Worker& worker, ReqType type);
+
+  Simulator& sim_;
+  HostStack& stack_;
+  Machine& machine_;
+  RocksDbConfig config_;
+  Rng rng_;
+  std::vector<Worker> workers_;
+
+  Histogram get_latency_;
+  Histogram scan_latency_;
+  Histogram put_latency_;
+  Histogram overall_latency_;
+  uint64_t completed_ = 0;
+  uint64_t completed_get_ = 0;
+  uint64_t completed_scan_ = 0;
+  uint64_t completed_put_ = 0;
+
+  struct UserStats {
+    Histogram latency;
+    uint64_t completed = 0;
+  };
+  std::map<uint32_t, UserStats> user_stats_;
+  std::function<void(const Packet&, Time)> on_complete_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_APPS_ROCKSDB_SERVER_H_

@@ -1,0 +1,64 @@
+// Textual assembler for policy programs.
+//
+// This is the "policy file" format syrupd consumes (paper Fig. 3 step ③:
+// the daemon "compiles the policy file to a binary or object file"). A
+// policy file declares its maps and provides the body of the `schedule`
+// matching function in VM assembly:
+//
+//   .name round_robin
+//   .ctx packet
+//   .map state array 4 8 1        ; name type key_size value_size entries
+//   .extern_map tokens /pins/app1/tokens
+//     ldmapfd r1, state
+//     mov r2, 0
+//     stxw [r10-4], r2
+//     mov r2, r10
+//     add r2, -4
+//     call map_lookup_elem
+//     jne r0, 0, have
+//     mov r0, PASS
+//     exit
+//   have:
+//     ...
+//
+// Immediates may be decimal, hex (0x...), negative, or the symbolic
+// decision constants PASS and DROP. Jump targets are labels or relative
+// offsets (+N / -N). Comments start with ';' or '#'.
+#ifndef SYRUP_SRC_BPF_ASSEMBLER_H_
+#define SYRUP_SRC_BPF_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/bpf/insn.h"
+#include "src/bpf/verifier.h"
+#include "src/common/status.h"
+#include "src/map/map.h"
+
+namespace syrup::bpf {
+
+// A map slot referenced by the program. Either a declaration (syrupd creates
+// and pins the map at deploy time) or an extern (syrupd opens an existing
+// pin, enabling cross-layer sharing).
+struct MapSlot {
+  std::string name;
+  bool is_extern = false;
+  MapSpec spec;      // valid when !is_extern
+  std::string path;  // valid when is_extern
+};
+
+struct AssembledProgram {
+  std::string name;
+  ProgramContext context = ProgramContext::kPacket;
+  std::vector<Insn> insns;
+  // kLdMapFd imm indexes into this table, in declaration order.
+  std::vector<MapSlot> map_slots;
+};
+
+// Assembles `source`; returns a detailed error with line number on failure.
+StatusOr<AssembledProgram> Assemble(std::string_view source);
+
+}  // namespace syrup::bpf
+
+#endif  // SYRUP_SRC_BPF_ASSEMBLER_H_

@@ -1,0 +1,216 @@
+#include "src/bpf/insn.h"
+
+#include <sstream>
+
+namespace syrup::bpf {
+
+int MemAccessSize(Op op) {
+  switch (op) {
+    case Op::kLdxB:
+    case Op::kStxB:
+    case Op::kStB:
+      return 1;
+    case Op::kLdxH:
+    case Op::kStxH:
+    case Op::kStH:
+      return 2;
+    case Op::kLdxW:
+    case Op::kStxW:
+    case Op::kStW:
+      return 4;
+    case Op::kLdxDW:
+    case Op::kStxDW:
+    case Op::kStDW:
+    case Op::kAtomicAddDW:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+bool IsAluOp(Op op) {
+  switch (op) {
+    case Op::kAddReg: case Op::kAddImm:
+    case Op::kSubReg: case Op::kSubImm:
+    case Op::kMulReg: case Op::kMulImm:
+    case Op::kDivReg: case Op::kDivImm:
+    case Op::kModReg: case Op::kModImm:
+    case Op::kOrReg:  case Op::kOrImm:
+    case Op::kAndReg: case Op::kAndImm:
+    case Op::kLshReg: case Op::kLshImm:
+    case Op::kRshReg: case Op::kRshImm:
+    case Op::kArshReg: case Op::kArshImm:
+    case Op::kNeg:
+    case Op::kMovReg: case Op::kMovImm:
+    case Op::kMov32Reg: case Op::kMov32Imm:
+    case Op::kBe16: case Op::kBe32: case Op::kBe64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsJumpOp(Op op) { return op == Op::kJa || IsCondJumpOp(op); }
+
+bool IsCondJumpOp(Op op) {
+  switch (op) {
+    case Op::kJeqReg: case Op::kJeqImm:
+    case Op::kJneReg: case Op::kJneImm:
+    case Op::kJgtReg: case Op::kJgtImm:
+    case Op::kJgeReg: case Op::kJgeImm:
+    case Op::kJltReg: case Op::kJltImm:
+    case Op::kJleReg: case Op::kJleImm:
+    case Op::kJsgtReg: case Op::kJsgtImm:
+    case Op::kJsgeReg: case Op::kJsgeImm:
+    case Op::kJsltReg: case Op::kJsltImm:
+    case Op::kJsleReg: case Op::kJsleImm:
+    case Op::kJsetReg: case Op::kJsetImm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLoadOp(Op op) {
+  switch (op) {
+    case Op::kLdxB: case Op::kLdxH: case Op::kLdxW: case Op::kLdxDW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsStoreOp(Op op) {
+  switch (op) {
+    case Op::kStxB: case Op::kStxH: case Op::kStxW: case Op::kStxDW:
+    case Op::kStB: case Op::kStH: case Op::kStW: case Op::kStDW:
+    case Op::kAtomicAddDW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool UsesSrcReg(Op op) {
+  switch (op) {
+    case Op::kAddReg: case Op::kSubReg: case Op::kMulReg: case Op::kDivReg:
+    case Op::kModReg: case Op::kOrReg: case Op::kAndReg: case Op::kLshReg:
+    case Op::kRshReg: case Op::kArshReg: case Op::kMovReg: case Op::kMov32Reg:
+    case Op::kJeqReg: case Op::kJneReg: case Op::kJgtReg: case Op::kJgeReg:
+    case Op::kJltReg: case Op::kJleReg: case Op::kJsgtReg: case Op::kJsgeReg:
+    case Op::kJsltReg: case Op::kJsleReg: case Op::kJsetReg:
+    case Op::kLdxB: case Op::kLdxH: case Op::kLdxW: case Op::kLdxDW:
+    case Op::kStxB: case Op::kStxH: case Op::kStxW: case Op::kStxDW:
+    case Op::kAtomicAddDW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string OpName(Op op) {
+  switch (op) {
+    case Op::kInvalid: return "invalid";
+    case Op::kAddReg: case Op::kAddImm: return "add";
+    case Op::kSubReg: case Op::kSubImm: return "sub";
+    case Op::kMulReg: case Op::kMulImm: return "mul";
+    case Op::kDivReg: case Op::kDivImm: return "div";
+    case Op::kModReg: case Op::kModImm: return "mod";
+    case Op::kOrReg: case Op::kOrImm: return "or";
+    case Op::kAndReg: case Op::kAndImm: return "and";
+    case Op::kLshReg: case Op::kLshImm: return "lsh";
+    case Op::kRshReg: case Op::kRshImm: return "rsh";
+    case Op::kArshReg: case Op::kArshImm: return "arsh";
+    case Op::kNeg: return "neg";
+    case Op::kMovReg: case Op::kMovImm: return "mov";
+    case Op::kMov32Reg: case Op::kMov32Imm: return "mov32";
+    case Op::kBe16: return "be16";
+    case Op::kBe32: return "be32";
+    case Op::kBe64: return "be64";
+    case Op::kLdxB: return "ldxb";
+    case Op::kLdxH: return "ldxh";
+    case Op::kLdxW: return "ldxw";
+    case Op::kLdxDW: return "ldxdw";
+    case Op::kStxB: return "stxb";
+    case Op::kStxH: return "stxh";
+    case Op::kStxW: return "stxw";
+    case Op::kStxDW: return "stxdw";
+    case Op::kStB: return "stb";
+    case Op::kStH: return "sth";
+    case Op::kStW: return "stw";
+    case Op::kStDW: return "stdw";
+    case Op::kAtomicAddDW: return "xadddw";
+    case Op::kJa: return "ja";
+    case Op::kJeqReg: case Op::kJeqImm: return "jeq";
+    case Op::kJneReg: case Op::kJneImm: return "jne";
+    case Op::kJgtReg: case Op::kJgtImm: return "jgt";
+    case Op::kJgeReg: case Op::kJgeImm: return "jge";
+    case Op::kJltReg: case Op::kJltImm: return "jlt";
+    case Op::kJleReg: case Op::kJleImm: return "jle";
+    case Op::kJsgtReg: case Op::kJsgtImm: return "jsgt";
+    case Op::kJsgeReg: case Op::kJsgeImm: return "jsge";
+    case Op::kJsltReg: case Op::kJsltImm: return "jslt";
+    case Op::kJsleReg: case Op::kJsleImm: return "jsle";
+    case Op::kJsetReg: case Op::kJsetImm: return "jset";
+    case Op::kCall: return "call";
+    case Op::kExit: return "exit";
+    case Op::kLdMapFd: return "ldmapfd";
+  }
+  return "?";
+}
+
+std::string Disassemble(const Insn& insn) {
+  std::ostringstream os;
+  const Op op = insn.op;
+  os << OpName(op);
+  if (op == Op::kExit) {
+    return os.str();
+  }
+  if (op == Op::kCall) {
+    os << " " << insn.imm;
+    return os.str();
+  }
+  if (op == Op::kJa) {
+    os << " +" << insn.off;
+    return os.str();
+  }
+  if (IsLoadOp(op)) {
+    os << " r" << int{insn.dst} << ", [r" << int{insn.src} << "+" << insn.off
+       << "]";
+    return os.str();
+  }
+  if (IsStoreOp(op)) {
+    os << " [r" << int{insn.dst} << "+" << insn.off << "], ";
+    if (UsesSrcReg(op)) {
+      os << "r" << int{insn.src};
+    } else {
+      os << insn.imm;
+    }
+    return os.str();
+  }
+  if (IsCondJumpOp(op)) {
+    os << " r" << int{insn.dst} << ", ";
+    if (UsesSrcReg(op)) {
+      os << "r" << int{insn.src};
+    } else {
+      os << insn.imm;
+    }
+    os << ", +" << insn.off;
+    return os.str();
+  }
+  // ALU / ldmapfd.
+  os << " r" << int{insn.dst};
+  if (op == Op::kNeg || op == Op::kBe16 || op == Op::kBe32 ||
+      op == Op::kBe64) {
+    return os.str();
+  }
+  os << ", ";
+  if (UsesSrcReg(op)) {
+    os << "r" << int{insn.src};
+  } else {
+    os << insn.imm;
+  }
+  return os.str();
+}
+
+}  // namespace syrup::bpf

@@ -1,0 +1,320 @@
+#include "src/bpf/interpreter.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace syrup::bpf {
+namespace {
+
+// A contiguous byte region the program may touch at runtime.
+struct Region {
+  uint64_t base;
+  uint64_t size;
+  bool writable;
+};
+
+bool RegionContains(const Region& r, uint64_t addr, uint64_t size) {
+  return addr >= r.base && size <= r.size && addr - r.base <= r.size - size;
+}
+
+uint64_t LoadUnaligned(uint64_t addr, int size) {
+  uint64_t out = 0;
+  std::memcpy(&out, reinterpret_cast<const void*>(addr),
+              static_cast<size_t>(size));
+  return out;
+}
+
+void StoreUnaligned(uint64_t addr, uint64_t value, int size) {
+  std::memcpy(reinterpret_cast<void*>(addr), &value,
+              static_cast<size_t>(size));
+}
+
+uint64_t ByteSwap(uint64_t v, int width) {
+  switch (width) {
+    case 16:
+      return __builtin_bswap16(static_cast<uint16_t>(v));
+    case 32:
+      return __builtin_bswap32(static_cast<uint32_t>(v));
+    case 64:
+      return __builtin_bswap64(v);
+  }
+  return v;
+}
+
+}  // namespace
+
+StatusOr<ExecResult> Interpreter::Run(const Program& prog_in, uint64_t arg1,
+                                      uint64_t arg2, bool args_are_packet) {
+  ExecResult result;
+  const Program* prog = &prog_in;
+
+  alignas(8) std::array<uint8_t, kStackSize> stack{};
+  std::array<uint64_t, kNumRegisters> regs{};
+
+  // Regions the program may dereference. Map-value pointers returned by
+  // lookups are appended as they materialize.
+  std::vector<Region> regions;
+  regions.push_back(Region{reinterpret_cast<uint64_t>(stack.data()),
+                           stack.size(), /*writable=*/true});
+  if (args_are_packet) {
+    regions.push_back(Region{arg1, arg2 - arg1, /*writable=*/false});
+  }
+
+  auto readable = [&regions](uint64_t addr, int size) {
+    for (const Region& r : regions) {
+      if (RegionContains(r, addr, static_cast<uint64_t>(size))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto writable = [&regions](uint64_t addr, int size) {
+    for (const Region& r : regions) {
+      if (r.writable && RegionContains(r, addr, static_cast<uint64_t>(size))) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+restart:  // tail-call target: rerun with fresh pc but original context args
+  regs[1] = arg1;
+  regs[2] = arg2;
+  regs[10] = reinterpret_cast<uint64_t>(stack.data()) + stack.size();
+
+  size_t pc = 0;
+  while (true) {
+    if (result.insns_executed++ > kMaxInsns) {
+      return ResourceExhaustedError("instruction limit exceeded at runtime");
+    }
+    if (pc >= prog->insns.size()) {
+      return InternalError("program counter out of range");
+    }
+    const Insn& insn = prog->insns[pc];
+    uint64_t& dst = regs[insn.dst];
+    const uint64_t src = regs[insn.src];
+    const auto imm = static_cast<uint64_t>(insn.imm);
+    size_t next = pc + 1;
+
+    switch (insn.op) {
+      case Op::kAddReg: dst += src; break;
+      case Op::kAddImm: dst += imm; break;
+      case Op::kSubReg: dst -= src; break;
+      case Op::kSubImm: dst -= imm; break;
+      case Op::kMulReg: dst *= src; break;
+      case Op::kMulImm: dst *= imm; break;
+      case Op::kDivReg: dst = src == 0 ? 0 : dst / src; break;
+      case Op::kDivImm: dst = imm == 0 ? 0 : dst / imm; break;
+      case Op::kModReg: dst = src == 0 ? 0 : dst % src; break;
+      case Op::kModImm: dst = imm == 0 ? 0 : dst % imm; break;
+      case Op::kOrReg: dst |= src; break;
+      case Op::kOrImm: dst |= imm; break;
+      case Op::kAndReg: dst &= src; break;
+      case Op::kAndImm: dst &= imm; break;
+      case Op::kLshReg: dst <<= (src & 63); break;
+      case Op::kLshImm: dst <<= (imm & 63); break;
+      case Op::kRshReg: dst >>= (src & 63); break;
+      case Op::kRshImm: dst >>= (imm & 63); break;
+      case Op::kArshReg:
+        dst = static_cast<uint64_t>(static_cast<int64_t>(dst) >> (src & 63));
+        break;
+      case Op::kArshImm:
+        dst = static_cast<uint64_t>(static_cast<int64_t>(dst) >> (imm & 63));
+        break;
+      case Op::kNeg: dst = ~dst + 1; break;
+      case Op::kMovReg: dst = src; break;
+      case Op::kMovImm: dst = imm; break;
+      case Op::kMov32Reg: dst = static_cast<uint32_t>(src); break;
+      case Op::kMov32Imm: dst = static_cast<uint32_t>(imm); break;
+      case Op::kBe16: dst = ByteSwap(dst & 0xffff, 16); break;
+      case Op::kBe32: dst = ByteSwap(dst & 0xffffffff, 32); break;
+      case Op::kBe64: dst = ByteSwap(dst, 64); break;
+
+      case Op::kLdxB: case Op::kLdxH: case Op::kLdxW: case Op::kLdxDW: {
+        const int size = MemAccessSize(insn.op);
+        const uint64_t addr = src + static_cast<int64_t>(insn.off);
+        if (!readable(addr, size)) {
+          return OutOfRangeError("runtime load out of bounds: " +
+                                 Disassemble(insn));
+        }
+        dst = LoadUnaligned(addr, size);
+        break;
+      }
+      case Op::kStxB: case Op::kStxH: case Op::kStxW: case Op::kStxDW: {
+        const int size = MemAccessSize(insn.op);
+        const uint64_t addr = dst + static_cast<int64_t>(insn.off);
+        if (!writable(addr, size)) {
+          return OutOfRangeError("runtime store out of bounds: " +
+                                 Disassemble(insn));
+        }
+        StoreUnaligned(addr, src, size);
+        break;
+      }
+      case Op::kStB: case Op::kStH: case Op::kStW: case Op::kStDW: {
+        const int size = MemAccessSize(insn.op);
+        const uint64_t addr = dst + static_cast<int64_t>(insn.off);
+        if (!writable(addr, size)) {
+          return OutOfRangeError("runtime store out of bounds: " +
+                                 Disassemble(insn));
+        }
+        StoreUnaligned(addr, imm, size);
+        break;
+      }
+      case Op::kAtomicAddDW: {
+        const uint64_t addr = dst + static_cast<int64_t>(insn.off);
+        if (!writable(addr, 8) || (addr & 7) != 0) {
+          return OutOfRangeError("runtime atomic out of bounds/unaligned");
+        }
+        auto* cell = reinterpret_cast<std::atomic<uint64_t>*>(addr);
+        cell->fetch_add(src, std::memory_order_relaxed);
+        break;
+      }
+
+      case Op::kJa: next = pc + 1 + insn.off; break;
+#define SYRUP_COND_JUMP(cond)         \
+  if (cond) {                         \
+    next = pc + 1 + insn.off;         \
+  }                                   \
+  break
+      case Op::kJeqReg: SYRUP_COND_JUMP(dst == src);
+      case Op::kJeqImm: SYRUP_COND_JUMP(dst == imm);
+      case Op::kJneReg: SYRUP_COND_JUMP(dst != src);
+      case Op::kJneImm: SYRUP_COND_JUMP(dst != imm);
+      case Op::kJgtReg: SYRUP_COND_JUMP(dst > src);
+      case Op::kJgtImm: SYRUP_COND_JUMP(dst > imm);
+      case Op::kJgeReg: SYRUP_COND_JUMP(dst >= src);
+      case Op::kJgeImm: SYRUP_COND_JUMP(dst >= imm);
+      case Op::kJltReg: SYRUP_COND_JUMP(dst < src);
+      case Op::kJltImm: SYRUP_COND_JUMP(dst < imm);
+      case Op::kJleReg: SYRUP_COND_JUMP(dst <= src);
+      case Op::kJleImm: SYRUP_COND_JUMP(dst <= imm);
+      case Op::kJsgtReg:
+        SYRUP_COND_JUMP(static_cast<int64_t>(dst) > static_cast<int64_t>(src));
+      case Op::kJsgtImm:
+        SYRUP_COND_JUMP(static_cast<int64_t>(dst) > insn.imm);
+      case Op::kJsgeReg:
+        SYRUP_COND_JUMP(static_cast<int64_t>(dst) >=
+                        static_cast<int64_t>(src));
+      case Op::kJsgeImm:
+        SYRUP_COND_JUMP(static_cast<int64_t>(dst) >= insn.imm);
+      case Op::kJsltReg:
+        SYRUP_COND_JUMP(static_cast<int64_t>(dst) < static_cast<int64_t>(src));
+      case Op::kJsltImm:
+        SYRUP_COND_JUMP(static_cast<int64_t>(dst) < insn.imm);
+      case Op::kJsleReg:
+        SYRUP_COND_JUMP(static_cast<int64_t>(dst) <=
+                        static_cast<int64_t>(src));
+      case Op::kJsleImm:
+        SYRUP_COND_JUMP(static_cast<int64_t>(dst) <= insn.imm);
+      case Op::kJsetReg: SYRUP_COND_JUMP((dst & src) != 0);
+      case Op::kJsetImm: SYRUP_COND_JUMP((dst & imm) != 0);
+#undef SYRUP_COND_JUMP
+
+      case Op::kLdMapFd: {
+        const auto index = static_cast<size_t>(insn.imm);
+        if (index >= prog->maps.size()) {
+          return InternalError("ldmapfd index out of range");
+        }
+        dst = reinterpret_cast<uint64_t>(prog->maps[index].get());
+        break;
+      }
+
+      case Op::kCall: {
+        switch (static_cast<HelperId>(insn.imm)) {
+          case HelperId::kMapLookupElem: {
+            auto* map = reinterpret_cast<Map*>(regs[1]);
+            const uint64_t key = regs[2];
+            if (map == nullptr || !readable(key, map->spec().key_size)) {
+              return OutOfRangeError("map_lookup: bad map/key");
+            }
+            void* value = map->Lookup(reinterpret_cast<const void*>(key));
+            regs[0] = reinterpret_cast<uint64_t>(value);
+            if (value != nullptr) {
+              regions.push_back(
+                  Region{regs[0], map->spec().value_size, /*writable=*/true});
+            }
+            break;
+          }
+          case HelperId::kMapUpdateElem: {
+            auto* map = reinterpret_cast<Map*>(regs[1]);
+            const uint64_t key = regs[2];
+            const uint64_t value = regs[3];
+            if (map == nullptr || !readable(key, map->spec().key_size) ||
+                !readable(value, map->spec().value_size)) {
+              return OutOfRangeError("map_update: bad map/key/value");
+            }
+            const Status s =
+                map->Update(reinterpret_cast<const void*>(key),
+                            reinterpret_cast<const void*>(value),
+                            UpdateFlag::kAny);
+            regs[0] = s.ok() ? 0 : static_cast<uint64_t>(-1);
+            break;
+          }
+          case HelperId::kMapDeleteElem: {
+            auto* map = reinterpret_cast<Map*>(regs[1]);
+            const uint64_t key = regs[2];
+            if (map == nullptr || !readable(key, map->spec().key_size)) {
+              return OutOfRangeError("map_delete: bad map/key");
+            }
+            const Status s =
+                map->Delete(reinterpret_cast<const void*>(key));
+            regs[0] = s.ok() ? 0 : static_cast<uint64_t>(-1);
+            break;
+          }
+          case HelperId::kGetPrandomU32:
+            regs[0] = env_.random_u32 ? env_.random_u32() : 0;
+            break;
+          case HelperId::kKtimeGetNs:
+            regs[0] = env_.ktime_ns ? env_.ktime_ns() : 0;
+            break;
+          case HelperId::kTailCall: {
+            if (env_.resolve_program == nullptr) {
+              regs[0] = static_cast<uint64_t>(-1);
+              break;
+            }
+            auto* array = reinterpret_cast<Map*>(regs[2]);
+            const auto index = static_cast<uint32_t>(regs[3]);
+            if (array == nullptr ||
+                array->spec().type != MapType::kProgArray) {
+              return InvalidArgumentError("tail_call: not a prog array");
+            }
+            void* slot = array->Lookup(&index);
+            const uint64_t prog_id =
+                slot == nullptr ? 0 : Map::AtomicLoad(slot);
+            const Program* target =
+                prog_id == 0 ? nullptr : env_.resolve_program(prog_id);
+            if (target == nullptr) {
+              // Miss: falls through, r0 = -1 (caller decides what to do).
+              regs[0] = static_cast<uint64_t>(-1);
+              break;
+            }
+            if (++result.tail_calls > kMaxTailCalls) {
+              return ResourceExhaustedError("tail call chain too long");
+            }
+            prog = target;
+            goto restart;
+          }
+          default:
+            return InvalidArgumentError("unknown helper id " +
+                                        std::to_string(insn.imm));
+        }
+        // Helper calls clobber the caller-saved argument registers.
+        regs[1] = regs[2] = regs[3] = regs[4] = regs[5] = 0;
+        break;
+      }
+
+      case Op::kExit:
+        result.r0 = regs[0];
+        return result;
+
+      case Op::kInvalid:
+        return InvalidArgumentError("invalid opcode");
+    }
+    pc = next;
+  }
+}
+
+}  // namespace syrup::bpf

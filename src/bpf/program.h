@@ -1,0 +1,23 @@
+// A loaded policy program: instructions plus resolved map references.
+#ifndef SYRUP_SRC_BPF_PROGRAM_H_
+#define SYRUP_SRC_BPF_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bpf/insn.h"
+#include "src/map/map.h"
+
+namespace syrup::bpf {
+
+struct Program {
+  std::string name;
+  std::vector<Insn> insns;
+  // kLdMapFd instructions carry an index into this table.
+  std::vector<std::shared_ptr<Map>> maps;
+};
+
+}  // namespace syrup::bpf
+
+#endif  // SYRUP_SRC_BPF_PROGRAM_H_

@@ -1,0 +1,631 @@
+#include "src/bpf/verifier.h"
+
+#include <array>
+#include <bitset>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace syrup::bpf {
+namespace {
+
+enum class RegKind : uint8_t {
+  kNotInit,
+  kScalar,
+  kPktPtr,          // pointer into packet; `off` bytes past pkt_start
+  kPktEnd,          // the pkt_end sentinel pointer
+  kStackPtr,        // pointer into the stack frame; off <= 0, frame top = 0
+  kMapValueOrNull,  // result of map_lookup before the NULL check
+  kMapValue,        // map value pointer proven non-NULL
+  kNullConst,       // map value pointer proven NULL
+  kConstMapPtr,     // loaded by ldmapfd
+};
+
+const char* KindName(RegKind kind) {
+  switch (kind) {
+    case RegKind::kNotInit: return "uninit";
+    case RegKind::kScalar: return "scalar";
+    case RegKind::kPktPtr: return "pkt";
+    case RegKind::kPktEnd: return "pkt_end";
+    case RegKind::kStackPtr: return "stack";
+    case RegKind::kMapValueOrNull: return "map_value_or_null";
+    case RegKind::kMapValue: return "map_value";
+    case RegKind::kNullConst: return "null";
+    case RegKind::kConstMapPtr: return "map_ptr";
+  }
+  return "?";
+}
+
+struct RegState {
+  RegKind kind = RegKind::kNotInit;
+  bool known = false;     // scalar holds a known constant
+  uint64_t value = 0;     // constant value when `known`
+  int64_t off = 0;        // pointer offset from region base
+  int32_t map_index = -1; // which program map for map kinds
+
+  static RegState Scalar() { return RegState{RegKind::kScalar}; }
+  static RegState Known(uint64_t v) {
+    return RegState{RegKind::kScalar, true, v};
+  }
+};
+
+struct AbsState {
+  std::array<RegState, kNumRegisters> regs;
+  int64_t pkt_range = 0;  // bytes of packet proven accessible
+  std::bitset<kStackSize> stack_init;
+  size_t pc = 0;
+};
+
+bool IsPointerKind(RegKind kind) {
+  switch (kind) {
+    case RegKind::kPktPtr:
+    case RegKind::kPktEnd:
+    case RegKind::kStackPtr:
+    case RegKind::kMapValueOrNull:
+    case RegKind::kMapValue:
+    case RegKind::kConstMapPtr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Verifier {
+ public:
+  Verifier(const Program& prog, ProgramContext context,
+           const VerifierOptions& options, VerifierStats* stats)
+      : prog_(prog), context_(context), options_(options), stats_(stats) {}
+
+  Status Run() {
+    SYRUP_RETURN_IF_ERROR(StaticChecks());
+
+    AbsState entry;
+    if (context_ == ProgramContext::kPacket) {
+      entry.regs[1] = RegState{RegKind::kPktPtr};
+      entry.regs[2] = RegState{RegKind::kPktEnd};
+    } else {
+      entry.regs[1] = RegState::Scalar();
+      entry.regs[2] = RegState::Scalar();
+    }
+    entry.regs[kFrameRegister] = RegState{RegKind::kStackPtr};
+
+    std::vector<AbsState> pending;
+    pending.push_back(std::move(entry));
+    uint64_t visited = 0;
+    uint64_t branches = 0;
+
+    while (!pending.empty()) {
+      AbsState st = std::move(pending.back());
+      pending.pop_back();
+      while (true) {
+        if (++visited > options_.max_visited_insns) {
+          return Fail(st.pc,
+                      "program too complex: exploration budget exceeded "
+                      "(unbounded loop?)");
+        }
+        if (st.pc >= prog_.insns.size()) {
+          return Fail(st.pc, "execution falls off the end of the program");
+        }
+        StepResult step;
+        SYRUP_RETURN_IF_ERROR(StepInsn(st, step));
+        if (step.done) {
+          break;  // EXIT reached on this path
+        }
+        if (step.has_branch) {
+          ++branches;
+          if (pending.size() >= options_.max_pending_states) {
+            return Fail(st.pc, "too many pending branch states");
+          }
+          pending.push_back(std::move(step.branch_state));
+        }
+        st.pc = step.next_pc;
+      }
+    }
+    if (stats_ != nullptr) {
+      stats_->visited_insns = visited;
+      stats_->branch_states = branches;
+    }
+    return OkStatus();
+  }
+
+ private:
+  struct StepResult {
+    size_t next_pc = 0;
+    bool done = false;
+    bool has_branch = false;
+    AbsState branch_state;
+  };
+
+  Status Fail(size_t pc, const std::string& why) const {
+    std::string at = "insn " + std::to_string(pc);
+    if (pc < prog_.insns.size()) {
+      at += " (" + Disassemble(prog_.insns[pc]) + ")";
+    }
+    return InvalidArgumentError("verifier: " + why + " at " + at +
+                                " in program '" + prog_.name + "'");
+  }
+
+  // Structural checks that need no dataflow.
+  Status StaticChecks() const {
+    if (prog_.insns.empty()) {
+      return InvalidArgumentError("verifier: empty program");
+    }
+    for (size_t pc = 0; pc < prog_.insns.size(); ++pc) {
+      const Insn& insn = prog_.insns[pc];
+      if (insn.dst >= kNumRegisters || insn.src >= kNumRegisters) {
+        return Fail(pc, "register number out of range");
+      }
+      if (insn.op == Op::kInvalid) {
+        return Fail(pc, "invalid opcode");
+      }
+      if (IsJumpOp(insn.op)) {
+        const int64_t target =
+            static_cast<int64_t>(pc) + 1 + static_cast<int64_t>(insn.off);
+        if (target < 0 ||
+            target >= static_cast<int64_t>(prog_.insns.size())) {
+          return Fail(pc, "jump target out of program bounds");
+        }
+      }
+      if (insn.op == Op::kLdMapFd) {
+        if (insn.imm < 0 ||
+            static_cast<size_t>(insn.imm) >= prog_.maps.size()) {
+          return Fail(pc, "ldmapfd references unknown map");
+        }
+      }
+      const bool writes_dst =
+          IsAluOp(insn.op) || IsLoadOp(insn.op) || insn.op == Op::kLdMapFd;
+      if (writes_dst && insn.dst == kFrameRegister) {
+        return Fail(pc, "write to frame pointer r10");
+      }
+    }
+    return OkStatus();
+  }
+
+  Status RequireInit(const AbsState& st, size_t pc, int reg) const {
+    if (st.regs[reg].kind == RegKind::kNotInit) {
+      return Fail(pc, "read of uninitialized register r" + std::to_string(reg));
+    }
+    return OkStatus();
+  }
+
+  Status RequireScalar(const AbsState& st, size_t pc, int reg) const {
+    SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, reg));
+    if (st.regs[reg].kind != RegKind::kScalar) {
+      return Fail(pc, std::string("expected scalar in r") +
+                          std::to_string(reg) + ", found " +
+                          KindName(st.regs[reg].kind));
+    }
+    return OkStatus();
+  }
+
+  // Validates a memory region access; for stack reads also checks
+  // initialization, for stack writes marks bytes initialized.
+  Status CheckMemAccess(AbsState& st, size_t pc, const RegState& ptr,
+                        int16_t insn_off, int size, bool is_write) {
+    const int64_t off = ptr.off + insn_off;
+    switch (ptr.kind) {
+      case RegKind::kPktPtr: {
+        if (is_write) {
+          return Fail(pc, "packet memory is read-only at Syrup hooks");
+        }
+        if (off < 0 || off + size > st.pkt_range) {
+          return Fail(pc,
+                      "packet access [" + std::to_string(off) + ", " +
+                          std::to_string(off + size) +
+                          ") outside verified range " +
+                          std::to_string(st.pkt_range) +
+                          " (missing bounds check against pkt_end?)");
+        }
+        return OkStatus();
+      }
+      case RegKind::kStackPtr: {
+        if (off < -kStackSize || off + size > 0) {
+          return Fail(pc, "stack access out of bounds at fp" +
+                              std::to_string(off));
+        }
+        const size_t first = static_cast<size_t>(off + kStackSize);
+        if (is_write) {
+          for (int i = 0; i < size; ++i) {
+            st.stack_init.set(first + static_cast<size_t>(i));
+          }
+        } else {
+          for (int i = 0; i < size; ++i) {
+            if (!st.stack_init.test(first + static_cast<size_t>(i))) {
+              return Fail(pc, "read of uninitialized stack at fp" +
+                                  std::to_string(off + i));
+            }
+          }
+        }
+        return OkStatus();
+      }
+      case RegKind::kMapValue: {
+        const auto& spec = prog_.maps[ptr.map_index]->spec();
+        if (off < 0 || off + size > static_cast<int64_t>(spec.value_size)) {
+          return Fail(pc, "map value access out of bounds");
+        }
+        return OkStatus();
+      }
+      case RegKind::kMapValueOrNull:
+        return Fail(pc, "map value dereference without NULL check");
+      case RegKind::kNullConst:
+        return Fail(pc, "NULL pointer dereference");
+      default:
+        return Fail(pc, std::string("cannot access memory through ") +
+                            KindName(ptr.kind));
+    }
+  }
+
+  Status CheckHelperKeyArg(const AbsState& st, size_t pc, int reg,
+                           uint32_t bytes) const {
+    const RegState& r = st.regs[reg];
+    if (r.kind == RegKind::kStackPtr) {
+      const int64_t off = r.off;
+      if (off < -kStackSize || off + static_cast<int64_t>(bytes) > 0) {
+        return Fail(pc, "helper argument points outside the stack");
+      }
+      const size_t first = static_cast<size_t>(off + kStackSize);
+      for (uint32_t i = 0; i < bytes; ++i) {
+        if (!st.stack_init.test(first + i)) {
+          return Fail(pc, "helper argument reads uninitialized stack");
+        }
+      }
+      return OkStatus();
+    }
+    if (r.kind == RegKind::kMapValue) {
+      const auto& spec = prog_.maps[r.map_index]->spec();
+      if (r.off < 0 ||
+          r.off + static_cast<int64_t>(bytes) >
+              static_cast<int64_t>(spec.value_size)) {
+        return Fail(pc, "helper argument out of map value bounds");
+      }
+      return OkStatus();
+    }
+    return Fail(pc, std::string("helper argument must be a stack or map "
+                                "value pointer, found ") +
+                        KindName(r.kind));
+  }
+
+  Status ApplyAlu(AbsState& st, size_t pc, const Insn& insn) {
+    RegState& dst = st.regs[insn.dst];
+    const Op op = insn.op;
+
+    // MOV overwrites dst, so dst need not be initialized.
+    if (op == Op::kMovReg) {
+      SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, insn.src));
+      dst = st.regs[insn.src];
+      return OkStatus();
+    }
+    if (op == Op::kMovImm) {
+      dst = RegState::Known(static_cast<uint64_t>(insn.imm));
+      return OkStatus();
+    }
+    if (op == Op::kMov32Reg) {
+      SYRUP_RETURN_IF_ERROR(RequireScalar(st, pc, insn.src));
+      const RegState& s = st.regs[insn.src];
+      dst = s.known ? RegState::Known(static_cast<uint32_t>(s.value))
+                    : RegState::Scalar();
+      return OkStatus();
+    }
+    if (op == Op::kMov32Imm) {
+      dst = RegState::Known(static_cast<uint32_t>(insn.imm));
+      return OkStatus();
+    }
+
+    SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, insn.dst));
+
+    // Pointer arithmetic: add/sub with constant amounts adjusts the offset.
+    const bool dst_is_ptr = IsPointerKind(dst.kind);
+    if (dst_is_ptr) {
+      auto adjustable = [](RegKind kind) {
+        return kind == RegKind::kPktPtr || kind == RegKind::kStackPtr ||
+               kind == RegKind::kMapValue;
+      };
+      if (op == Op::kAddImm || op == Op::kSubImm) {
+        if (!adjustable(dst.kind)) {
+          return Fail(pc, std::string("arithmetic on ") + KindName(dst.kind));
+        }
+        dst.off += op == Op::kAddImm ? insn.imm : -insn.imm;
+        return OkStatus();
+      }
+      if (op == Op::kAddReg || op == Op::kSubReg) {
+        SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, insn.src));
+        const RegState& src = st.regs[insn.src];
+        // ptr - ptr within the packet family yields an (unknown) length.
+        if (op == Op::kSubReg &&
+            (dst.kind == RegKind::kPktPtr || dst.kind == RegKind::kPktEnd) &&
+            (src.kind == RegKind::kPktPtr || src.kind == RegKind::kPktEnd)) {
+          dst = RegState::Scalar();
+          return OkStatus();
+        }
+        if (src.kind == RegKind::kScalar && src.known && adjustable(dst.kind)) {
+          dst.off += op == Op::kAddReg ? static_cast<int64_t>(src.value)
+                                       : -static_cast<int64_t>(src.value);
+          return OkStatus();
+        }
+        return Fail(pc, "pointer arithmetic with unknown or non-scalar "
+                        "operand");
+      }
+      return Fail(pc, std::string("ALU op on pointer ") + KindName(dst.kind));
+    }
+
+    // Scalar ALU. A register source must itself be a scalar; "scalar + pkt
+    // pointer" style commuted forms are not needed by our policies.
+    uint64_t rhs = static_cast<uint64_t>(insn.imm);
+    bool rhs_known = true;
+    if (UsesSrcReg(op)) {
+      SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, insn.src));
+      const RegState& src = st.regs[insn.src];
+      if (src.kind != RegKind::kScalar) {
+        return Fail(pc, std::string("scalar ALU with pointer source ") +
+                            KindName(src.kind));
+      }
+      rhs_known = src.known;
+      rhs = src.value;
+    }
+    if (op == Op::kNeg || op == Op::kBe16 || op == Op::kBe32 ||
+        op == Op::kBe64) {
+      // Unary: result constant only when the operand is; exact values for
+      // byte swaps are not tracked (no policy depends on them).
+      dst = dst.known && op == Op::kNeg ? RegState::Known(~dst.value + 1)
+                                        : RegState::Scalar();
+      return OkStatus();
+    }
+    if (!dst.known || !rhs_known) {
+      dst = RegState::Scalar();
+      return OkStatus();
+    }
+    uint64_t v = dst.value;
+    switch (op) {
+      case Op::kAddReg: case Op::kAddImm: v += rhs; break;
+      case Op::kSubReg: case Op::kSubImm: v -= rhs; break;
+      case Op::kMulReg: case Op::kMulImm: v *= rhs; break;
+      case Op::kDivReg: case Op::kDivImm: v = rhs == 0 ? 0 : v / rhs; break;
+      case Op::kModReg: case Op::kModImm: v = rhs == 0 ? 0 : v % rhs; break;
+      case Op::kOrReg: case Op::kOrImm: v |= rhs; break;
+      case Op::kAndReg: case Op::kAndImm: v &= rhs; break;
+      case Op::kLshReg: case Op::kLshImm: v <<= (rhs & 63); break;
+      case Op::kRshReg: case Op::kRshImm: v >>= (rhs & 63); break;
+      case Op::kArshReg: case Op::kArshImm:
+        v = static_cast<uint64_t>(static_cast<int64_t>(v) >> (rhs & 63));
+        break;
+      default:
+        return Fail(pc, "unhandled ALU op");
+    }
+    dst = RegState::Known(v);
+    return OkStatus();
+  }
+
+  // Evaluates a comparison with both sides known. Returns condition truth.
+  static bool EvalCond(Op op, uint64_t a, uint64_t b) {
+    switch (op) {
+      case Op::kJeqReg: case Op::kJeqImm: return a == b;
+      case Op::kJneReg: case Op::kJneImm: return a != b;
+      case Op::kJgtReg: case Op::kJgtImm: return a > b;
+      case Op::kJgeReg: case Op::kJgeImm: return a >= b;
+      case Op::kJltReg: case Op::kJltImm: return a < b;
+      case Op::kJleReg: case Op::kJleImm: return a <= b;
+      case Op::kJsgtReg: case Op::kJsgtImm:
+        return static_cast<int64_t>(a) > static_cast<int64_t>(b);
+      case Op::kJsgeReg: case Op::kJsgeImm:
+        return static_cast<int64_t>(a) >= static_cast<int64_t>(b);
+      case Op::kJsltReg: case Op::kJsltImm:
+        return static_cast<int64_t>(a) < static_cast<int64_t>(b);
+      case Op::kJsleReg: case Op::kJsleImm:
+        return static_cast<int64_t>(a) <= static_cast<int64_t>(b);
+      case Op::kJsetReg: case Op::kJsetImm: return (a & b) != 0;
+      default:
+        return false;
+    }
+  }
+
+  Status ApplyCondJump(AbsState& st, size_t pc, const Insn& insn,
+                       StepResult& step) {
+    SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, insn.dst));
+    if (UsesSrcReg(insn.op)) {
+      SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, insn.src));
+    }
+    const RegState& a = st.regs[insn.dst];
+    const size_t taken_pc = pc + 1 + static_cast<size_t>(
+                                         static_cast<int64_t>(insn.off));
+    const size_t fall_pc = pc + 1;
+
+    // Fully known comparison: follow a single edge.
+    const bool src_is_imm = !UsesSrcReg(insn.op);
+    const RegState* b = src_is_imm ? nullptr : &st.regs[insn.src];
+    if (a.kind == RegKind::kScalar && a.known &&
+        (src_is_imm || (b->kind == RegKind::kScalar && b->known))) {
+      const uint64_t rhs =
+          src_is_imm ? static_cast<uint64_t>(insn.imm) : b->value;
+      step.next_pc = EvalCond(insn.op, a.value, rhs) ? taken_pc : fall_pc;
+      return OkStatus();
+    }
+
+    AbsState taken = st;  // copy; refine each side independently
+
+    // NULL-check refinement for map lookups: `if (ptr ==/!= 0)`.
+    const bool null_test =
+        (insn.op == Op::kJeqImm || insn.op == Op::kJneImm) && insn.imm == 0 &&
+        a.kind == RegKind::kMapValueOrNull;
+    if (null_test) {
+      const bool eq = insn.op == Op::kJeqImm;
+      taken.regs[insn.dst].kind = eq ? RegKind::kNullConst
+                                     : RegKind::kMapValue;
+      st.regs[insn.dst].kind = eq ? RegKind::kMapValue : RegKind::kNullConst;
+    }
+
+    // Packet-bounds refinement: compare pkt+N against pkt_end.
+    if (!src_is_imm) {
+      const RegState& d = a;
+      const RegState& s = *b;
+      auto refine = [](AbsState& state, int64_t n) {
+        if (n > state.pkt_range) {
+          state.pkt_range = n;
+        }
+      };
+      if (d.kind == RegKind::kPktPtr && s.kind == RegKind::kPktEnd) {
+        const int64_t n = d.off;
+        switch (insn.op) {
+          case Op::kJgtReg: case Op::kJgeReg: refine(st, n); break;
+          case Op::kJltReg: case Op::kJleReg: refine(taken, n); break;
+          default: break;
+        }
+      } else if (d.kind == RegKind::kPktEnd && s.kind == RegKind::kPktPtr) {
+        const int64_t n = s.off;
+        switch (insn.op) {
+          case Op::kJgtReg: case Op::kJgeReg: refine(taken, n); break;
+          case Op::kJltReg: case Op::kJleReg: refine(st, n); break;
+          default: break;
+        }
+      } else if (d.kind != RegKind::kScalar || s.kind != RegKind::kScalar) {
+        // Comparing pointers of the same kind (e.g. two pkt ptrs) is fine;
+        // mixed pointer/scalar comparisons are rejected as in eBPF.
+        const bool same_family = d.kind == s.kind ||
+                                 (IsPointerKind(d.kind) &&
+                                  IsPointerKind(s.kind));
+        if (!same_family && !null_test) {
+          return Fail(pc, "comparison between pointer and scalar");
+        }
+      }
+    } else if (IsPointerKind(a.kind) && !null_test) {
+      return Fail(pc, "comparison between pointer and immediate");
+    }
+
+    taken.pc = taken_pc;
+    step.has_branch = true;
+    step.branch_state = std::move(taken);
+    step.next_pc = fall_pc;
+    return OkStatus();
+  }
+
+  Status ApplyCall(AbsState& st, size_t pc, const Insn& insn) {
+    const auto helper = static_cast<HelperId>(insn.imm);
+    auto require_map_arg = [&](int reg, MapType* type_out) -> Status {
+      const RegState& r = st.regs[reg];
+      if (r.kind != RegKind::kConstMapPtr) {
+        return Fail(pc, "helper expects a map reference in r" +
+                            std::to_string(reg));
+      }
+      if (type_out != nullptr) {
+        *type_out = prog_.maps[r.map_index]->spec().type;
+      }
+      return OkStatus();
+    };
+
+    int32_t lookup_map = -1;
+    switch (helper) {
+      case HelperId::kMapLookupElem: {
+        SYRUP_RETURN_IF_ERROR(require_map_arg(1, nullptr));
+        lookup_map = st.regs[1].map_index;
+        const auto& spec = prog_.maps[lookup_map]->spec();
+        SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(st, pc, 2, spec.key_size));
+        break;
+      }
+      case HelperId::kMapUpdateElem: {
+        SYRUP_RETURN_IF_ERROR(require_map_arg(1, nullptr));
+        const auto& spec = prog_.maps[st.regs[1].map_index]->spec();
+        SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(st, pc, 2, spec.key_size));
+        SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(st, pc, 3, spec.value_size));
+        break;
+      }
+      case HelperId::kMapDeleteElem: {
+        SYRUP_RETURN_IF_ERROR(require_map_arg(1, nullptr));
+        const auto& spec = prog_.maps[st.regs[1].map_index]->spec();
+        SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(st, pc, 2, spec.key_size));
+        break;
+      }
+      case HelperId::kGetPrandomU32:
+      case HelperId::kKtimeGetNs:
+        break;
+      case HelperId::kTailCall: {
+        MapType type;
+        SYRUP_RETURN_IF_ERROR(require_map_arg(2, &type));
+        if (type != MapType::kProgArray) {
+          return Fail(pc, "tail_call requires a prog_array map");
+        }
+        SYRUP_RETURN_IF_ERROR(RequireScalar(st, pc, 3));
+        break;
+      }
+      default:
+        return Fail(pc, "unknown helper " + std::to_string(insn.imm));
+    }
+
+    // r0 holds the result; argument registers are clobbered.
+    if (helper == HelperId::kMapLookupElem) {
+      st.regs[0] = RegState{RegKind::kMapValueOrNull, false, 0, 0, lookup_map};
+    } else {
+      st.regs[0] = RegState::Scalar();
+    }
+    for (int reg = 1; reg <= 5; ++reg) {
+      st.regs[reg] = RegState{};
+    }
+    return OkStatus();
+  }
+
+  Status StepInsn(AbsState& st, StepResult& step) {
+    const size_t pc = st.pc;
+    const Insn& insn = prog_.insns[pc];
+    step.next_pc = pc + 1;
+
+    if (IsAluOp(insn.op)) {
+      return ApplyAlu(st, pc, insn);
+    }
+    if (IsLoadOp(insn.op)) {
+      SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, insn.src));
+      SYRUP_RETURN_IF_ERROR(CheckMemAccess(st, pc, st.regs[insn.src], insn.off,
+                                           MemAccessSize(insn.op),
+                                           /*is_write=*/false));
+      st.regs[insn.dst] = RegState::Scalar();
+      return OkStatus();
+    }
+    if (IsStoreOp(insn.op)) {
+      SYRUP_RETURN_IF_ERROR(RequireInit(st, pc, insn.dst));
+      if (UsesSrcReg(insn.op)) {
+        SYRUP_RETURN_IF_ERROR(RequireScalar(st, pc, insn.src));
+      }
+      if (insn.op == Op::kAtomicAddDW &&
+          st.regs[insn.dst].kind == RegKind::kPktPtr) {
+        return Fail(pc, "atomic op on packet memory");
+      }
+      return CheckMemAccess(st, pc, st.regs[insn.dst], insn.off,
+                            MemAccessSize(insn.op), /*is_write=*/true);
+    }
+    switch (insn.op) {
+      case Op::kJa:
+        step.next_pc = pc + 1 + static_cast<size_t>(
+                                    static_cast<int64_t>(insn.off));
+        return OkStatus();
+      case Op::kLdMapFd:
+        st.regs[insn.dst] = RegState{RegKind::kConstMapPtr, false, 0, 0,
+                                     static_cast<int32_t>(insn.imm)};
+        return OkStatus();
+      case Op::kCall:
+        return ApplyCall(st, pc, insn);
+      case Op::kExit:
+        if (st.regs[0].kind != RegKind::kScalar) {
+          return Fail(pc, "exit with non-scalar or uninitialized r0");
+        }
+        step.done = true;
+        return OkStatus();
+      default:
+        if (IsCondJumpOp(insn.op)) {
+          return ApplyCondJump(st, pc, insn, step);
+        }
+        return Fail(pc, "unhandled opcode");
+    }
+  }
+
+  const Program& prog_;
+  ProgramContext context_;
+  VerifierOptions options_;
+  VerifierStats* stats_;
+};
+
+}  // namespace
+
+Status Verify(const Program& prog, ProgramContext context,
+              const VerifierOptions& options, VerifierStats* stats) {
+  return Verifier(prog, context, options, stats).Run();
+}
+
+}  // namespace syrup::bpf

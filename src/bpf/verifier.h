@@ -1,0 +1,49 @@
+// Static verifier for policy programs (paper §4.3, "eBPF Isolation").
+//
+// Simulates execution one instruction at a time over an abstract state,
+// exploring both sides of every data-dependent branch, and rejects programs
+// that could:
+//   * read uninitialized registers or stack bytes,
+//   * access a packet without an explicit bounds check against pkt_end,
+//   * dereference a map value without a NULL check,
+//   * access outside the stack or a map value,
+//   * write to read-only memory (packets, r10),
+//   * fall off the end of the program, or
+//   * exceed the exploration budget (guarantees liveness; only bounded
+//     loops pass, matching the paper's "up to 1 million instructions").
+#ifndef SYRUP_SRC_BPF_VERIFIER_H_
+#define SYRUP_SRC_BPF_VERIFIER_H_
+
+#include <cstdint>
+
+#include "src/bpf/program.h"
+#include "src/common/status.h"
+
+namespace syrup::bpf {
+
+enum class ProgramContext {
+  kPacket,  // r1 = pkt_start, r2 = pkt_end
+  kThread,  // r1 = thread id (scalar), r2 = message type (scalar)
+};
+
+struct VerifierOptions {
+  // Maximum (state, instruction) visits before rejecting for liveness.
+  uint64_t max_visited_insns = 1'000'000;
+  // Maximum branch states queued at once.
+  size_t max_pending_states = 16'384;
+};
+
+struct VerifierStats {
+  uint64_t visited_insns = 0;
+  uint64_t branch_states = 0;
+};
+
+// Verifies `prog` for the given context. On rejection the Status message
+// names the offending instruction and reason.
+Status Verify(const Program& prog, ProgramContext context,
+              const VerifierOptions& options = {},
+              VerifierStats* stats = nullptr);
+
+}  // namespace syrup::bpf
+
+#endif  // SYRUP_SRC_BPF_VERIFIER_H_

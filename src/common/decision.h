@@ -1,0 +1,24 @@
+// Scheduling decision constants shared by every hook (paper §3.3).
+//
+// A Syrup `schedule` function returns a uint32_t index into the hook's
+// executor map, or one of two sentinels: PASS (defer to the system default
+// policy) or DROP (discard the input).
+#ifndef SYRUP_SRC_COMMON_DECISION_H_
+#define SYRUP_SRC_COMMON_DECISION_H_
+
+#include <cstdint>
+
+namespace syrup {
+
+using Decision = uint32_t;
+
+inline constexpr Decision kPass = 0xFFFFFFFFu;
+inline constexpr Decision kDrop = 0xFFFFFFFEu;
+
+inline constexpr bool IsExecutorIndex(Decision d) {
+  return d != kPass && d != kDrop;
+}
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_COMMON_DECISION_H_

@@ -1,0 +1,133 @@
+// Random-variate distributions used by workload generators and service-time
+// models. All sample from a caller-provided Rng so sequences stay
+// deterministic per experiment seed.
+#ifndef SYRUP_SRC_COMMON_DISTRIBUTIONS_H_
+#define SYRUP_SRC_COMMON_DISTRIBUTIONS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace syrup {
+
+// Uniform duration in [lo, hi].
+class UniformDuration {
+ public:
+  UniformDuration(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+    SYRUP_CHECK_LE(lo, hi);
+  }
+
+  Duration Sample(Rng& rng) const {
+    return lo_ + rng.NextBounded(hi_ - lo_ + 1);
+  }
+
+  Duration lo() const { return lo_; }
+  Duration hi() const { return hi_; }
+  double Mean() const { return (static_cast<double>(lo_) + hi_) / 2.0; }
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+// Exponential inter-arrival times for open-loop Poisson arrivals.
+class ExponentialDuration {
+ public:
+  // `rate_per_sec` is the arrival rate lambda.
+  explicit ExponentialDuration(double rate_per_sec) : rate_(rate_per_sec) {
+    SYRUP_CHECK_GT(rate_per_sec, 0.0);
+  }
+
+  Duration Sample(Rng& rng) const {
+    // Inverse-CDF; clamp u away from 0 to avoid log(0).
+    double u = rng.NextDouble();
+    if (u <= 0.0) {
+      u = 1e-18;
+    }
+    const double seconds = -std::log(u) / rate_;
+    return static_cast<Duration>(seconds * static_cast<double>(kSecond));
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+// Discrete distribution over indices 0..n-1 with given weights.
+class DiscreteIndex {
+ public:
+  explicit DiscreteIndex(std::vector<double> weights)
+      : cumulative_(std::move(weights)) {
+    SYRUP_CHECK(!cumulative_.empty());
+    double total = 0.0;
+    for (double& w : cumulative_) {
+      SYRUP_CHECK_GE(w, 0.0);
+      total += w;
+      w = total;
+    }
+    SYRUP_CHECK_GT(total, 0.0);
+    for (double& w : cumulative_) {
+      w /= total;
+    }
+  }
+
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    for (size_t i = 0; i < cumulative_.size(); ++i) {
+      if (u < cumulative_[i]) {
+        return i;
+      }
+    }
+    return cumulative_.size() - 1;
+  }
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative weights
+};
+
+// Zipfian key popularity (used by the MICA-style workload). Precomputes the
+// cumulative mass so sampling is O(log n) via binary search.
+class ZipfIndex {
+ public:
+  ZipfIndex(size_t n, double theta) : n_(n), theta_(theta) {
+    SYRUP_CHECK_GT(n, 0u);
+    cumulative_.reserve(n);
+    double sum = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      cumulative_.push_back(sum);
+    }
+    for (double& c : cumulative_) {
+      c /= sum;
+    }
+  }
+
+  size_t Sample(Rng& rng) const {
+    if (theta_ == 0.0) {
+      return rng.NextBounded(n_);
+    }
+    const double u = rng.NextDouble();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<size_t>(it - cumulative_.begin());
+  }
+
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,33 @@
+// Small non-cryptographic hash utilities shared across modules.
+#ifndef SYRUP_SRC_COMMON_HASH_H_
+#define SYRUP_SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace syrup {
+
+// FNV-1a 64-bit over an arbitrary byte range.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// 64->64 bit finalizer (xxhash-style avalanche); good for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_COMMON_HASH_H_

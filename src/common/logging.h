@@ -1,0 +1,82 @@
+// Minimal leveled logging and CHECK macros.
+//
+// SYRUP_LOG(INFO) << "..." streams a message; SYRUP_CHECK(cond) aborts with a
+// diagnostic when `cond` is false. Severity is filtered by a process-global
+// minimum level (default kInfo) so simulations can silence chatter.
+#ifndef SYRUP_SRC_COMMON_LOGGING_H_
+#define SYRUP_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace syrup {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns the process-wide minimum level; messages below it are dropped.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+std::string_view LogLevelName(LogLevel level);
+
+// One log statement. The destructor emits the accumulated message and, for
+// kFatal, aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Binds looser than operator<< so a whole stream chain can sit on the right
+// side of a ternary that must yield void (the glog idiom).
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace syrup
+
+#define SYRUP_LOG_STREAM(severity) \
+  ::syrup::LogMessage(::syrup::LogLevel::k##severity, __FILE__, __LINE__).stream()
+
+#define SYRUP_LOG(severity)                                    \
+  (::syrup::LogLevel::k##severity < ::syrup::GetMinLogLevel()) \
+      ? (void)0                                                \
+      : ::syrup::LogMessageVoidify() & SYRUP_LOG_STREAM(severity)
+
+#define SYRUP_CHECK(cond)                               \
+  (cond) ? (void)0                                      \
+         : ::syrup::LogMessageVoidify() &               \
+               SYRUP_LOG_STREAM(Fatal) << "Check failed: " #cond " "
+
+#define SYRUP_CHECK_OP(op, a, b) SYRUP_CHECK((a)op(b))
+#define SYRUP_CHECK_EQ(a, b) SYRUP_CHECK_OP(==, a, b)
+#define SYRUP_CHECK_NE(a, b) SYRUP_CHECK_OP(!=, a, b)
+#define SYRUP_CHECK_LT(a, b) SYRUP_CHECK_OP(<, a, b)
+#define SYRUP_CHECK_LE(a, b) SYRUP_CHECK_OP(<=, a, b)
+#define SYRUP_CHECK_GT(a, b) SYRUP_CHECK_OP(>, a, b)
+#define SYRUP_CHECK_GE(a, b) SYRUP_CHECK_OP(>=, a, b)
+
+#define SYRUP_CHECK_OK(expr)                       \
+  do {                                             \
+    const ::syrup::Status _s = (expr);             \
+    SYRUP_CHECK(_s.ok()) << _s.ToString();         \
+  } while (0)
+
+#endif  // SYRUP_SRC_COMMON_LOGGING_H_

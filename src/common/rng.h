@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256** — fast, high-quality, and stable across platforms, which keeps
+// simulation runs reproducible from a seed (std::mt19937 would also work but
+// is slower and its distributions are not implementation-stable).
+#ifndef SYRUP_SRC_COMMON_RNG_H_
+#define SYRUP_SRC_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace syrup {
+
+// SplitMix64: used to expand a 64-bit seed into xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5EEDF00DULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    // 128-bit multiply-shift keeps the result unbiased for all bounds that
+    // occur in practice (rejection step included for exactness).
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_COMMON_RNG_H_

@@ -1,0 +1,135 @@
+// Lightweight status / status-or types used across the Syrup codebase.
+//
+// Error handling in this project follows the kernel/Fuchsia idiom: fallible
+// operations return a `Status` or a `StatusOr<T>` rather than throwing.
+// Exceptions are reserved for programmer errors surfaced via CHECK macros.
+#ifndef SYRUP_SRC_COMMON_STATUS_H_
+#define SYRUP_SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace syrup {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPermissionDenied = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kOutOfRange = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+  kUnavailable = 10,
+};
+
+std::string_view StatusCodeToString(StatusCode code);
+
+// A success-or-error result with an optional human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+
+// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError(...);`
+  // both work inside functions returning StatusOr<T>.
+  StatusOr(const T& value) : repr_(value) {}             // NOLINT
+  StatusOr(T&& value) : repr_(std::move(value)) {}       // NOLINT
+  StatusOr(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOkSingleton = OkStatus();
+    if (ok()) {
+      return kOkSingleton;
+    }
+    return std::get<Status>(repr_);
+  }
+
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace syrup
+
+// Propagates an error Status from an expression, mirroring absl's macro.
+#define SYRUP_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::syrup::Status _syrup_status = (expr);  \
+    if (!_syrup_status.ok()) {               \
+      return _syrup_status;                  \
+    }                                        \
+  } while (0)
+
+#define SYRUP_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) {                                   \
+    return var.status();                             \
+  }                                                  \
+  lhs = std::move(var).value()
+
+#define SYRUP_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define SYRUP_ASSIGN_OR_RETURN_NAME(x, y) SYRUP_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+// SYRUP_ASSIGN_OR_RETURN(auto v, Fallible()) assigns on success, returns the
+// error otherwise.
+#define SYRUP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SYRUP_ASSIGN_OR_RETURN_IMPL(             \
+      SYRUP_ASSIGN_OR_RETURN_NAME(_syrup_statusor_, __LINE__), lhs, rexpr)
+
+#endif  // SYRUP_SRC_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+// Simulated-time types. All simulation timestamps and durations are integral
+// nanoseconds to keep event ordering exact and platform-independent.
+#ifndef SYRUP_SRC_COMMON_TIME_H_
+#define SYRUP_SRC_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace syrup {
+
+// Absolute simulated time in nanoseconds since simulation start.
+using Time = uint64_t;
+// Duration in nanoseconds.
+using Duration = uint64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr double ToMicros(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr Duration FromMicros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_COMMON_TIME_H_

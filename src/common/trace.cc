@@ -1,0 +1,66 @@
+#include "src/common/trace.h"
+
+namespace syrup {
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // intentionally leaked singleton
+  return *tracer;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  total_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Record(Time when, std::string category, std::string message) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring_.push_back(TraceEvent{when, std::move(category), std::move(message)});
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceEvent>(ring_.begin(), ring_.end());
+}
+
+std::vector<TraceEvent> Tracer::SnapshotCategory(
+    const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : ring_) {
+    if (event.category == category) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::Dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const TraceEvent& event : ring_) {
+    os << event.when << " [" << event.category << "] " << event.message
+       << "\n";
+  }
+  return os.str();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace syrup

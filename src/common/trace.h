@@ -1,0 +1,86 @@
+// Lightweight event tracing for simulations.
+//
+// A bounded in-memory ring of (time, category, message) records, disabled
+// by default and cheap when off (one relaxed atomic load per trace point).
+// Components emit through SYRUP_TRACE(category, streamed << message); tests
+// and debugging sessions enable the ring, run, and dump or query it.
+//
+//   Tracer::Get().Enable(4096);
+//   ... run simulation ...
+//   for (const auto& ev : Tracer::Get().Snapshot()) { ... }
+#ifndef SYRUP_SRC_COMMON_TRACE_H_
+#define SYRUP_SRC_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace syrup {
+
+struct TraceEvent {
+  Time when = 0;
+  std::string category;
+  std::string message;
+};
+
+class Tracer {
+ public:
+  // Process-wide tracer. (Simulations are single-threaded; the lock only
+  // matters for multi-threaded benches.)
+  static Tracer& Get();
+
+  // Starts recording, keeping at most `capacity` most-recent events.
+  void Enable(size_t capacity = 4096);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(Time when, std::string category, std::string message);
+
+  // Copies out the buffered events (oldest first).
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Events of one category, oldest first.
+  std::vector<TraceEvent> SnapshotCategory(const std::string& category) const;
+
+  // Multi-line "time [category] message" dump.
+  std::string Dump() const;
+
+  void Clear();
+  uint64_t total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
+  std::deque<TraceEvent> ring_;
+};
+
+}  // namespace syrup
+
+// Emits a trace event when tracing is enabled; `expr` is a stream
+// expression, evaluated only when on:
+//   SYRUP_TRACE(sim.Now(), "stack", "drop port=" << port);
+#define SYRUP_TRACE(when, category, expr)                          \
+  do {                                                             \
+    if (::syrup::Tracer::Get().enabled()) {                        \
+      std::ostringstream _syrup_trace_os;                          \
+      _syrup_trace_os << expr;                                     \
+      ::syrup::Tracer::Get().Record((when), (category),            \
+                                    _syrup_trace_os.str());        \
+    }                                                              \
+  } while (0)
+
+#endif  // SYRUP_SRC_COMMON_TRACE_H_

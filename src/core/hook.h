@@ -1,0 +1,36 @@
+// Scheduling hook identifiers (paper Fig. 4).
+#ifndef SYRUP_SRC_CORE_HOOK_H_
+#define SYRUP_SRC_CORE_HOOK_H_
+
+#include <string_view>
+
+namespace syrup {
+
+enum class Hook {
+  kXdpOffload,      // input: packet,        executor: NIC RX queue
+  kXdpDrv,          // input: packet,        executor: AF_XDP socket
+  kXdpSkb,          // input: packet,        executor: AF_XDP socket
+  kCpuRedirect,     // input: packet,        executor: core
+  kSocketSelect,    // input: datagram/conn, executor: socket
+  kThreadScheduler, // input: thread,        executor: core (via ghOSt)
+};
+
+inline constexpr std::string_view HookName(Hook hook) {
+  switch (hook) {
+    case Hook::kXdpOffload: return "xdp_offload";
+    case Hook::kXdpDrv: return "xdp_drv";
+    case Hook::kXdpSkb: return "xdp_skb";
+    case Hook::kCpuRedirect: return "cpu_redirect";
+    case Hook::kSocketSelect: return "socket_select";
+    case Hook::kThreadScheduler: return "thread_scheduler";
+  }
+  return "?";
+}
+
+inline constexpr bool IsPacketHook(Hook hook) {
+  return hook != Hook::kThreadScheduler;
+}
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_CORE_HOOK_H_

@@ -1,0 +1,81 @@
+#include "src/core/root_dispatcher.h"
+
+#include "src/bpf/assembler.h"
+#include "src/bpf/verifier.h"
+#include "src/common/logging.h"
+
+namespace syrup {
+namespace {
+
+// r1 = pkt_start, r2 = pkt_end. The dst-port field sits at bytes [2, 4).
+// The port is used in raw wire byte order both here and in AddRoute, so no
+// byte swap is needed for the map key.
+constexpr char kDispatcherAsm[] = R"(
+.name root_dispatcher
+.ctx packet
+.map port_map hash 2 4 1024
+.map prog_array prog_array 4 8 %MAX_APPS%
+  mov r3, r1
+  add r3, 4
+  jgt r3, r2, pass          ; runt packet: no port to match
+  ldxh r4, [r1+2]           ; dst port, raw wire order
+  stxh [r10-2], r4
+  ldmapfd r1, port_map
+  mov r2, r10
+  add r2, -2
+  call map_lookup_elem
+  jeq r0, 0, pass           ; no app owns this port
+  ldxw r3, [r0+0]           ; prog array index
+  mov r1, 0                 ; ctx (unused by tail_call)
+  ldmapfd r2, prog_array
+  call tail_call
+  ; tail_call returns only on a miss (empty slot): fall through to PASS.
+pass:
+  mov r0, PASS
+  exit
+)";
+
+}  // namespace
+
+StatusOr<RootDispatcher> BuildRootDispatcher(uint32_t max_apps) {
+  std::string source = kDispatcherAsm;
+  const std::string placeholder = "%MAX_APPS%";
+  const size_t at = source.find(placeholder);
+  SYRUP_CHECK_NE(at, std::string::npos);
+  source.replace(at, placeholder.size(), std::to_string(max_apps));
+
+  SYRUP_ASSIGN_OR_RETURN(bpf::AssembledProgram assembled,
+                         bpf::Assemble(source));
+
+  RootDispatcher dispatcher;
+  dispatcher.program = std::make_shared<bpf::Program>();
+  dispatcher.program->name = assembled.name;
+  dispatcher.program->insns = std::move(assembled.insns);
+  for (const bpf::MapSlot& slot : assembled.map_slots) {
+    SYRUP_ASSIGN_OR_RETURN(std::shared_ptr<Map> map, CreateMap(slot.spec));
+    if (slot.name == "port_map") {
+      dispatcher.port_map = map;
+    } else if (slot.name == "prog_array") {
+      dispatcher.prog_array = std::static_pointer_cast<ProgArrayMap>(map);
+    }
+    dispatcher.program->maps.push_back(std::move(map));
+  }
+  SYRUP_RETURN_IF_ERROR(
+      bpf::Verify(*dispatcher.program, bpf::ProgramContext::kPacket));
+  return dispatcher;
+}
+
+Status RootDispatcher::AddRoute(uint16_t port, uint32_t index,
+                                uint64_t prog_id) {
+  if (port_map == nullptr || prog_array == nullptr) {
+    return FailedPreconditionError("dispatcher not built");
+  }
+  const uint16_t wire_port = __builtin_bswap16(port);  // raw wire order
+  SYRUP_RETURN_IF_ERROR(
+      port_map->Update(&wire_port, &index, UpdateFlag::kAny));
+  uint32_t key = index;
+  uint64_t value = prog_id;
+  return prog_array->Update(&key, &value, UpdateFlag::kAny);
+}
+
+}  // namespace syrup

@@ -1,0 +1,37 @@
+// The literal root-dispatcher program (paper §4.3).
+//
+// syrupd's isolation design loads one root program at each hook. The root
+// program parses the packet's destination port, looks the port up in a hash
+// map, and tail-calls into a PROG_ARRAY slot holding that application's
+// policy. This file builds that exact program for the Syrup VM so the
+// mechanism itself is testable and benchmarkable; the simulation hot path
+// uses Syrupd::Dispatch, a native implementation of the same routing.
+#ifndef SYRUP_SRC_CORE_ROOT_DISPATCHER_H_
+#define SYRUP_SRC_CORE_ROOT_DISPATCHER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/bpf/program.h"
+#include "src/common/status.h"
+#include "src/map/prog_array.h"
+
+namespace syrup {
+
+struct RootDispatcher {
+  std::shared_ptr<bpf::Program> program;
+  // dst port (2 raw wire bytes as the key) -> prog array index.
+  std::shared_ptr<Map> port_map;
+  // prog array index -> program id.
+  std::shared_ptr<ProgArrayMap> prog_array;
+
+  // Routes `port` to prog array slot `index` holding program `prog_id`.
+  Status AddRoute(uint16_t port, uint32_t index, uint64_t prog_id);
+};
+
+// Assembles and verifies the dispatcher. `max_apps` bounds the prog array.
+StatusOr<RootDispatcher> BuildRootDispatcher(uint32_t max_apps = 64);
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_CORE_ROOT_DISPATCHER_H_

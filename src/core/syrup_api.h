@@ -1,0 +1,55 @@
+// The Syrup application API (paper Table 1).
+//
+// A SyrupClient is an application's connection to syrupd (over a Unix
+// domain socket in the paper; a direct call here). Method names map 1:1 to
+// the paper's API:
+//
+//   syr_deploy_policy(policy_file, hook) -> prog_fd
+//   syr_map_open(path)                   -> map_fd
+//   syr_map_close(map_fd)                -> status
+//   syr_map_lookup_elem(map_fd, key)     -> value
+//   syr_map_update_elem(map_fd, key, v)  -> status
+#ifndef SYRUP_SRC_CORE_SYRUP_API_H_
+#define SYRUP_SRC_CORE_SYRUP_API_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/core/syrupd.h"
+
+namespace syrup {
+
+class SyrupClient {
+ public:
+  SyrupClient(Syrupd& daemon, AppId app) : daemon_(daemon), app_(app) {}
+
+  AppId app() const { return app_; }
+  Syrupd& daemon() { return daemon_; }
+
+  // Deploys the policy in `policy_file` (VM assembly text) to `hook`.
+  StatusOr<int> syr_deploy_policy(std::string_view policy_file, Hook hook) {
+    return daemon_.DeployPolicyFile(app_, policy_file, hook);
+  }
+
+  StatusOr<int> syr_map_open(const std::string& path) {
+    return daemon_.MapOpen(app_, path);
+  }
+
+  Status syr_map_close(int map_fd) { return daemon_.MapClose(map_fd); }
+
+  StatusOr<uint64_t> syr_map_lookup_elem(int map_fd, uint32_t key) {
+    return daemon_.MapLookupElem(map_fd, key);
+  }
+
+  Status syr_map_update_elem(int map_fd, uint32_t key, uint64_t value) {
+    return daemon_.MapUpdateElem(map_fd, key, value);
+  }
+
+ private:
+  Syrupd& daemon_;
+  AppId app_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_CORE_SYRUP_API_H_

@@ -1,0 +1,308 @@
+#include "src/core/syrupd.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/trace.h"
+
+namespace syrup {
+namespace {
+
+size_t HookIndex(Hook hook) { return static_cast<size_t>(hook); }
+
+}  // namespace
+
+Syrupd::Syrupd(Simulator& sim, HostStack* stack, uint64_t seed)
+    : sim_(sim), stack_(stack), rng_(seed) {}
+
+StatusOr<AppId> Syrupd::RegisterApp(const std::string& name, Uid uid,
+                                    uint16_t port) {
+  for (const auto& [id, app] : apps_) {
+    if (std::find(app.ports.begin(), app.ports.end(), port) !=
+        app.ports.end()) {
+      return AlreadyExistsError("port " + std::to_string(port) +
+                                " already owned by app " + app.name);
+    }
+  }
+  const AppId id = next_app_id_++;
+  apps_[id] = AppState{name, uid, {port}};
+  return id;
+}
+
+Status Syrupd::AddPort(AppId app, uint16_t port) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return NotFoundError("unknown app");
+  }
+  for (const auto& [id, other] : apps_) {
+    if (std::find(other.ports.begin(), other.ports.end(), port) !=
+        other.ports.end()) {
+      return AlreadyExistsError("port already owned");
+    }
+  }
+  it->second.ports.push_back(port);
+  return OkStatus();
+}
+
+bpf::ExecEnv Syrupd::MakeExecEnv() {
+  bpf::ExecEnv env;
+  env.random_u32 = [this]() { return static_cast<uint32_t>(rng_.Next()); };
+  env.ktime_ns = [this]() { return sim_.Now(); };
+  env.resolve_program = [this](uint64_t prog_id) {
+    return ProgramById(prog_id);
+  };
+  return env;
+}
+
+const bpf::Program* Syrupd::ProgramById(uint64_t prog_id) const {
+  auto it = programs_.find(prog_id);
+  return it == programs_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<std::vector<std::shared_ptr<Map>>> Syrupd::ResolveMapSlots(
+    AppId app, const std::vector<bpf::MapSlot>& slots) {
+  const AppState& state = apps_.at(app);
+  std::vector<std::shared_ptr<Map>> maps;
+  maps.reserve(slots.size());
+  for (const bpf::MapSlot& slot : slots) {
+    if (slot.is_extern) {
+      SYRUP_ASSIGN_OR_RETURN(
+          std::shared_ptr<Map> map,
+          registry_.Open(slot.path, state.uid, MapAccess::kWrite));
+      maps.push_back(std::move(map));
+      continue;
+    }
+    const std::string pin_path = "/syrup/" + state.name + "/" + slot.name;
+    // Re-deploying a policy reuses its existing pinned maps so state (e.g.
+    // token counts) survives policy updates, as with bpffs pins.
+    auto existing = registry_.Open(pin_path, state.uid, MapAccess::kWrite);
+    if (existing.ok()) {
+      maps.push_back(std::move(existing).value());
+      continue;
+    }
+    SYRUP_ASSIGN_OR_RETURN(std::shared_ptr<Map> map, CreateMap(slot.spec));
+    SYRUP_RETURN_IF_ERROR(registry_.Pin(pin_path, map, state.uid));
+    maps.push_back(std::move(map));
+  }
+  return maps;
+}
+
+StatusOr<int> Syrupd::DeployPolicyFile(AppId app,
+                                       std::string_view policy_source,
+                                       Hook hook) {
+  if (apps_.find(app) == apps_.end()) {
+    return NotFoundError("unknown app");
+  }
+  if (!IsPacketHook(hook)) {
+    return InvalidArgumentError(
+        "thread policies deploy via DeployThreadPolicy");
+  }
+
+  SYRUP_ASSIGN_OR_RETURN(bpf::AssembledProgram assembled,
+                         bpf::Assemble(policy_source));
+  if (assembled.context != bpf::ProgramContext::kPacket) {
+    return InvalidArgumentError("packet hook requires .ctx packet");
+  }
+  SYRUP_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<Map>> maps,
+                         ResolveMapSlots(app, assembled.map_slots));
+
+  auto program = std::make_shared<bpf::Program>();
+  program->name = assembled.name;
+  program->insns = std::move(assembled.insns);
+  program->maps = std::move(maps);
+
+  // The verifier gate: unverifiable programs never reach a hook.
+  SYRUP_RETURN_IF_ERROR(
+      bpf::Verify(*program, bpf::ProgramContext::kPacket));
+
+  const uint64_t prog_id = next_prog_id_++;
+  programs_[prog_id] = program;
+
+  auto policy = std::make_shared<BytecodePacketPolicy>(program, MakeExecEnv());
+  SYRUP_ASSIGN_OR_RETURN(int fd, DeployNativePolicy(app, policy, hook));
+  (void)fd;
+  return static_cast<int>(prog_id);
+}
+
+StatusOr<int> Syrupd::DeployNativePolicy(AppId app,
+                                         std::shared_ptr<PacketPolicy> policy,
+                                         Hook hook) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return NotFoundError("unknown app");
+  }
+  if (!IsPacketHook(hook)) {
+    return InvalidArgumentError("not a packet hook");
+  }
+  if (policy == nullptr) {
+    return InvalidArgumentError("null policy");
+  }
+  // The dispatcher routes by destination port, so installing the policy for
+  // each of the app's ports is exactly the paper's "each application's
+  // program handles only packets directed to its corresponding port".
+  for (uint16_t port : it->second.ports) {
+    dispatch_[HookIndex(hook)][port] = policy;
+    SYRUP_TRACE(sim_.Now(), "syrupd",
+                "deploy app=" << it->second.name << " policy="
+                              << policy->name() << " hook="
+                              << HookName(hook) << " port=" << port);
+  }
+  SYRUP_RETURN_IF_ERROR(InstallStackHook(hook));
+  return static_cast<int>(next_prog_id_++);
+}
+
+Status Syrupd::RemovePolicy(AppId app, Hook hook) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return NotFoundError("unknown app");
+  }
+  bool removed = false;
+  for (uint16_t port : it->second.ports) {
+    removed |= dispatch_[HookIndex(hook)].erase(port) > 0;
+  }
+  if (!removed) {
+    return NotFoundError("no policy deployed at hook");
+  }
+  MaybeUninstallStackHook(hook);
+  return OkStatus();
+}
+
+Status Syrupd::DeployThreadPolicy(AppId app, GhostPolicy* policy,
+                                  Machine& machine, GhostConfig config) {
+  if (apps_.find(app) == apps_.end()) {
+    return NotFoundError("unknown app");
+  }
+  if (policy == nullptr) {
+    return InvalidArgumentError("null thread policy");
+  }
+  if (ghost_ != nullptr) {
+    return AlreadyExistsError("machine already has a thread policy (app " +
+                              std::to_string(ghost_owner_) + ")");
+  }
+  ghost_ = std::make_unique<GhostScheduler>(machine, *policy, config);
+  ghost_owner_ = app;
+  machine.SetScheduler(ghost_.get());
+  return OkStatus();
+}
+
+Status Syrupd::InstallStackHook(Hook hook) {
+  if (stack_ == nullptr) {
+    return FailedPreconditionError("syrupd has no host stack attached");
+  }
+  auto dispatcher = [this, hook](const PacketView& pkt) {
+    return Dispatch(hook, pkt);
+  };
+  StackHooks& hooks = stack_->hooks();
+  switch (hook) {
+    case Hook::kXdpOffload: hooks.xdp_offload = dispatcher; break;
+    case Hook::kXdpDrv: hooks.xdp_drv = dispatcher; break;
+    case Hook::kXdpSkb: hooks.xdp_skb = dispatcher; break;
+    case Hook::kCpuRedirect: hooks.cpu_redirect = dispatcher; break;
+    case Hook::kSocketSelect: hooks.socket_select = dispatcher; break;
+    case Hook::kThreadScheduler:
+      return InvalidArgumentError("not a stack hook");
+  }
+  return OkStatus();
+}
+
+void Syrupd::MaybeUninstallStackHook(Hook hook) {
+  if (stack_ == nullptr || !dispatch_[HookIndex(hook)].empty()) {
+    return;
+  }
+  StackHooks& hooks = stack_->hooks();
+  switch (hook) {
+    case Hook::kXdpOffload: hooks.xdp_offload = nullptr; break;
+    case Hook::kXdpDrv: hooks.xdp_drv = nullptr; break;
+    case Hook::kXdpSkb: hooks.xdp_skb = nullptr; break;
+    case Hook::kCpuRedirect: hooks.cpu_redirect = nullptr; break;
+    case Hook::kSocketSelect: hooks.socket_select = nullptr; break;
+    case Hook::kThreadScheduler: break;
+  }
+}
+
+Decision Syrupd::Dispatch(Hook hook, const PacketView& pkt) {
+  const uint16_t port = pkt.DstPort();
+  auto& table = dispatch_[HookIndex(hook)];
+  auto it = table.find(port);
+  if (it == table.end()) {
+    ++dispatch_stats_[HookIndex(hook)].no_policy;
+    return kPass;
+  }
+  ++dispatch_stats_[HookIndex(hook)].dispatched;
+  return it->second->Schedule(pkt);
+}
+
+std::vector<DeploymentInfo> Syrupd::ListDeployments() const {
+  std::vector<DeploymentInfo> out;
+  for (size_t hook_index = 0; hook_index < 6; ++hook_index) {
+    for (const auto& [port, policy] : dispatch_[hook_index]) {
+      DeploymentInfo info;
+      info.hook = static_cast<Hook>(hook_index);
+      info.port = port;
+      info.policy_name = std::string(policy->name());
+      for (const auto& [id, app] : apps_) {
+        if (std::find(app.ports.begin(), app.ports.end(), port) !=
+            app.ports.end()) {
+          info.app = id;
+          info.app_name = app.name;
+          break;
+        }
+      }
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+StatusOr<int> Syrupd::MapCreate(AppId app, const MapSpec& spec,
+                                const std::string& pin_path, PinMode mode) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return NotFoundError("unknown app");
+  }
+  SYRUP_ASSIGN_OR_RETURN(std::shared_ptr<Map> map, CreateMap(spec));
+  SYRUP_RETURN_IF_ERROR(registry_.Pin(pin_path, map, it->second.uid, mode));
+  const int fd = next_fd_++;
+  fds_[fd] = FdEntry{app, std::move(map)};
+  return fd;
+}
+
+StatusOr<int> Syrupd::MapOpen(AppId app, const std::string& path,
+                              MapAccess access) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return NotFoundError("unknown app");
+  }
+  SYRUP_ASSIGN_OR_RETURN(std::shared_ptr<Map> map,
+                         registry_.Open(path, it->second.uid, access));
+  const int fd = next_fd_++;
+  fds_[fd] = FdEntry{app, std::move(map)};
+  return fd;
+}
+
+Status Syrupd::MapClose(int fd) {
+  return fds_.erase(fd) > 0 ? OkStatus() : NotFoundError("bad map fd");
+}
+
+StatusOr<uint64_t> Syrupd::MapLookupElem(int fd, uint32_t key) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return NotFoundError("bad map fd");
+  }
+  return it->second.map->LookupU64(key);
+}
+
+Status Syrupd::MapUpdateElem(int fd, uint32_t key, uint64_t value) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return NotFoundError("bad map fd");
+  }
+  return it->second.map->UpdateU64(key, value);
+}
+
+std::shared_ptr<Map> Syrupd::MapByFd(int fd) const {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : it->second.map;
+}
+
+}  // namespace syrup

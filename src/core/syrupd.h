@@ -1,0 +1,164 @@
+// syrupd: the system-wide Syrup daemon (paper §3.5, §4.3).
+//
+// Applications never attach policies to hooks themselves; they hand syrupd
+// a policy file (or a pre-built native policy) and a target hook. The
+// daemon:
+//   * compiles/assembles the policy and creates or opens its maps (pinning
+//     declared maps under /syrup/<app>/<map>, owned by the app's uid),
+//   * runs the verifier before anything touches a hook,
+//   * installs a per-hook dispatcher that matches each packet's destination
+//     port to the owning application's policy — the PROG_ARRAY tail-call
+//     design — so a policy only ever sees its own application's inputs,
+//   * for the thread hook, launches the ghOSt-style agent bound to the
+//     app's machine.
+#ifndef SYRUP_SRC_CORE_SYRUPD_H_
+#define SYRUP_SRC_CORE_SYRUPD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bpf/assembler.h"
+#include "src/bpf/program.h"
+#include "src/bpf/verifier.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/hook.h"
+#include "src/core/policy.h"
+#include "src/ghost/ghost.h"
+#include "src/map/registry.h"
+#include "src/net/stack.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+
+using AppId = uint32_t;
+
+// One attached policy, as reported by ListDeployments (observability for
+// operators and the paper's "resource manager" to act on).
+struct DeploymentInfo {
+  AppId app = 0;
+  std::string app_name;
+  Hook hook = Hook::kSocketSelect;
+  uint16_t port = 0;
+  std::string policy_name;
+};
+
+struct DispatchStats {
+  uint64_t dispatched = 0;  // packets matched to an app policy
+  uint64_t no_policy = 0;   // packets passed through (no matching port)
+};
+
+class Syrupd {
+ public:
+  // `stack` may be null for API-only use (no packet hooks available then).
+  Syrupd(Simulator& sim, HostStack* stack, uint64_t seed = 1);
+
+  Syrupd(const Syrupd&) = delete;
+  Syrupd& operator=(const Syrupd&) = delete;
+
+  // --- Application lifecycle ---------------------------------------------
+
+  // Registers an application (port must be unclaimed: ports are the
+  // isolation key, each belongs to exactly one app).
+  StatusOr<AppId> RegisterApp(const std::string& name, Uid uid,
+                              uint16_t port);
+  Status AddPort(AppId app, uint16_t port);
+
+  // --- Policy deployment (syr_deploy_policy) ------------------------------
+
+  // Deploys an untrusted policy file (VM assembly). Assembles, resolves
+  // maps, verifies, then attaches. Returns the program id ("prog fd").
+  StatusOr<int> DeployPolicyFile(AppId app, std::string_view policy_source,
+                                 Hook hook);
+
+  // Deploys a trusted native policy object (simulation fast path).
+  StatusOr<int> DeployNativePolicy(AppId app,
+                                   std::shared_ptr<PacketPolicy> policy,
+                                   Hook hook);
+
+  // Deploys a thread-scheduling policy: starts a ghOSt agent managing
+  // `machine`. One thread policy per machine.
+  Status DeployThreadPolicy(AppId app, GhostPolicy* policy, Machine& machine,
+                            GhostConfig config = {});
+
+  // Detaches the app's policy from `hook`; traffic reverts to the default.
+  Status RemovePolicy(AppId app, Hook hook);
+
+  // --- Map API (syr_map_*) -------------------------------------------------
+
+  // Creates a map and pins it at `pin_path` owned by the app. Returns an fd.
+  StatusOr<int> MapCreate(AppId app, const MapSpec& spec,
+                          const std::string& pin_path, PinMode mode = {});
+  // Opens an existing pinned map, enforcing permissions. Returns an fd.
+  StatusOr<int> MapOpen(AppId app, const std::string& path,
+                        MapAccess access = MapAccess::kWrite);
+  Status MapClose(int fd);
+  StatusOr<uint64_t> MapLookupElem(int fd, uint32_t key);
+  Status MapUpdateElem(int fd, uint32_t key, uint64_t value);
+  // Direct handle for in-process (policy/application) fast paths.
+  std::shared_ptr<Map> MapByFd(int fd) const;
+
+  MapRegistry& registry() { return registry_; }
+  const DispatchStats& dispatch_stats(Hook hook) const {
+    return dispatch_stats_[static_cast<size_t>(hook)];
+  }
+  const GhostScheduler* ghost_scheduler() const { return ghost_.get(); }
+
+  // Looks up a loaded bytecode program by id (used for tail-call
+  // resolution and by Table 2 instrumentation).
+  const bpf::Program* ProgramById(uint64_t prog_id) const;
+
+  // Enumerates every attached packet policy (hook, port, owner, name).
+  std::vector<DeploymentInfo> ListDeployments() const;
+
+  // Execution environment handed to bytecode policies (simulated time,
+  // deterministic randomness, tail-call resolution).
+  bpf::ExecEnv MakeExecEnv();
+
+ private:
+  struct AppState {
+    std::string name;
+    Uid uid = 0;
+    std::vector<uint16_t> ports;
+  };
+
+  struct FdEntry {
+    AppId app;
+    std::shared_ptr<Map> map;
+  };
+
+  Status InstallStackHook(Hook hook);
+  void MaybeUninstallStackHook(Hook hook);
+  Decision Dispatch(Hook hook, const PacketView& pkt);
+  StatusOr<std::vector<std::shared_ptr<Map>>> ResolveMapSlots(
+      AppId app, const std::vector<bpf::MapSlot>& slots);
+
+  Simulator& sim_;
+  HostStack* stack_;
+  MapRegistry registry_;
+  Rng rng_;
+
+  std::map<AppId, AppState> apps_;
+  AppId next_app_id_ = 1;
+
+  // hook -> (dst port -> policy). Policies are shared_ptr so a packet in
+  // flight can't outlive its policy on removal.
+  std::map<uint16_t, std::shared_ptr<PacketPolicy>>
+      dispatch_[6];
+  mutable DispatchStats dispatch_stats_[6];
+
+  std::map<uint64_t, std::shared_ptr<const bpf::Program>> programs_;
+  uint64_t next_prog_id_ = 1;
+
+  std::map<int, FdEntry> fds_;
+  int next_fd_ = 3;
+
+  std::unique_ptr<GhostScheduler> ghost_;
+  AppId ghost_owner_ = 0;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_CORE_SYRUPD_H_

@@ -1,0 +1,115 @@
+// ghOSt-like userspace thread-scheduling substrate (paper §4.1).
+//
+// The kernel side (GhostScheduler, a src/sched Scheduler) detects thread
+// state changes and posts messages (THREAD_WAKEUP, THREAD_BLOCKED,
+// THREAD_PREEMPTED, CPU_AVAILABLE) to a channel. A spinning userspace-style
+// agent drains the channel after a delivery delay, runs the user-defined
+// matching policy (threads -> cores), and commits placements via
+// transactions that take effect after an IPI/context-switch delay. One
+// logical core is dedicated to the agent, so a machine with 6 cores offers
+// 5 to application threads — the capacity cost visible in Fig. 8b.
+#ifndef SYRUP_SRC_GHOST_GHOST_H_
+#define SYRUP_SRC_GHOST_GHOST_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sched/machine.h"
+
+namespace syrup {
+
+enum class GhostMsgType {
+  kThreadWakeup,
+  kThreadBlocked,
+  kThreadPreempted,
+  kCpuAvailable,
+};
+
+struct GhostMsg {
+  GhostMsgType type;
+  int tid = 0;
+  int core = -1;
+  Time when = 0;
+};
+
+// Snapshot of a runnable thread handed to the policy.
+struct GhostThreadInfo {
+  int tid = 0;
+  Time runnable_since = 0;
+};
+
+// User-defined thread scheduling policy (the paper's `schedule` matching
+// function for the Thread Scheduler hook). Policies typically read Syrup
+// Maps populated by the application to make request-aware decisions.
+class GhostPolicy {
+ public:
+  virtual ~GhostPolicy() = default;
+
+  // Matches a thread to the available `core`. `runnable` is ordered by
+  // wake time (FCFS). Returns the chosen tid, or -1 to leave the core idle.
+  virtual int PickThread(int core,
+                         const std::vector<GhostThreadInfo>& runnable) = 0;
+
+  // Whether `candidate` (runnable) should preempt `running_tid` now. The
+  // agent consults this when no core is free. Default: never preempt.
+  virtual bool ShouldPreempt(const GhostThreadInfo& candidate,
+                             int running_tid) {
+    (void)candidate;
+    (void)running_tid;
+    return false;
+  }
+};
+
+struct GhostConfig {
+  // Cores managed for application threads; the agent spins on one more.
+  int num_managed_cores = 5;
+  Duration message_delay = 1 * kMicrosecond;  // kernel -> channel -> agent
+  Duration per_message_cost = 300;            // agent work per message
+  Duration commit_delay = 2 * kMicrosecond;   // txn commit + IPI + switch
+};
+
+class GhostScheduler : public Scheduler {
+ public:
+  // `machine` must have at least num_managed_cores cores; cores beyond
+  // that are never scheduled by ghOSt (the last one hosts the agent).
+  GhostScheduler(Machine& machine, GhostPolicy& policy, GhostConfig config);
+
+  // --- Scheduler interface (the "kernel scheduling class") ---------------
+  void OnThreadRunnable(Thread* thread) override;
+  void OnThreadBlocked(Thread* thread, int core, Duration ran) override;
+  void OnSliceExpired(Thread* thread, int core, Duration ran) override;
+  void OnCoreIdle(int core) override;
+
+  uint64_t messages_processed() const { return messages_processed_; }
+  uint64_t preemptions() const { return preemptions_; }
+  uint64_t commits() const { return commits_; }
+
+ private:
+  void PostMessage(GhostMsg msg);
+  void ScheduleAgentRun();
+  void AgentRun();
+  void CommitPlacements();
+
+  Machine& machine_;
+  GhostPolicy& policy_;
+  GhostConfig config_;
+
+  std::deque<GhostMsg> channel_;
+  bool agent_run_pending_ = false;
+
+  // Agent-local view.
+  std::vector<GhostThreadInfo> runnable_;    // wake order
+  std::set<int> committed_cores_;            // placement in flight
+  std::set<int> committed_tids_;
+
+  uint64_t messages_processed_ = 0;
+  uint64_t preemptions_ = 0;
+  uint64_t commits_ = 0;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_GHOST_GHOST_H_

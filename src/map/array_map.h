@@ -1,0 +1,70 @@
+// Array map: u32 index -> fixed-size value, fully preallocated.
+//
+// Matches BPF_MAP_TYPE_ARRAY semantics: every index in [0, max_entries)
+// always exists (zero-initialized), Delete is invalid, and value storage
+// never moves, so concurrent readers and atomic writers need no locking.
+#ifndef SYRUP_SRC_MAP_ARRAY_MAP_H_
+#define SYRUP_SRC_MAP_ARRAY_MAP_H_
+
+#include <cstring>
+#include <vector>
+
+#include "src/map/map.h"
+
+namespace syrup {
+
+class ArrayMap : public Map {
+ public:
+  explicit ArrayMap(MapSpec spec)
+      : Map(std::move(spec)),
+        storage_(static_cast<size_t>(this->spec().value_size) *
+                     this->spec().max_entries,
+                 0) {}
+
+  void* Lookup(const void* key) override {
+    const uint32_t index = LoadKey(key);
+    if (index >= spec().max_entries) {
+      return nullptr;
+    }
+    return storage_.data() + static_cast<size_t>(index) * spec().value_size;
+  }
+
+  Status Update(const void* key, const void* value, UpdateFlag flag) override {
+    if (flag == UpdateFlag::kNoExist) {
+      // All array entries exist from creation, as in the kernel.
+      return AlreadyExistsError("array map entries always exist");
+    }
+    void* slot = Lookup(key);
+    if (slot == nullptr) {
+      return OutOfRangeError("array index out of bounds");
+    }
+    std::memcpy(slot, value, spec().value_size);
+    return OkStatus();
+  }
+
+  Status Delete(const void* /*key*/) override {
+    return InvalidArgumentError("array map entries cannot be deleted");
+  }
+
+  uint32_t Size() const override { return spec().max_entries; }
+
+  void Visit(const VisitFn& fn) override {
+    for (uint32_t index = 0; index < spec().max_entries; ++index) {
+      fn(&index, storage_.data() +
+                     static_cast<size_t>(index) * spec().value_size);
+    }
+  }
+
+ private:
+  static uint32_t LoadKey(const void* key) {
+    uint32_t index;
+    std::memcpy(&index, key, sizeof(index));
+    return index;
+  }
+
+  std::vector<uint8_t> storage_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_MAP_ARRAY_MAP_H_

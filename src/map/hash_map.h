@@ -1,0 +1,134 @@
+// Hash map: arbitrary fixed-size key -> fixed-size value.
+//
+// Matches BPF_MAP_TYPE_HASH semantics: entries are created by Update and
+// removed by Delete; value storage is per-node and stable for the life of
+// the entry. Buckets are sharded under fine-grained mutexes so concurrent
+// userspace/policy access (Table 3's contended case) is safe.
+#ifndef SYRUP_SRC_MAP_HASH_MAP_H_
+#define SYRUP_SRC_MAP_HASH_MAP_H_
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/map/map.h"
+
+namespace syrup {
+
+class HashMap : public Map {
+ public:
+  explicit HashMap(MapSpec spec)
+      : Map(std::move(spec)),
+        bucket_count_(NextPow2(this->spec().max_entries * 2)),
+        buckets_(bucket_count_) {}
+
+  void* Lookup(const void* key) override {
+    Bucket& bucket = BucketFor(key);
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    Node* node = FindLocked(bucket, key);
+    return node != nullptr ? node->value.get() : nullptr;
+  }
+
+  Status Update(const void* key, const void* value, UpdateFlag flag) override {
+    Bucket& bucket = BucketFor(key);
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    Node* node = FindLocked(bucket, key);
+    if (node != nullptr) {
+      if (flag == UpdateFlag::kNoExist) {
+        return AlreadyExistsError("key already present");
+      }
+      std::memcpy(node->value.get(), value, spec().value_size);
+      return OkStatus();
+    }
+    if (flag == UpdateFlag::kExist) {
+      return NotFoundError("key absent");
+    }
+    if (size_.load(std::memory_order_relaxed) >= spec().max_entries) {
+      return ResourceExhaustedError("map full");
+    }
+    auto fresh = std::make_unique<Node>();
+    fresh->key.assign(static_cast<const uint8_t*>(key),
+                      static_cast<const uint8_t*>(key) + spec().key_size);
+    fresh->value = std::make_unique<uint8_t[]>(spec().value_size);
+    std::memcpy(fresh->value.get(), value, spec().value_size);
+    fresh->next = std::move(bucket.head);
+    bucket.head = std::move(fresh);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return OkStatus();
+  }
+
+  Status Delete(const void* key) override {
+    Bucket& bucket = BucketFor(key);
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    std::unique_ptr<Node>* link = &bucket.head;
+    while (*link != nullptr) {
+      if (std::memcmp((*link)->key.data(), key, spec().key_size) == 0) {
+        *link = std::move((*link)->next);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return OkStatus();
+      }
+      link = &(*link)->next;
+    }
+    return NotFoundError("key absent");
+  }
+
+  uint32_t Size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  void Visit(const VisitFn& fn) override {
+    for (Bucket& bucket : buckets_) {
+      std::lock_guard<std::mutex> lock(bucket.mu);
+      for (Node* node = bucket.head.get(); node != nullptr;
+           node = node->next.get()) {
+        fn(node->key.data(), node->value.get());
+      }
+    }
+  }
+
+ private:
+  struct Node {
+    std::vector<uint8_t> key;
+    std::unique_ptr<uint8_t[]> value;
+    std::unique_ptr<Node> next;
+  };
+
+  struct Bucket {
+    std::mutex mu;
+    std::unique_ptr<Node> head;
+  };
+
+  static uint32_t NextPow2(uint32_t n) {
+    uint32_t p = 1;
+    while (p < n && p < (1u << 20)) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  Bucket& BucketFor(const void* key) {
+    const uint64_t h = Fnv1a64(key, spec().key_size);
+    return buckets_[h & (bucket_count_ - 1)];
+  }
+
+  Node* FindLocked(Bucket& bucket, const void* key) {
+    for (Node* node = bucket.head.get(); node != nullptr;
+         node = node->next.get()) {
+      if (std::memcmp(node->key.data(), key, spec().key_size) == 0) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  uint32_t bucket_count_;
+  std::vector<Bucket> buckets_;
+  std::atomic<uint32_t> size_{0};
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_MAP_HASH_MAP_H_

@@ -1,0 +1,46 @@
+#include "src/map/map.h"
+
+#include "src/map/array_map.h"
+#include "src/map/hash_map.h"
+#include "src/map/prog_array.h"
+
+namespace syrup {
+
+std::string_view MapTypeName(MapType type) {
+  switch (type) {
+    case MapType::kArray:
+      return "array";
+    case MapType::kHash:
+      return "hash";
+    case MapType::kProgArray:
+      return "prog_array";
+  }
+  return "?";
+}
+
+StatusOr<std::shared_ptr<Map>> CreateMap(const MapSpec& spec) {
+  if (spec.max_entries == 0) {
+    return InvalidArgumentError("map max_entries must be > 0");
+  }
+  if (spec.key_size == 0 || spec.value_size == 0) {
+    return InvalidArgumentError("map key/value sizes must be > 0");
+  }
+  switch (spec.type) {
+    case MapType::kArray:
+      if (spec.key_size != sizeof(uint32_t)) {
+        return InvalidArgumentError("array map keys must be u32");
+      }
+      return std::shared_ptr<Map>(std::make_shared<ArrayMap>(spec));
+    case MapType::kHash:
+      return std::shared_ptr<Map>(std::make_shared<HashMap>(spec));
+    case MapType::kProgArray:
+      if (spec.key_size != sizeof(uint32_t) ||
+          spec.value_size != sizeof(uint64_t)) {
+        return InvalidArgumentError("prog array maps must be u32->u64");
+      }
+      return std::shared_ptr<Map>(std::make_shared<ProgArrayMap>(spec));
+  }
+  return InvalidArgumentError("unknown map type");
+}
+
+}  // namespace syrup

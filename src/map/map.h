@@ -1,0 +1,131 @@
+// Syrup Maps: the key-value communication substrate (paper §3.4, §4.1).
+//
+// Maps model eBPF maps: fixed key/value sizes, preallocated or node-based
+// storage with *stable value pointers*, lock-free atomic arithmetic on
+// values, and pinning to a path namespace so policies at different hooks and
+// userspace code can share state. Three concrete types are provided, the
+// same trio Syrup uses: array maps (executor tables, per-index counters),
+// hash maps (token buckets, scan flags keyed by id), and prog-array maps
+// (syrupd's per-port policy dispatch table, paper §4.3).
+#ifndef SYRUP_SRC_MAP_MAP_H_
+#define SYRUP_SRC_MAP_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace syrup {
+
+enum class MapType {
+  kArray,
+  kHash,
+  kProgArray,
+};
+
+std::string_view MapTypeName(MapType type);
+
+// Update flags follow the BPF_ANY / BPF_NOEXIST / BPF_EXIST semantics.
+enum class UpdateFlag {
+  kAny,
+  kNoExist,
+  kExist,
+};
+
+struct MapSpec {
+  MapType type = MapType::kArray;
+  uint32_t key_size = sizeof(uint32_t);
+  // Default 8: the paper standardizes on u64 values ("we have found that
+  // 64-bit unsigned integer values are sufficient for our target
+  // applications"). Arbitrary struct sizes are supported too.
+  uint32_t value_size = sizeof(uint64_t);
+  uint32_t max_entries = 1;
+  std::string name;
+};
+
+// Abstract map. All operations are thread-safe; Lookup returns a pointer to
+// stable internal storage valid until the entry is deleted (as in eBPF,
+// in-kernel users mutate values in place, typically with atomics).
+class Map {
+ public:
+  explicit Map(MapSpec spec) : spec_(std::move(spec)) {}
+  virtual ~Map() = default;
+
+  Map(const Map&) = delete;
+  Map& operator=(const Map&) = delete;
+
+  const MapSpec& spec() const { return spec_; }
+
+  // Returns a pointer to the value for `key`, or nullptr if absent.
+  virtual void* Lookup(const void* key) = 0;
+
+  virtual Status Update(const void* key, const void* value,
+                        UpdateFlag flag) = 0;
+
+  virtual Status Delete(const void* key) = 0;
+
+  // Number of live entries (array maps: max_entries, all preallocated).
+  virtual uint32_t Size() const = 0;
+
+  // Invokes fn(key, value) for every live entry (bpftool-style iteration
+  // for introspection). Hash maps hold the bucket lock during each call:
+  // fn must not re-enter the map.
+  using VisitFn = std::function<void(const void* key, void* value)>;
+  virtual void Visit(const VisitFn& fn) = 0;
+
+  // --- Typed conveniences for the common u32 -> u64 shape -----------------
+
+  StatusOr<uint64_t> LookupU64(uint32_t key) {
+    if (spec_.key_size != sizeof(uint32_t) ||
+        spec_.value_size != sizeof(uint64_t)) {
+      return InvalidArgumentError("map is not u32->u64");
+    }
+    void* v = Lookup(&key);
+    if (v == nullptr) {
+      return NotFoundError("key absent");
+    }
+    uint64_t out;
+    std::memcpy(&out, v, sizeof(out));
+    return out;
+  }
+
+  Status UpdateU64(uint32_t key, uint64_t value,
+                   UpdateFlag flag = UpdateFlag::kAny) {
+    if (spec_.key_size != sizeof(uint32_t) ||
+        spec_.value_size != sizeof(uint64_t)) {
+      return InvalidArgumentError("map is not u32->u64");
+    }
+    return Update(&key, &value, flag);
+  }
+
+  // Atomic fetch-add on a u64 value in place (the paper's
+  // __sync_fetch_and_add on map values). Returns the previous value.
+  static uint64_t AtomicFetchAdd(void* value, uint64_t delta) {
+    auto* cell = reinterpret_cast<std::atomic<uint64_t>*>(value);
+    return cell->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  static uint64_t AtomicLoad(const void* value) {
+    auto* cell = reinterpret_cast<const std::atomic<uint64_t>*>(value);
+    return cell->load(std::memory_order_relaxed);
+  }
+
+  static void AtomicStore(void* value, uint64_t v) {
+    auto* cell = reinterpret_cast<std::atomic<uint64_t>*>(value);
+    cell->store(v, std::memory_order_relaxed);
+  }
+
+ private:
+  MapSpec spec_;
+};
+
+// Factory: validates the spec and builds the matching concrete map.
+StatusOr<std::shared_ptr<Map>> CreateMap(const MapSpec& spec);
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_MAP_MAP_H_

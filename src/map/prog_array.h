@@ -1,0 +1,99 @@
+// Prog-array map: u32 index -> program id, for tail calls.
+//
+// syrupd's isolation design (paper §4.3) loads each application's policy
+// into a PROG_ARRAY and installs a root dispatcher that tail-calls into the
+// entry matching the packet's destination port. Entries here hold opaque
+// program ids assigned by the program registry in src/core.
+#ifndef SYRUP_SRC_MAP_PROG_ARRAY_H_
+#define SYRUP_SRC_MAP_PROG_ARRAY_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/map/map.h"
+
+namespace syrup {
+
+inline constexpr uint64_t kNoProgram = 0;  // prog ids are 1-based
+
+class ProgArrayMap : public Map {
+ public:
+  explicit ProgArrayMap(MapSpec spec)
+      : Map(std::move(spec)), slots_(this->spec().max_entries) {
+    for (auto& slot : slots_) {
+      slot.store(kNoProgram, std::memory_order_relaxed);
+    }
+  }
+
+  void* Lookup(const void* key) override {
+    const uint32_t index = LoadKey(key);
+    if (index >= slots_.size()) {
+      return nullptr;
+    }
+    // Exposes the atomic slot directly; callers read with AtomicLoad.
+    return &slots_[index];
+  }
+
+  Status Update(const void* key, const void* value, UpdateFlag flag) override {
+    if (flag == UpdateFlag::kNoExist) {
+      return AlreadyExistsError("prog array entries always exist");
+    }
+    const uint32_t index = LoadKey(key);
+    if (index >= slots_.size()) {
+      return OutOfRangeError("prog array index out of bounds");
+    }
+    uint64_t prog_id;
+    std::memcpy(&prog_id, value, sizeof(prog_id));
+    slots_[index].store(prog_id, std::memory_order_release);
+    return OkStatus();
+  }
+
+  Status Delete(const void* key) override {
+    const uint32_t index = LoadKey(key);
+    if (index >= slots_.size()) {
+      return OutOfRangeError("prog array index out of bounds");
+    }
+    slots_[index].store(kNoProgram, std::memory_order_release);
+    return OkStatus();
+  }
+
+  uint32_t Size() const override {
+    uint32_t live = 0;
+    for (const auto& slot : slots_) {
+      if (slot.load(std::memory_order_relaxed) != kNoProgram) {
+        ++live;
+      }
+    }
+    return live;
+  }
+
+  void Visit(const VisitFn& fn) override {
+    for (uint32_t index = 0; index < slots_.size(); ++index) {
+      uint64_t value = slots_[index].load(std::memory_order_relaxed);
+      if (value != kNoProgram) {
+        fn(&index, &value);
+      }
+    }
+  }
+
+  // Typed accessor used by the dispatcher hot path.
+  uint64_t ProgramAt(uint32_t index) const {
+    if (index >= slots_.size()) {
+      return kNoProgram;
+    }
+    return slots_[index].load(std::memory_order_acquire);
+  }
+
+ private:
+  static uint32_t LoadKey(const void* key) {
+    uint32_t index;
+    std::memcpy(&index, key, sizeof(index));
+    return index;
+  }
+
+  std::vector<std::atomic<uint64_t>> slots_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_MAP_PROG_ARRAY_H_

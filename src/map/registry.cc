@@ -1,0 +1,66 @@
+#include "src/map/registry.h"
+
+namespace syrup {
+
+Status MapRegistry::Pin(const std::string& path, std::shared_ptr<Map> map,
+                        Uid owner, PinMode mode) {
+  if (map == nullptr) {
+    return InvalidArgumentError("null map");
+  }
+  if (path.empty()) {
+    return InvalidArgumentError("empty pin path");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      pins_.try_emplace(path, Entry{std::move(map), owner, mode});
+  (void)it;
+  if (!inserted) {
+    return AlreadyExistsError("pin path already in use: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::shared_ptr<Map>> MapRegistry::Open(const std::string& path,
+                                                 Uid uid, MapAccess access) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(path);
+  if (it == pins_.end()) {
+    return NotFoundError("no map pinned at " + path);
+  }
+  const Entry& entry = it->second;
+  if (uid != entry.owner) {
+    const bool allowed = access == MapAccess::kRead
+                             ? entry.mode.world_readable
+                             : entry.mode.world_writable;
+    if (!allowed) {
+      return PermissionDeniedError("uid " + std::to_string(uid) +
+                                   " may not access map at " + path);
+    }
+  }
+  return entry.map;
+}
+
+Status MapRegistry::Unpin(const std::string& path, Uid uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(path);
+  if (it == pins_.end()) {
+    return NotFoundError("no map pinned at " + path);
+  }
+  if (it->second.owner != uid) {
+    return PermissionDeniedError("only the owner may unpin " + path);
+  }
+  pins_.erase(it);
+  return OkStatus();
+}
+
+std::vector<std::string> MapRegistry::ListPaths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> paths;
+  paths.reserve(pins_.size());
+  for (const auto& [path, entry] : pins_) {
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace syrup

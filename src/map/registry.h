@@ -1,0 +1,65 @@
+// Map pin registry: the sysfs-pinning analogue (paper §3.4).
+//
+// syrupd pins maps declared in policy files to paths so "different programs
+// from the same user can access them", with access control via file-system
+// style permissions. Paths are arbitrary strings ("/sys/fs/bpf/app1/tokens"
+// by convention); permissions are a uid plus a world-readable/writable mode.
+#ifndef SYRUP_SRC_MAP_REGISTRY_H_
+#define SYRUP_SRC_MAP_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/map/map.h"
+
+namespace syrup {
+
+using Uid = uint32_t;
+
+// Subset of POSIX mode bits that matter for map sharing.
+struct PinMode {
+  bool world_readable = false;
+  bool world_writable = false;
+};
+
+enum class MapAccess { kRead, kWrite };
+
+class MapRegistry {
+ public:
+  MapRegistry() = default;
+  MapRegistry(const MapRegistry&) = delete;
+  MapRegistry& operator=(const MapRegistry&) = delete;
+
+  // Pins `map` at `path` owned by `owner`. Fails if the path is taken.
+  Status Pin(const std::string& path, std::shared_ptr<Map> map, Uid owner,
+             PinMode mode = {});
+
+  // Opens the map pinned at `path` with the requested access; enforces
+  // ownership/mode. Owners always have full access.
+  StatusOr<std::shared_ptr<Map>> Open(const std::string& path, Uid uid,
+                                      MapAccess access = MapAccess::kWrite);
+
+  // Removes the pin (owner only). The map stays alive while handles exist.
+  Status Unpin(const std::string& path, Uid uid);
+
+  std::vector<std::string> ListPaths() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<Map> map;
+    Uid owner;
+    PinMode mode;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> pins_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_MAP_REGISTRY_H_

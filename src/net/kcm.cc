@@ -1,0 +1,58 @@
+#include "src/net/kcm.h"
+
+#include <cstring>
+
+namespace syrup {
+
+std::vector<uint8_t> KcmFrame(const uint8_t* payload, size_t len) {
+  std::vector<uint8_t> frame(kKcmHeaderSize + len);
+  const auto length = static_cast<uint16_t>(len);
+  std::memcpy(frame.data(), &length, sizeof(length));
+  std::memcpy(frame.data() + kKcmHeaderSize, payload, len);
+  return frame;
+}
+
+Status KcmMultiplexor::OnSegment(uint64_t stream_id, const uint8_t* data,
+                                 size_t len) {
+  Stream& stream = streams_[stream_id];
+  if (stream.poisoned) {
+    return FailedPreconditionError("stream poisoned by earlier framing error");
+  }
+  stream.buffer.insert(stream.buffer.end(), data, data + len);
+
+  // Extract every complete message currently buffered.
+  size_t cursor = 0;
+  while (stream.buffer.size() - cursor >= kKcmHeaderSize) {
+    uint16_t length;
+    std::memcpy(&length, stream.buffer.data() + cursor, sizeof(length));
+    if (length == 0 || length > kKcmMaxMessageSize) {
+      stream.poisoned = true;
+      stream.buffer.clear();
+      return InvalidArgumentError("malformed KCM frame length " +
+                                  std::to_string(length));
+    }
+    if (stream.buffer.size() - cursor < kKcmHeaderSize + length) {
+      break;  // message spans into a future segment
+    }
+    const uint8_t* payload = stream.buffer.data() + cursor + kKcmHeaderSize;
+    std::vector<uint8_t> message(payload, payload + length);
+
+    Decision decision = kPass;
+    if (policy_) {
+      decision = policy_(PacketView{message.data(),
+                                    message.data() + message.size()});
+    }
+    if (decision == kDrop) {
+      ++dropped_;
+    } else {
+      ++messages_;
+      deliver_(stream_id, decision, message);
+    }
+    cursor += kKcmHeaderSize + length;
+  }
+  stream.buffer.erase(stream.buffer.begin(),
+                      stream.buffer.begin() + static_cast<long>(cursor));
+  return OkStatus();
+}
+
+}  // namespace syrup

@@ -1,0 +1,74 @@
+// Kernel Connection Multiplexor-style stream scheduling (paper §6.4).
+//
+// Requests sent over TCP arrive as a byte stream cut into arbitrary
+// segments, so per-packet hooks cannot do request-level scheduling. KCM
+// lets users "programmatically identify request boundaries across packets
+// in TCP streams and do request-level scheduling": this module reassembles
+// length-prefixed application messages from per-stream segments and
+// invokes the scheduling policy once per *message*.
+//
+// Message framing: a 2-byte little-endian payload length, then the payload.
+#ifndef SYRUP_SRC_NET_KCM_H_
+#define SYRUP_SRC_NET_KCM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/decision.h"
+#include "src/common/status.h"
+#include "src/net/packet.h"
+
+namespace syrup {
+
+inline constexpr size_t kKcmHeaderSize = 2;
+inline constexpr size_t kKcmMaxMessageSize = 16 * 1024;
+
+// Frames a payload for transmission: [len u16][payload].
+std::vector<uint8_t> KcmFrame(const uint8_t* payload, size_t len);
+
+class KcmMultiplexor {
+ public:
+  // `deliver` receives each complete message along with the policy's
+  // decision over the message bytes (kPass when no policy is installed).
+  using DeliverFn =
+      std::function<void(uint64_t stream_id, Decision decision,
+                         const std::vector<uint8_t>& message)>;
+
+  explicit KcmMultiplexor(DeliverFn deliver) : deliver_(std::move(deliver)) {}
+
+  // Installs the request-level scheduling policy (same signature as every
+  // packet hook: message start/end pointers in, executor index out).
+  void SetPolicy(std::function<Decision(const PacketView&)> policy) {
+    policy_ = std::move(policy);
+  }
+
+  // Feeds one TCP segment of `stream_id`. Segments may split messages at
+  // any byte position and may contain many messages. Returns an error (and
+  // poisons the stream) on a malformed frame.
+  Status OnSegment(uint64_t stream_id, const uint8_t* data, size_t len);
+
+  // Tears down per-stream reassembly state (connection close).
+  void CloseStream(uint64_t stream_id) { streams_.erase(stream_id); }
+
+  size_t open_streams() const { return streams_.size(); }
+  uint64_t messages_delivered() const { return messages_; }
+  uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  struct Stream {
+    std::vector<uint8_t> buffer;
+    bool poisoned = false;
+  };
+
+  DeliverFn deliver_;
+  std::function<Decision(const PacketView&)> policy_;
+  std::map<uint64_t, Stream> streams_;
+  uint64_t messages_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_NET_KCM_H_

@@ -1,0 +1,131 @@
+// Packet model.
+//
+// Each simulated request is one UDP datagram. A materialized wire image is
+// carried with every packet so policy programs (bytecode or native) parse
+// real bytes exactly as the paper's eBPF policies do:
+//
+//   offset  size  field
+//   0       2     udp src port   (big-endian)
+//   2       2     udp dst port   (big-endian)
+//   4       2     udp length     (big-endian)
+//   6       2     udp checksum
+//   8       8     app: request type   (the paper's SITA policy reads this:
+//                                      "First 8 bytes are UDP header")
+//   16      4     app: user id        (token-based policy, §3.4)
+//   20      4     app: key hash       (MICA home-core steering, §5.4)
+//   24      8     app: request id
+//   32      8     app: client send timestamp (ns)
+#ifndef SYRUP_SRC_NET_PACKET_H_
+#define SYRUP_SRC_NET_PACKET_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/hash.h"
+#include "src/common/time.h"
+
+namespace syrup {
+
+enum class ReqType : uint64_t {
+  kGet = 1,
+  kScan = 2,
+  kPut = 3,
+};
+
+inline constexpr uint8_t kProtoUdp = 17;
+inline constexpr uint8_t kProtoTcp = 6;
+
+struct FiveTuple {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t protocol = kProtoUdp;
+
+  bool operator==(const FiveTuple&) const = default;
+  auto operator<=>(const FiveTuple&) const = default;
+
+  // The kernel-RSS-style steering hash (jhash analogue). Deliberately uses
+  // the same byte mixing for any tuple so few distinct tuples map to few
+  // distinct hash values — the imbalance that motivates Fig. 2.
+  uint64_t Hash() const {
+    uint64_t h = (static_cast<uint64_t>(src_ip) << 32) | dst_ip;
+    h = Mix64(h);
+    h ^= (static_cast<uint64_t>(src_port) << 24) ^
+         (static_cast<uint64_t>(dst_port) << 8) ^ protocol;
+    return Mix64(h);
+  }
+};
+
+inline constexpr size_t kUdpHeaderSize = 8;
+inline constexpr size_t kWireSize = 40;
+
+// One in-flight datagram. Copies are cheap (fixed-size byte array).
+struct Packet {
+  FiveTuple tuple;
+  Time nic_arrival = 0;  // set by the NIC on Rx
+  std::array<uint8_t, kWireSize> wire{};
+
+  // --- typed accessors over the wire image ------------------------------
+
+  template <typename T>
+  void StoreField(size_t offset, T value) {
+    std::memcpy(wire.data() + offset, &value, sizeof(T));
+  }
+  template <typename T>
+  T LoadField(size_t offset) const {
+    T value;
+    std::memcpy(&value, wire.data() + offset, sizeof(T));
+    return value;
+  }
+
+  void SetHeader(ReqType type, uint32_t user_id, uint32_t key_hash,
+                 uint64_t req_id, Time send_time) {
+    // UDP ports in network byte order, as on a real wire.
+    StoreField<uint16_t>(0, __builtin_bswap16(tuple.src_port));
+    StoreField<uint16_t>(2, __builtin_bswap16(tuple.dst_port));
+    StoreField<uint16_t>(4, __builtin_bswap16(kWireSize));
+    StoreField<uint16_t>(6, 0);
+    StoreField<uint64_t>(8, static_cast<uint64_t>(type));
+    StoreField<uint32_t>(16, user_id);
+    StoreField<uint32_t>(20, key_hash);
+    StoreField<uint64_t>(24, req_id);
+    StoreField<uint64_t>(32, send_time);
+  }
+
+  ReqType req_type() const {
+    return static_cast<ReqType>(LoadField<uint64_t>(8));
+  }
+  uint32_t user_id() const { return LoadField<uint32_t>(16); }
+  uint32_t key_hash() const { return LoadField<uint32_t>(20); }
+  uint64_t req_id() const { return LoadField<uint64_t>(24); }
+  Time send_time() const { return LoadField<uint64_t>(32); }
+};
+
+// Bounds-delimited read-only view handed to policies: the paper's
+// (pkt_start, pkt_end) argument pair.
+struct PacketView {
+  const uint8_t* start = nullptr;
+  const uint8_t* end = nullptr;
+
+  static PacketView Of(const Packet& pkt) {
+    return PacketView{pkt.wire.data(), pkt.wire.data() + pkt.wire.size()};
+  }
+
+  size_t size() const { return static_cast<size_t>(end - start); }
+
+  // Destination port in host byte order (used by syrupd's dispatcher).
+  uint16_t DstPort() const {
+    if (size() < 4) {
+      return 0;
+    }
+    uint16_t be;
+    std::memcpy(&be, start + 2, sizeof(be));
+    return __builtin_bswap16(be);
+  }
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_NET_PACKET_H_

@@ -1,0 +1,104 @@
+// Sockets: the executors of the Socket Select and XDP hooks.
+//
+// A Socket is a bounded datagram queue; overflow drops the packet (the
+// receive-buffer drops visible in Fig. 2b). A ReuseportGroup models several
+// sockets bound to one UDP port via SO_REUSEPORT; the kernel-default
+// distribution is by 5-tuple hash, which Syrup's Socket Select hook
+// overrides.
+#ifndef SYRUP_SRC_NET_SOCKET_H_
+#define SYRUP_SRC_NET_SOCKET_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/net/packet.h"
+
+namespace syrup {
+
+class Socket {
+ public:
+  // `depth` bounds the receive queue, mirroring SO_RCVBUF.
+  Socket(uint16_t port, size_t depth) : port_(port), depth_(depth) {}
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  // Invoked after every successful enqueue (the app layer uses it to wake a
+  // blocked worker, i.e. the return from recvmsg).
+  void SetWakeCallback(std::function<void()> cb) { wake_ = std::move(cb); }
+
+  // Returns false (and counts a drop) when the queue is full.
+  bool Enqueue(const Packet& pkt) {
+    if (queue_.size() >= depth_) {
+      ++dropped_;
+      return false;
+    }
+    queue_.push_back(pkt);
+    ++enqueued_;
+    if (wake_) {
+      wake_();
+    }
+    return true;
+  }
+
+  std::optional<Packet> Dequeue() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    Packet pkt = queue_.front();
+    queue_.pop_front();
+    return pkt;
+  }
+
+  size_t queue_length() const { return queue_.size(); }
+  uint64_t enqueued() const { return enqueued_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  uint16_t port_;
+  size_t depth_;
+  std::deque<Packet> queue_;
+  std::function<void()> wake_;
+  uint64_t enqueued_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// All sockets listening on one port with SO_REUSEPORT.
+class ReuseportGroup {
+ public:
+  explicit ReuseportGroup(uint16_t port) : port_(port) {}
+
+  uint16_t port() const { return port_; }
+
+  Socket* AddSocket(size_t queue_depth) {
+    sockets_.push_back(std::make_unique<Socket>(port_, queue_depth));
+    return sockets_.back().get();
+  }
+
+  size_t size() const { return sockets_.size(); }
+
+  Socket* at(size_t index) const {
+    SYRUP_CHECK_LT(index, sockets_.size());
+    return sockets_[index].get();
+  }
+
+  // The vanilla Linux policy: 5-tuple hash modulo group size.
+  Socket* DefaultSelect(const Packet& pkt) const {
+    SYRUP_CHECK(!sockets_.empty());
+    return sockets_[pkt.tuple.Hash() % sockets_.size()].get();
+  }
+
+ private:
+  uint16_t port_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_NET_SOCKET_H_

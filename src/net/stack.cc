@@ -1,0 +1,363 @@
+#include "src/net/stack.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/trace.h"
+
+namespace syrup {
+
+HostStack::HostStack(Simulator& sim, StackConfig config)
+    : sim_(sim), config_(config) {
+  SYRUP_CHECK_GT(config_.num_nic_queues, 0);
+  cores_.resize(static_cast<size_t>(config_.num_nic_queues));
+  af_xdp_sockets_.resize(static_cast<size_t>(config_.num_nic_queues));
+}
+
+ReuseportGroup* HostStack::GetOrCreateGroup(uint16_t port) {
+  auto& slot = groups_[port];
+  if (slot == nullptr) {
+    slot = std::make_unique<ReuseportGroup>(port);
+  }
+  return slot.get();
+}
+
+Socket* HostStack::RegisterAfXdpSocket(int queue, size_t queue_depth) {
+  SYRUP_CHECK_GE(queue, 0);
+  SYRUP_CHECK_LT(queue, config_.num_nic_queues);
+  auto& per_queue = af_xdp_sockets_[static_cast<size_t>(queue)];
+  per_queue.push_back(std::make_unique<Socket>(/*port=*/0, queue_depth));
+  return per_queue.back().get();
+}
+
+void HostStack::Rx(Packet pkt) {
+  ++stats_.rx_packets;
+  pkt.nic_arrival = sim_.Now();
+
+  // XDP Offload hook: a policy running on the NIC picks the RX queue;
+  // otherwise RSS-style 5-tuple hashing (the NIC default).
+  int queue;
+  if (hooks_.xdp_offload) {
+    const Decision d = hooks_.xdp_offload(PacketView::Of(pkt));
+    if (d == kDrop) {
+      ++stats_.policy_drops;
+      return;
+    }
+    if (d == kPass) {
+      queue = static_cast<int>(pkt.tuple.Hash() %
+                               static_cast<uint64_t>(config_.num_nic_queues));
+    } else if (d < static_cast<Decision>(config_.num_nic_queues)) {
+      queue = static_cast<int>(d);
+    } else {
+      ++stats_.invalid_decisions;
+      queue = static_cast<int>(pkt.tuple.Hash() %
+                               static_cast<uint64_t>(config_.num_nic_queues));
+    }
+  } else {
+    queue = static_cast<int>(pkt.tuple.Hash() %
+                             static_cast<uint64_t>(config_.num_nic_queues));
+  }
+
+  EnqueueJob(queue, Job{std::move(pkt), Stage::kDriver});
+}
+
+void HostStack::EnqueueJob(int core, Job job) {
+  SoftirqCore& sc = cores_[static_cast<size_t>(core)];
+  if (sc.ring.size() >= config_.nic_ring_depth) {
+    ++stats_.nic_ring_drops;
+    SYRUP_TRACE(sim_.Now(), "stack", "nic ring drop core=" << core);
+    return;
+  }
+  sc.ring.push_back(std::move(job));
+  if (!sc.busy) {
+    StartNext(core);
+  }
+}
+
+void HostStack::StartNext(int core) {
+  SoftirqCore& sc = cores_[static_cast<size_t>(core)];
+  if (sc.ring.empty()) {
+    sc.busy = false;
+    return;
+  }
+  sc.busy = true;
+  Job job = std::move(sc.ring.front());
+  sc.ring.pop_front();
+
+  std::function<void()> deliver;
+  int requeue_core = -1;
+  const Duration cost = ProcessJob(core, job, deliver, requeue_core);
+  sc.busy_time += cost;
+
+  // Capture by value what the completion event needs.
+  Packet pkt = job.pkt;
+  sim_.ScheduleAfter(cost, [this, core, deliver = std::move(deliver),
+                            requeue_core, pkt = std::move(pkt)]() mutable {
+    if (requeue_core >= 0) {
+      ++stats_.cpu_redirects;
+      EnqueueJob(requeue_core, Job{std::move(pkt), Stage::kProtocol});
+    } else if (deliver) {
+      deliver();
+    }
+    StartNext(core);
+  });
+}
+
+Duration HostStack::ProcessJob(int core, const Job& job,
+                               std::function<void()>& deliver,
+                               int& requeue_core) {
+  const Packet& pkt = job.pkt;
+  const PacketView view = PacketView::Of(pkt);
+  Duration cost = 0;
+
+  auto drop = [this, &deliver]() {
+    deliver = [this]() { ++stats_.policy_drops; };
+  };
+  auto deliver_afxdp = [this, core, &deliver, &pkt](Decision d) -> bool {
+    const auto& per_queue = af_xdp_sockets_[static_cast<size_t>(core)];
+    if (d >= per_queue.size()) {
+      ++stats_.invalid_decisions;
+      return false;
+    }
+    Socket* sock = per_queue[d].get();
+    deliver = [this, sock, pkt]() {
+      if (sock->Enqueue(pkt)) {
+        ++stats_.delivered_afxdp;
+      } else {
+        ++stats_.socket_drops;
+      }
+    };
+    return true;
+  };
+
+  if (job.stage == Stage::kDriver) {
+    cost += config_.driver_cost;
+
+    // XDP_DRV: native mode, pre-SKB, zero copy.
+    if (hooks_.xdp_drv) {
+      cost += config_.xdp_cost;
+      const Decision d = hooks_.xdp_drv(view);
+      if (d == kDrop) {
+        drop();
+        return cost;
+      }
+      if (d != kPass) {
+        cost += config_.afxdp_deliver_cost;
+        if (deliver_afxdp(d)) {
+          return cost;
+        }
+      }
+    }
+
+    cost += config_.skb_alloc_cost;
+
+    // XDP_SKB: generic mode, post-SKB, copies the frame.
+    if (hooks_.xdp_skb) {
+      cost += config_.xdp_cost;
+      const Decision d = hooks_.xdp_skb(view);
+      if (d == kDrop) {
+        drop();
+        return cost;
+      }
+      if (d != kPass) {
+        cost += config_.afxdp_deliver_cost + config_.afxdp_copy_cost;
+        if (deliver_afxdp(d)) {
+          return cost;
+        }
+      }
+    }
+
+    // CPU Redirect: move protocol processing to another softirq core.
+    if (hooks_.cpu_redirect) {
+      cost += config_.xdp_cost;
+      const Decision d = hooks_.cpu_redirect(view);
+      if (d == kDrop) {
+        drop();
+        return cost;
+      }
+      if (d != kPass) {
+        if (d < static_cast<Decision>(config_.num_nic_queues)) {
+          if (static_cast<int>(d) != core) {
+            cost += config_.ipi_cost;
+            requeue_core = static_cast<int>(d);
+            return cost;
+          }
+        } else {
+          ++stats_.invalid_decisions;
+        }
+      }
+    }
+  }
+
+  // Protocol stage (inline or after a CPU redirect).
+  cost += ProtocolCost(core, pkt);
+  if (hooks_.socket_select) {
+    cost += config_.socket_policy_cost;
+  }
+  Packet to_deliver = pkt;
+  deliver = [this, to_deliver]() { DeliverToGroupSocket(to_deliver); };
+  return cost;
+}
+
+Duration HostStack::ProtocolCost(int core, const Packet& pkt) {
+  Duration cost = config_.protocol_cost;
+  if (config_.protocol_cold_penalty > 0) {
+    SoftirqCore& sc = cores_[static_cast<size_t>(core)];
+    const uint64_t flow = pkt.tuple.Hash();
+    const Time now = sim_.Now();
+    auto it = sc.flow_last_seen.find(flow);
+    const bool warm = it != sc.flow_last_seen.end() &&
+                      now - it->second <= config_.affinity_window;
+    if (!warm) {
+      cost += config_.protocol_cold_penalty;
+    }
+    sc.flow_last_seen[flow] = now;
+  }
+  return cost;
+}
+
+void HostStack::EnableLateBinding(uint16_t port, size_t buffer_depth) {
+  LateBindState& state = late_binding_[port];
+  state.buffer_depth = buffer_depth;
+}
+
+void HostStack::NotifySocketIdle(uint16_t port, Socket* socket) {
+  auto it = late_binding_.find(port);
+  if (it == late_binding_.end()) {
+    return;  // early-binding port
+  }
+  LateBindState& state = it->second;
+  if (!state.buffer.empty()) {
+    // An input was waiting for exactly this moment: bind it now.
+    Packet pkt = state.buffer.front();
+    state.buffer.pop_front();
+    ++late_bound_;
+    if (socket->Enqueue(pkt)) {
+      ++stats_.delivered_socket;
+    } else {
+      ++stats_.socket_drops;
+    }
+    return;
+  }
+  state.idle.push_back(socket);
+}
+
+bool HostStack::LateBindDeliver(LateBindState& state, ReuseportGroup& group,
+                                const Packet& pkt) {
+  if (state.idle.empty()) {
+    // No executor available: buffer the input (scheduler-side queueing).
+    if (state.buffer.size() >= state.buffer_depth) {
+      ++stats_.socket_drops;
+      return true;
+    }
+    state.buffer.push_back(pkt);
+    return true;
+  }
+
+  // An executor is available; consult the policy, constrained to idle
+  // executors (a busy pick falls back to the longest-idle socket).
+  Socket* target = nullptr;
+  if (hooks_.socket_select) {
+    const Decision d = hooks_.socket_select(PacketView::Of(pkt));
+    if (d == kDrop) {
+      ++stats_.policy_drops;
+      return true;
+    }
+    if (d != kPass && d < group.size()) {
+      Socket* chosen = group.at(d);
+      auto it = std::find(state.idle.begin(), state.idle.end(), chosen);
+      if (it != state.idle.end()) {
+        state.idle.erase(it);
+        target = chosen;
+      }
+    }
+  }
+  if (target == nullptr) {
+    target = state.idle.front();
+    state.idle.pop_front();
+  }
+  ++late_bound_;
+  if (target->Enqueue(pkt)) {
+    ++stats_.delivered_socket;
+  } else {
+    ++stats_.socket_drops;
+  }
+  return true;
+}
+
+void HostStack::DeliverToGroupSocket(const Packet& pkt) {
+  auto it = groups_.find(pkt.tuple.dst_port);
+  if (it == groups_.end() || it->second->size() == 0) {
+    // No listener: the kernel would send ICMP port unreachable.
+    ++stats_.socket_drops;
+    return;
+  }
+  ReuseportGroup& group = *it->second;
+
+  // Established TCP connections bypass the policy: the connection was the
+  // scheduled input, not the packet.
+  if (pkt.tuple.protocol == kProtoTcp) {
+    auto bound = connections_.find(pkt.tuple);
+    if (bound != connections_.end()) {
+      if (bound->second->Enqueue(pkt)) {
+        ++stats_.delivered_socket;
+      } else {
+        ++stats_.socket_drops;
+      }
+      return;
+    }
+  }
+
+  auto late = late_binding_.find(pkt.tuple.dst_port);
+  if (late != late_binding_.end()) {
+    LateBindDeliver(late->second, group, pkt);
+    return;
+  }
+
+  Socket* target = nullptr;
+  if (hooks_.socket_select) {
+    const Decision d = hooks_.socket_select(PacketView::Of(pkt));
+    if (d == kDrop) {
+      ++stats_.policy_drops;
+      return;
+    }
+    if (d != kPass) {
+      if (d < group.size()) {
+        target = group.at(d);
+      } else {
+        ++stats_.invalid_decisions;
+      }
+    }
+  }
+  if (target == nullptr) {
+    target = group.DefaultSelect(pkt);
+  }
+  // A connection-establishing TCP packet pins the chosen socket for the
+  // connection's lifetime.
+  if (pkt.tuple.protocol == kProtoTcp) {
+    connections_[pkt.tuple] = target;
+  }
+  if (target->Enqueue(pkt)) {
+    ++stats_.delivered_socket;
+  } else {
+    ++stats_.socket_drops;
+    SYRUP_TRACE(sim_.Now(), "stack",
+                "socket drop port=" << pkt.tuple.dst_port);
+  }
+}
+
+void HostStack::CloseConnection(const FiveTuple& tuple) {
+  connections_.erase(tuple);
+}
+
+double HostStack::SoftirqUtilization(int core) const {
+  const Time now = sim_.Now();
+  if (now == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cores_[static_cast<size_t>(core)].busy_time) /
+         static_cast<double>(now);
+}
+
+}  // namespace syrup

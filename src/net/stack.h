@@ -1,0 +1,192 @@
+// HostStack: discrete-event model of the Linux receive path with Syrup's
+// five network hooks (paper Fig. 4).
+//
+//   NIC Rx ──► [XDP Offload] ──► RX queue ──► softirq core:
+//     driver ──► [XDP_DRV] ──► (AF_XDP socket | pass)
+//            ──► skb alloc ──► [XDP_SKB] ──► (AF_XDP socket | pass)
+//            ──► [CPU Redirect] ──► (requeue on other core | inline)
+//            ──► protocol stack ──► [Socket Select] ──► socket queue
+//
+// Each RX queue is drained by one softirq core (the paper pins queue IRQs
+// to the hyperthread buddies of the application cores, so softirq capacity
+// is separate from app-thread capacity). Per-packet costs accrue as busy
+// time on that core; queues and sockets are bounded, so overload shows up
+// as drops exactly where it does on Linux.
+#ifndef SYRUP_SRC_NET_STACK_H_
+#define SYRUP_SRC_NET_STACK_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/decision.h"
+#include "src/common/time.h"
+#include "src/net/packet.h"
+#include "src/net/socket.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+
+// Hook callback: syrupd installs per-hook dispatchers here. The callback
+// receives the packet bytes and returns an executor index, kPass, or kDrop.
+using SteerHook = std::function<Decision(const PacketView&)>;
+
+struct StackHooks {
+  SteerHook xdp_offload;   // executor: NIC RX queue
+  SteerHook xdp_drv;       // executor: AF_XDP socket registered on the queue
+  SteerHook xdp_skb;       // executor: AF_XDP socket (generic mode)
+  SteerHook cpu_redirect;  // executor: softirq core
+  SteerHook socket_select; // executor: socket within the dst-port group
+};
+
+struct StackConfig {
+  int num_nic_queues = 6;
+  size_t nic_ring_depth = 1024;    // per-queue descriptor ring
+  size_t socket_queue_depth = 128; // SO_RCVBUF in datagrams
+
+  Duration driver_cost = 600;         // DMA + descriptor handling
+  Duration xdp_cost = 300;            // one XDP policy invocation
+  Duration skb_alloc_cost = 500;      // SKB allocation (pre-XDP_SKB)
+  Duration protocol_cost = 1200;      // UDP/IP processing + socket lookup
+  Duration socket_policy_cost = 500;  // Socket Select policy invocation
+  Duration ipi_cost = 400;            // CPU-redirect requeue
+  Duration afxdp_deliver_cost = 300;  // zero-copy descriptor hand-off
+  Duration afxdp_copy_cost = 700;     // extra copy in generic (SKB) mode
+
+  // Flow-affinity model for the CPU Redirect hook (§2.1's RFS motivation):
+  // protocol processing pays this extra cost when the flow's state is not
+  // warm in the processing core's cache (not seen there within
+  // affinity_window). 0 disables the model (default: the paper's main
+  // experiments don't exercise it).
+  Duration protocol_cold_penalty = 0;
+  Duration affinity_window = 1 * kMillisecond;
+};
+
+struct StackStats {
+  uint64_t rx_packets = 0;
+  uint64_t nic_ring_drops = 0;
+  uint64_t socket_drops = 0;   // bounded socket queue overflow
+  uint64_t policy_drops = 0;   // a policy returned DROP
+  uint64_t invalid_decisions = 0;  // out-of-range executor, fell back
+  uint64_t delivered_socket = 0;
+  uint64_t delivered_afxdp = 0;
+  uint64_t cpu_redirects = 0;
+
+  uint64_t TotalDrops() const {
+    return nic_ring_drops + socket_drops + policy_drops;
+  }
+};
+
+class HostStack {
+ public:
+  HostStack(Simulator& sim, StackConfig config);
+
+  HostStack(const HostStack&) = delete;
+  HostStack& operator=(const HostStack&) = delete;
+
+  StackHooks& hooks() { return hooks_; }
+  const StackConfig& config() const { return config_; }
+  const StackStats& stats() const { return stats_; }
+
+  // Creates (or returns) the SO_REUSEPORT group for `port`.
+  ReuseportGroup* GetOrCreateGroup(uint16_t port);
+
+  // --- Late binding (paper §6.3) ------------------------------------------
+  //
+  // By default the Socket Select hook binds a datagram to a socket the
+  // moment it arrives (early binding), which can strand short requests
+  // behind long ones. With late binding enabled for a port, arrivals are
+  // buffered centrally and matched to a socket only when that socket's
+  // consumer is idle (its thread blocked in recvmsg) — the scheduling
+  // function fires when an *executor* becomes available.
+
+  // Switches `port`'s group to late binding with the given central buffer.
+  void EnableLateBinding(uint16_t port, size_t buffer_depth = 4096);
+
+  // The application reports that `socket`'s consumer has gone idle (a
+  // recvmsg found the queue empty). No-op for early-binding ports.
+  void NotifySocketIdle(uint16_t port, Socket* socket);
+
+  uint64_t late_bound_deliveries() const { return late_bound_; }
+
+  // --- TCP connection steering (paper Fig. 4) -----------------------------
+  //
+  // For TCP, the Socket Select hook schedules *connections*, not packets:
+  // the policy runs once on the connection-establishing packet and the
+  // binding sticks for the connection's lifetime (as SO_REUSEPORT + eBPF
+  // does for SYNs). Packets with tuple.protocol == kProtoTcp take this
+  // path automatically.
+
+  // Tears down a connection's socket binding (FIN/RST).
+  void CloseConnection(const FiveTuple& tuple);
+
+  size_t open_connections() const { return connections_.size(); }
+
+  // Registers an AF_XDP socket as executor index (queue, position). Returns
+  // the socket, owned by the stack.
+  Socket* RegisterAfXdpSocket(int queue, size_t queue_depth);
+
+  // Entry point: a packet arrives from the wire at the current sim time.
+  void Rx(Packet pkt);
+
+  // Busy-fraction of each softirq core over the run (for reports/tests).
+  double SoftirqUtilization(int core) const;
+
+ private:
+  enum class Stage { kDriver, kProtocol };
+
+  struct Job {
+    Packet pkt;
+    Stage stage;
+  };
+
+  struct SoftirqCore {
+    std::deque<Job> ring;
+    bool busy = false;
+    Duration busy_time = 0;
+    // Flow-affinity cache: flow hash -> last time protocol state for the
+    // flow was touched on this core.
+    std::map<uint64_t, Time> flow_last_seen;
+  };
+
+  // Returns the protocol-processing cost on `core` for `pkt`, charging the
+  // cold penalty on an affinity miss and refreshing the cache.
+  Duration ProtocolCost(int core, const Packet& pkt);
+
+  void EnqueueJob(int core, Job job);
+  void StartNext(int core);
+  // Runs the post-driver / post-redirect part of the pipeline; returns the
+  // total processing cost and stashes the delivery action in `deliver`.
+  Duration ProcessJob(int core, const Job& job,
+                      std::function<void()>& deliver, int& requeue_core);
+  void DeliverToGroupSocket(const Packet& pkt);
+
+  struct LateBindState {
+    std::deque<Packet> buffer;
+    size_t buffer_depth = 4096;
+    std::deque<Socket*> idle;  // FIFO of sockets with a waiting consumer
+  };
+
+  // Delivers under late binding; returns true if the packet was consumed
+  // (delivered or buffered or dropped).
+  bool LateBindDeliver(LateBindState& state, ReuseportGroup& group,
+                       const Packet& pkt);
+
+  Simulator& sim_;
+  StackConfig config_;
+  StackHooks hooks_;
+  StackStats stats_;
+  std::vector<SoftirqCore> cores_;
+  std::map<uint16_t, std::unique_ptr<ReuseportGroup>> groups_;
+  std::map<uint16_t, LateBindState> late_binding_;
+  std::map<FiveTuple, Socket*> connections_;  // established TCP bindings
+  uint64_t late_bound_ = 0;
+  // af_xdp_sockets_[queue][index]
+  std::vector<std::vector<std::unique_ptr<Socket>>> af_xdp_sockets_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_NET_STACK_H_

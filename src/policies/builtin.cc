@@ -1,0 +1,273 @@
+#include "src/policies/builtin.h"
+
+namespace syrup {
+namespace {
+
+// Replaces every occurrence of `key` in `text` with `value`.
+std::string Substitute(std::string text, const std::string& key,
+                       const std::string& value) {
+  size_t at = 0;
+  while ((at = text.find(key, at)) != std::string::npos) {
+    text.replace(at, key.size(), value);
+    at += value.size();
+  }
+  return text;
+}
+
+std::string WithN(const char* tmpl, uint32_t n) {
+  return Substitute(tmpl, "%N%", std::to_string(n));
+}
+
+}  // namespace
+
+std::string RoundRobinPolicyAsm(uint32_t num_executors) {
+  // State lives in a single-slot array map (the VM has no globals); the
+  // load-increment-store is deliberately non-atomic, as in Fig. 5a.
+  constexpr char kTemplate[] = R"(
+.name round_robin
+.ctx packet
+.map rr_state array 4 8 1
+  mov r6, 0
+  stxw [r10-4], r6
+  ldmapfd r1, rr_state
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jne r0, 0, have
+  mov r0, PASS
+  exit
+have:
+  ldxdw r6, [r0+0]
+  add r6, 1
+  stxdw [r0+0], r6
+  mod r6, %N%
+  mov r0, r6
+  exit
+)";
+  return WithN(kTemplate, num_executors);
+}
+
+std::string HashPolicyAsm(uint32_t num_executors) {
+  constexpr char kTemplate[] = R"(
+.name hash
+.ctx packet
+  mov r3, r1
+  add r3, 4
+  jgt r3, r2, pass
+  ldxw r4, [r1+0]
+  mul r4, 2654435761
+  and r4, 0xFFFFFFFF
+  rsh r4, 16
+  mod r4, %N%
+  mov r0, r4
+  exit
+pass:
+  mov r0, PASS
+  exit
+)";
+  return WithN(kTemplate, num_executors);
+}
+
+std::string ScanAvoidPolicyAsm(uint32_t num_executors) {
+  constexpr char kTemplate[] = R"(
+.name scan_avoid
+.ctx packet
+.map scan_map array 4 8 %N%
+  mov r6, 0              ; i
+  mov r7, 0              ; cur_idx
+loop:
+  jge r6, %N%, done
+  call get_prandom_u32
+  mov r7, r0
+  mod r7, %N%
+  stxw [r10-4], r7
+  ldmapfd r1, scan_map
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jne r0, 0, check
+  mov r0, PASS
+  exit
+check:
+  ldxdw r8, [r0+0]
+  jeq r8, 1, done        ; 1 == GET: stop at a non-SCAN socket
+  add r6, 1
+  ja loop
+done:
+  mov r0, r7
+  exit
+)";
+  return WithN(kTemplate, num_executors);
+}
+
+std::string SitaPolicyAsm(uint32_t num_executors) {
+  constexpr char kTemplate[] = R"(
+.name sita
+.ctx packet
+.map sita_state array 4 8 1
+  mov r3, r1
+  add r3, 16
+  jgt r3, r2, pass       ; bound check before peeking into the payload
+  ldxdw r4, [r1+8]       ; first 8 bytes are the UDP header
+  jne r4, 2, get         ; 2 == SCAN
+  mov r0, 0              ; SCANs steered to socket 0
+  exit
+get:
+  mov r6, 0
+  stxw [r10-4], r6
+  ldmapfd r1, sita_state
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jeq r0, 0, pass
+  ldxdw r6, [r0+0]
+  add r6, 1
+  stxdw [r0+0], r6
+  mod r6, %NM1%
+  add r6, 1
+  mov r0, r6
+  exit
+pass:
+  mov r0, PASS
+  exit
+)";
+  std::string source = WithN(kTemplate, num_executors);
+  return Substitute(source, "%NM1%", std::to_string(num_executors - 1));
+}
+
+std::string TokenPolicyAsm() {
+  // §3.4's example verbatim: parse user id, look up the token bucket,
+  // DROP at zero, otherwise consume one token atomically and PASS.
+  return R"(
+.name token
+.ctx packet
+.map token_map hash 4 8 64
+  mov r3, r1
+  add r3, 20
+  jgt r3, r2, pass
+  ldxw r4, [r1+16]
+  stxw [r10-4], r4
+  ldmapfd r1, token_map
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jeq r0, 0, pass
+  ldxdw r5, [r0+0]
+  jeq r5, 0, drop
+  mov r6, -1
+  xadddw [r0+0], r6
+  mov r0, PASS
+  exit
+drop:
+  mov r0, DROP
+  exit
+pass:
+  mov r0, PASS
+  exit
+)";
+}
+
+std::string LeastLoadedPolicyAsm(uint32_t num_executors,
+                                 const std::string& load_map_path) {
+  constexpr char kTemplate[] = R"(
+.name least_loaded
+.ctx packet
+.extern_map load %PATH%
+  mov r6, 0          ; i
+  mov r7, 0          ; best index
+  mov r8, -1         ; best load (u64 max)
+loop:
+  jge r6, %N%, done
+  stxw [r10-4], r6
+  ldmapfd r1, load
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jne r0, 0, have
+  mov r0, PASS       ; register missing: defer to the default policy
+  exit
+have:
+  ldxdw r9, [r0+0]
+  jge r9, r8, next
+  mov r8, r9
+  mov r7, r6
+next:
+  add r6, 1
+  ja loop
+done:
+  mov r0, r7
+  exit
+)";
+  std::string source = WithN(kTemplate, num_executors);
+  return Substitute(source, "%PATH%", load_map_path);
+}
+
+std::string PowerOfTwoPolicyAsm(uint32_t num_executors,
+                                const std::string& load_map_path) {
+  constexpr char kTemplate[] = R"(
+.name power_of_two
+.ctx packet
+.extern_map load %PATH%
+  call get_prandom_u32
+  mov r6, r0
+  mod r6, %N%          ; candidate a
+  call get_prandom_u32
+  mov r7, r0
+  mod r7, %N%          ; candidate b
+  stxw [r10-4], r6
+  ldmapfd r1, load
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jeq r0, 0, pass
+  ldxdw r8, [r0+0]
+  stxw [r10-4], r7
+  ldmapfd r1, load
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jeq r0, 0, pass
+  ldxdw r9, [r0+0]
+  jlt r9, r8, pick_b
+  mov r0, r6
+  exit
+pick_b:
+  mov r0, r7
+  exit
+pass:
+  mov r0, PASS
+  exit
+)";
+  std::string source = WithN(kTemplate, num_executors);
+  return Substitute(source, "%PATH%", load_map_path);
+}
+
+std::string ConstIndexPolicyAsm(Decision index) {
+  constexpr char kTemplate[] = R"(
+.name const_index
+.ctx packet
+  mov r0, %N%
+  exit
+)";
+  return WithN(kTemplate, index);
+}
+
+std::string MicaHomePolicyAsm(uint32_t num_executors) {
+  constexpr char kTemplate[] = R"(
+.name mica_home
+.ctx packet
+  mov r3, r1
+  add r3, 24
+  jgt r3, r2, pass
+  ldxw r4, [r1+20]
+  mod r4, %N%
+  mov r0, r4
+  exit
+pass:
+  mov r0, PASS
+  exit
+)";
+  return WithN(kTemplate, num_executors);
+}
+
+}  // namespace syrup

@@ -1,0 +1,68 @@
+// Thread-scheduling policies for the ghOSt hook (paper §5.3).
+//
+// The GET-priority policy is the Shinjuku-like policy the paper deploys for
+// the 50/50 GET/SCAN RocksDB workload: it "gives strict priority to threads
+// processing GET requests, preempting at will threads processing SCAN
+// requests", reading an application-populated Map to classify threads.
+#ifndef SYRUP_SRC_POLICIES_GHOST_POLICIES_H_
+#define SYRUP_SRC_POLICIES_GHOST_POLICIES_H_
+
+#include <memory>
+
+#include "src/ghost/ghost.h"
+#include "src/map/map.h"
+#include "src/net/packet.h"
+
+namespace syrup {
+
+// Baseline: first-come-first-served thread placement, no preemption.
+class FcfsGhostPolicy : public GhostPolicy {
+ public:
+  int PickThread(int /*core*/,
+                 const std::vector<GhostThreadInfo>& runnable) override {
+    return runnable.empty() ? -1 : runnable.front().tid;
+  }
+};
+
+class GetPriorityGhostPolicy : public GhostPolicy {
+ public:
+  // `thread_type_map`: tid (u32) -> ReqType (u64), kept current by the
+  // application's userspace code (the cross-layer Map communication).
+  explicit GetPriorityGhostPolicy(std::shared_ptr<Map> thread_type_map)
+      : types_(std::move(thread_type_map)) {}
+
+  int PickThread(int /*core*/,
+                 const std::vector<GhostThreadInfo>& runnable) override {
+    if (runnable.empty()) {
+      return -1;
+    }
+    for (const GhostThreadInfo& info : runnable) {
+      if (TypeOf(info.tid) == ReqType::kGet) {
+        return info.tid;
+      }
+    }
+    return runnable.front().tid;  // only SCAN threads waiting: FCFS
+  }
+
+  bool ShouldPreempt(const GhostThreadInfo& candidate,
+                     int running_tid) override {
+    return TypeOf(candidate.tid) == ReqType::kGet &&
+           TypeOf(running_tid) == ReqType::kScan;
+  }
+
+ private:
+  ReqType TypeOf(int tid) {
+    uint32_t key = static_cast<uint32_t>(tid);
+    void* value = types_->Lookup(&key);
+    if (value == nullptr) {
+      return ReqType::kGet;  // unclassified threads treated as short
+    }
+    return static_cast<ReqType>(Map::AtomicLoad(value));
+  }
+
+  std::shared_ptr<Map> types_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_POLICIES_GHOST_POLICIES_H_

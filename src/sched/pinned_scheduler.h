@@ -1,0 +1,58 @@
+// Pinned run-to-completion scheduler: thread i is bound to core (i mod N).
+//
+// This is the baseline for the single-layer experiments (Figs. 2/6/7/9)
+// where each server thread owns one core, so all queueing happens in
+// sockets rather than in the CPU scheduler.
+#ifndef SYRUP_SRC_SCHED_PINNED_SCHEDULER_H_
+#define SYRUP_SRC_SCHED_PINNED_SCHEDULER_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/sched/machine.h"
+
+namespace syrup {
+
+class PinnedScheduler : public Scheduler {
+ public:
+  explicit PinnedScheduler(Machine& machine)
+      : machine_(machine),
+        queues_(static_cast<size_t>(machine.num_cores())) {}
+
+  void OnThreadRunnable(Thread* thread) override {
+    const int core = CoreOf(thread);
+    queues_[static_cast<size_t>(core)].push_back(thread);
+    TryDispatch(core);
+  }
+
+  void OnThreadBlocked(Thread*, int, Duration) override {}
+
+  void OnSliceExpired(Thread* thread, int core, Duration) override {
+    // Run-to-completion: put the thread straight back on its core's queue.
+    queues_[static_cast<size_t>(core)].push_front(thread);
+  }
+
+  void OnCoreIdle(int core) override { TryDispatch(core); }
+
+ private:
+  int CoreOf(const Thread* thread) const {
+    return (thread->tid() - 1) % machine_.num_cores();
+  }
+
+  void TryDispatch(int core) {
+    auto& queue = queues_[static_cast<size_t>(core)];
+    if (queue.empty() || machine_.CurrentOn(core) != nullptr) {
+      return;
+    }
+    Thread* next = queue.front();
+    queue.pop_front();
+    machine_.RunOn(next, core, kInfiniteSlice);
+  }
+
+  Machine& machine_;
+  std::vector<std::deque<Thread*>> queues_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_SCHED_PINNED_SCHEDULER_H_

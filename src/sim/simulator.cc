@@ -1,0 +1,57 @@
+#include "src/sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace syrup {
+
+EventHandle Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  SYRUP_CHECK_GE(when, now_) << "event scheduled in the past";
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+uint64_t Simulator::RunUntil(Time horizon) {
+  stopped_ = false;
+  uint64_t dispatched = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.when > horizon) {
+      break;
+    }
+    // Moving out of the priority queue requires a const_cast because
+    // std::priority_queue only exposes a const top(); the element is popped
+    // immediately after so the heap invariant is never observed broken.
+    Event event = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    if (*event.cancelled) {
+      continue;
+    }
+    now_ = event.when;
+    event.fn();
+    ++dispatched;
+  }
+  if (queue_.empty() && now_ < horizon) {
+    now_ = horizon;
+  }
+  return dispatched;
+}
+
+uint64_t Simulator::RunToCompletion() {
+  stopped_ = false;
+  uint64_t dispatched = 0;
+  while (!queue_.empty() && !stopped_) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*event.cancelled) {
+      continue;
+    }
+    now_ = event.when;
+    event.fn();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace syrup

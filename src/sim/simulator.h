@@ -1,0 +1,96 @@
+// Deterministic discrete-event simulation engine.
+//
+// All host-stack models (NIC, cores, sockets, schedulers) run on top of this
+// engine: components schedule callbacks at absolute simulated times and the
+// engine dispatches them in (time, insertion-sequence) order, so identical
+// seeds replay identical executions.
+#ifndef SYRUP_SRC_SIM_SIMULATOR_H_
+#define SYRUP_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/time.h"
+
+namespace syrup {
+
+// Handle used to cancel a pending event. Cancellation is O(1): the event is
+// marked dead and skipped at dispatch time.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return cancelled_ != nullptr; }
+  void Cancel() {
+    if (cancelled_ != nullptr) {
+      *cancelled_ = true;
+      cancelled_ = nullptr;
+    }
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= Now()).
+  EventHandle ScheduleAt(Time when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` from now.
+  EventHandle ScheduleAfter(Duration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue empties or simulated time would pass
+  // `horizon`. Returns the number of events dispatched.
+  uint64_t RunUntil(Time horizon);
+
+  // Runs until the queue is empty.
+  uint64_t RunToCompletion();
+
+  // Stops the current Run* call after the in-flight event returns.
+  void Stop() { stopped_ = true; }
+
+  // Includes cancelled-but-not-yet-popped events.
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+
+    // Min-heap by (when, seq): std::priority_queue is a max-heap, so invert.
+    bool operator<(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event> queue_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,59 @@
+// IO request model for the storage backend extension (paper §6.1).
+//
+// "One natural extension for Syrup's scheduling model is storage; we can
+// use Syrup to match IO requests with storage device queues." Inputs are
+// IO requests, executors are NVMe submission queues.
+//
+// An IO request serializes to the same 40-byte wire layout packets use,
+// with the operation type at offset 8 (where packets carry the request
+// type) and the tenant id at offset 16 (where packets carry the user id).
+// This makes network policies *portable* to the storage hook verbatim: the
+// §3.4 token policy and the Fig. 5d SITA policy schedule IO unchanged —
+// the paper's point that one matching abstraction spans the stack.
+#ifndef SYRUP_SRC_STORAGE_IO_REQUEST_H_
+#define SYRUP_SRC_STORAGE_IO_REQUEST_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/time.h"
+#include "src/net/packet.h"
+
+namespace syrup {
+
+enum class IoOp : uint64_t {
+  kRead = 1,
+  kWrite = 2,  // numerically matches ReqType::kScan: long ops map to SITA's
+               // "long class", so the SITA policy isolates writes as-is
+};
+
+inline constexpr uint32_t kIoBlockSize = 4096;
+
+struct IoRequest {
+  uint32_t tenant_id = 0;
+  IoOp op = IoOp::kRead;
+  uint64_t lba = 0;           // logical block address (4K blocks)
+  uint32_t num_blocks = 1;    // request size in 4K blocks
+  uint64_t req_id = 0;
+  Time submit_time = 0;
+
+  // Serializes to the packet-compatible wire image (see file comment).
+  std::array<uint8_t, kWireSize> ToWire() const {
+    std::array<uint8_t, kWireSize> wire{};
+    auto store = [&wire](size_t offset, const auto& value) {
+      std::memcpy(wire.data() + offset, &value, sizeof(value));
+    };
+    store(0, lba);                               // [0,8): opaque header
+    store(8, static_cast<uint64_t>(op));         // [8,16): operation type
+    store(16, tenant_id);                        // [16,20): tenant id
+    store(20, num_blocks);                       // [20,24): size
+    store(24, req_id);                           // [24,32)
+    store(32, static_cast<uint64_t>(submit_time));  // [32,40)
+    return wire;
+  }
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_STORAGE_IO_REQUEST_H_

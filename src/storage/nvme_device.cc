@@ -1,0 +1,66 @@
+#include "src/storage/nvme_device.h"
+
+#include "src/common/logging.h"
+
+namespace syrup {
+
+NvmeDevice::NvmeDevice(Simulator& sim, NvmeConfig config)
+    : sim_(sim), config_(config) {
+  SYRUP_CHECK_GT(config_.num_queues, 0);
+  queues_.resize(static_cast<size_t>(config_.num_queues));
+}
+
+Duration NvmeDevice::ServiceTime(const IoRequest& request) const {
+  const Duration base = request.op == IoOp::kRead ? config_.read_4k
+                                                  : config_.write_4k;
+  const uint32_t extra = request.num_blocks > 0 ? request.num_blocks - 1 : 0;
+  return base + static_cast<Duration>(extra) * config_.per_extra_block;
+}
+
+bool NvmeDevice::Submit(int queue, const IoRequest& request) {
+  SYRUP_CHECK_GE(queue, 0);
+  SYRUP_CHECK_LT(queue, num_queues());
+  Queue& q = queues_[static_cast<size_t>(queue)];
+  if (q.pending.size() >= config_.queue_depth) {
+    ++stats_.rejected;
+    return false;
+  }
+  ++stats_.submitted;
+  q.pending.push_back(request);
+  if (!q.busy) {
+    StartNext(queue);
+  }
+  return true;
+}
+
+void NvmeDevice::StartNext(int queue) {
+  Queue& q = queues_[static_cast<size_t>(queue)];
+  if (q.pending.empty()) {
+    q.busy = false;
+    return;
+  }
+  q.busy = true;
+  IoRequest request = q.pending.front();
+  q.pending.pop_front();
+  const Duration service = ServiceTime(request);
+  q.busy_time += service;
+  sim_.ScheduleAfter(service, [this, queue, request]() {
+    ++stats_.completed;
+    if (on_complete_) {
+      on_complete_(request, sim_.Now());
+    }
+    StartNext(queue);
+  });
+}
+
+double NvmeDevice::QueueUtilization(int queue) const {
+  const Time now = sim_.Now();
+  if (now == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(
+             queues_[static_cast<size_t>(queue)].busy_time) /
+         static_cast<double>(now);
+}
+
+}  // namespace syrup

@@ -1,0 +1,78 @@
+// Flash device model: the executor substrate for the storage hook.
+//
+// Models what matters for IO scheduling policy: multiple submission queues
+// with bounded depth, FIFO service per queue, and strongly asymmetric
+// read/write service times (a 4K flash read is tens of microseconds; a
+// write/erase is an order of magnitude slower — the source of ReFlex-style
+// read/write interference).
+#ifndef SYRUP_SRC_STORAGE_NVME_DEVICE_H_
+#define SYRUP_SRC_STORAGE_NVME_DEVICE_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+#include "src/storage/io_request.h"
+
+namespace syrup {
+
+struct NvmeConfig {
+  int num_queues = 8;
+  size_t queue_depth = 64;
+  Duration read_4k = 80 * kMicrosecond;    // flash page read
+  Duration write_4k = 500 * kMicrosecond;  // program/erase amortized
+  Duration per_extra_block = 5 * kMicrosecond;  // transfer per extra 4K
+};
+
+struct NvmeStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;  // submission queue full
+};
+
+class NvmeDevice {
+ public:
+  using CompletionFn = std::function<void(const IoRequest&, Time)>;
+
+  NvmeDevice(Simulator& sim, NvmeConfig config);
+
+  NvmeDevice(const NvmeDevice&) = delete;
+  NvmeDevice& operator=(const NvmeDevice&) = delete;
+
+  void SetCompletionCallback(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+  int num_queues() const { return static_cast<int>(queues_.size()); }
+  const NvmeConfig& config() const { return config_; }
+  const NvmeStats& stats() const { return stats_; }
+
+  // Submits to queue `queue`; returns false (rejected) if the queue is full.
+  bool Submit(int queue, const IoRequest& request);
+
+  size_t QueueLength(int queue) const {
+    return queues_[static_cast<size_t>(queue)].pending.size();
+  }
+  double QueueUtilization(int queue) const;
+
+  Duration ServiceTime(const IoRequest& request) const;
+
+ private:
+  struct Queue {
+    std::deque<IoRequest> pending;
+    bool busy = false;
+    Duration busy_time = 0;
+  };
+
+  void StartNext(int queue);
+
+  Simulator& sim_;
+  NvmeConfig config_;
+  std::vector<Queue> queues_;
+  NvmeStats stats_;
+  CompletionFn on_complete_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_STORAGE_NVME_DEVICE_H_

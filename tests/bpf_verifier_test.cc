@@ -1,0 +1,503 @@
+// Verifier tests: every rejection class the paper's isolation story relies
+// on (§4.3), plus acceptance of all shipped policies.
+#include <gtest/gtest.h>
+
+#include "src/bpf/assembler.h"
+#include "src/bpf/program.h"
+#include "src/bpf/verifier.h"
+#include "src/map/map.h"
+#include "src/policies/builtin.h"
+
+namespace syrup::bpf {
+namespace {
+
+// Assembles `source`, resolving declared maps with freshly created ones.
+Program Load(std::string_view source) {
+  auto assembled = Assemble(source);
+  EXPECT_TRUE(assembled.ok()) << assembled.status();
+  Program prog;
+  prog.name = assembled->name;
+  prog.insns = assembled->insns;
+  for (const MapSlot& slot : assembled->map_slots) {
+    EXPECT_FALSE(slot.is_extern);
+    prog.maps.push_back(CreateMap(slot.spec).value());
+  }
+  return prog;
+}
+
+Status VerifyPacket(std::string_view source) {
+  return Verify(Load(source), ProgramContext::kPacket);
+}
+
+testing::AssertionResult Rejects(std::string_view source,
+                                 std::string_view why) {
+  const Status status = VerifyPacket(source);
+  if (status.ok()) {
+    return testing::AssertionFailure() << "program unexpectedly verified";
+  }
+  if (status.message().find(why) == std::string::npos) {
+    return testing::AssertionFailure()
+           << "expected rejection reason '" << why << "', got: "
+           << status.ToString();
+  }
+  return testing::AssertionSuccess();
+}
+
+// --- acceptance ------------------------------------------------------------------
+
+TEST(Verifier, AcceptsTrivialProgram) {
+  EXPECT_TRUE(VerifyPacket("mov r0, 0\nexit\n").ok());
+}
+
+TEST(Verifier, AcceptsBoundsCheckedPacketRead) {
+  EXPECT_TRUE(VerifyPacket(R"(
+    mov r3, r1
+    add r3, 4
+    jgt r3, r2, out
+    ldxw r0, [r1+0]
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )").ok());
+}
+
+TEST(Verifier, AcceptsReversedBoundsCompare) {
+  // `if (pkt_end >= pkt + 8) read;` — refinement on the taken edge.
+  EXPECT_TRUE(VerifyPacket(R"(
+    mov r3, r1
+    add r3, 8
+    jge r2, r3, read
+    mov r0, PASS
+    exit
+  read:
+    ldxdw r0, [r1+0]
+    exit
+  )").ok());
+}
+
+TEST(Verifier, AcceptsNullCheckedMapDeref) {
+  EXPECT_TRUE(VerifyPacket(R"(
+    .map m array 4 8 4
+    mov r6, 0
+    stxw [r10-4], r6
+    ldmapfd r1, m
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    jeq r0, 0, out
+    ldxdw r0, [r0+0]
+    exit
+  out:
+    mov r0, 0
+    exit
+  )").ok());
+}
+
+TEST(Verifier, AcceptsBoundedLoop) {
+  EXPECT_TRUE(VerifyPacket(R"(
+    mov r6, 0
+    mov r0, 0
+  loop:
+    jge r6, 16, done
+    add r0, 2
+    add r6, 1
+    ja loop
+  done:
+    exit
+  )").ok());
+}
+
+TEST(Verifier, AcceptsAllShippedPolicies) {
+  for (const std::string& source :
+       {RoundRobinPolicyAsm(6), HashPolicyAsm(6), ScanAvoidPolicyAsm(6),
+        SitaPolicyAsm(6), TokenPolicyAsm(), MicaHomePolicyAsm(8),
+        ConstIndexPolicyAsm(0)}) {
+    EXPECT_TRUE(VerifyPacket(source).ok())
+        << "policy failed verification:\n" << source
+        << "\n" << VerifyPacket(source).ToString();
+  }
+}
+
+TEST(Verifier, AcceptsThreadContextScalars) {
+  Program prog = Load(R"(
+    .ctx thread
+    mov r0, r1
+    add r0, r2
+    exit
+  )");
+  EXPECT_TRUE(Verify(prog, ProgramContext::kThread).ok());
+}
+
+TEST(Verifier, ReportsStats) {
+  Program prog = Load("mov r0, 0\nexit\n");
+  VerifierStats stats;
+  ASSERT_TRUE(Verify(prog, ProgramContext::kPacket, {}, &stats).ok());
+  EXPECT_EQ(stats.visited_insns, 2u);
+}
+
+// --- rejections -------------------------------------------------------------------
+
+TEST(Verifier, RejectsPacketReadWithoutBoundsCheck) {
+  // The reason the paper passes (pkt_start, pkt_end) pairs: unchecked
+  // dereference must not load.
+  EXPECT_TRUE(Rejects(R"(
+    ldxw r0, [r1+0]
+    exit
+  )", "outside verified range"));
+}
+
+TEST(Verifier, RejectsReadBeyondCheckedRange) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, r1
+    add r3, 4
+    jgt r3, r2, out
+    ldxdw r0, [r1+0]   ; checked 4 bytes, reads 8
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )", "outside verified range"));
+}
+
+TEST(Verifier, RejectsCheckOnWrongBranch) {
+  // Refinement must apply to the correct edge only.
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, r1
+    add r3, 4
+    jgt r3, r2, read   ; TAKEN edge means pkt+4 > pkt_end: NOT safe
+    mov r0, PASS
+    exit
+  read:
+    ldxw r0, [r1+0]
+    exit
+  )", "outside verified range"));
+}
+
+TEST(Verifier, RejectsNegativePacketOffset) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, r1
+    add r3, 4
+    jgt r3, r2, out
+    ldxw r0, [r1-4]
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )", "outside verified range"));
+}
+
+TEST(Verifier, RejectsPacketWrite) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, r1
+    add r3, 4
+    jgt r3, r2, out
+    mov r4, 0
+    stxw [r1+0], r4
+  out:
+    mov r0, PASS
+    exit
+  )", "read-only"));
+}
+
+TEST(Verifier, RejectsMapDerefWithoutNullCheck) {
+  EXPECT_TRUE(Rejects(R"(
+    .map m array 4 8 4
+    mov r6, 0
+    stxw [r10-4], r6
+    ldmapfd r1, m
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    ldxdw r0, [r0+0]
+    exit
+  )", "NULL check"));
+}
+
+TEST(Verifier, RejectsProvenNullDeref) {
+  EXPECT_TRUE(Rejects(R"(
+    .map m array 4 8 4
+    mov r6, 0
+    stxw [r10-4], r6
+    ldmapfd r1, m
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    jne r0, 0, out
+    ldxdw r0, [r0+0]   ; this branch proved r0 == NULL
+    exit
+  out:
+    mov r0, 0
+    exit
+  )", "NULL pointer dereference"));
+}
+
+TEST(Verifier, RejectsMapValueOutOfBounds) {
+  EXPECT_TRUE(Rejects(R"(
+    .map m array 4 8 4
+    mov r6, 0
+    stxw [r10-4], r6
+    ldmapfd r1, m
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    jeq r0, 0, out
+    ldxdw r3, [r0+8]   ; value is 8 bytes; offset 8 is out of bounds
+    mov r0, r3
+    exit
+  out:
+    mov r0, 0
+    exit
+  )", "map value access out of bounds"));
+}
+
+TEST(Verifier, RejectsUninitializedRegisterRead) {
+  EXPECT_TRUE(Rejects("mov r0, r5\nexit\n", "uninitialized register"));
+}
+
+TEST(Verifier, RejectsUninitializedStackRead) {
+  EXPECT_TRUE(Rejects(R"(
+    ldxdw r0, [r10-8]
+    exit
+  )", "uninitialized stack"));
+}
+
+TEST(Verifier, RejectsPartiallyInitializedStackRead) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, 1
+    stxw [r10-8], r3   ; 4 of the 8 bytes
+    ldxdw r0, [r10-8]
+    exit
+  )", "uninitialized stack"));
+}
+
+TEST(Verifier, RejectsStackOutOfBounds) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, 1
+    stxw [r10-516], r3
+    mov r0, 0
+    exit
+  )", "stack access out of bounds"));
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, 1
+    stxw [r10+0], r3
+    mov r0, 0
+    exit
+  )", "stack access out of bounds"));
+}
+
+TEST(Verifier, RejectsWriteToFramePointer) {
+  EXPECT_TRUE(Rejects("mov r10, 0\nmov r0, 0\nexit\n", "frame pointer"));
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  EXPECT_TRUE(Rejects("mov r0, 0\n", "falls off the end"));
+}
+
+TEST(Verifier, RejectsExitWithUninitializedR0) {
+  EXPECT_TRUE(Rejects("exit\n", "non-scalar or uninitialized r0"));
+}
+
+TEST(Verifier, RejectsExitWithPointerR0) {
+  EXPECT_TRUE(Rejects("mov r0, r1\nexit\n",
+                      "non-scalar or uninitialized r0"));
+}
+
+TEST(Verifier, RejectsUnboundedLoop) {
+  // The liveness guarantee: exploration budget exhausts (the paper's
+  // "verifier analyzes up to 1 million instructions").
+  VerifierOptions options;
+  options.max_visited_insns = 10'000;
+  Program prog = Load(R"(
+    mov r0, 0
+  loop:
+    add r0, 1
+    ja loop
+  )");
+  const Status status = Verify(prog, ProgramContext::kPacket, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("too complex"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDataDependentLoop) {
+  VerifierOptions options;
+  options.max_visited_insns = 50'000;
+  // Loop bound comes from packet data: unknown, so exploration re-forks
+  // until the budget trips.
+  Program prog = Load(R"(
+    mov r3, r1
+    add r3, 4
+    jgt r3, r2, out
+    ldxw r4, [r1+0]
+    mov r0, 0
+  loop:
+    jge r0, r4, out
+    add r0, 1
+    ja loop
+  out:
+    mov r0, 0
+    exit
+  )");
+  EXPECT_FALSE(Verify(prog, ProgramContext::kPacket, options).ok());
+}
+
+TEST(Verifier, RejectsHelperWithWrongMapRegister) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r1, 0
+    mov r2, r10
+    add r2, -4
+    mov r3, 7
+    stxw [r10-4], r3
+    call map_lookup_elem
+    mov r0, 0
+    exit
+  )", "map reference"));
+}
+
+TEST(Verifier, RejectsHelperKeyFromUninitializedStack) {
+  EXPECT_TRUE(Rejects(R"(
+    .map m array 4 8 4
+    ldmapfd r1, m
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    mov r0, 0
+    exit
+  )", "uninitialized stack"));
+}
+
+TEST(Verifier, RejectsHelperKeyNotAPointer) {
+  EXPECT_TRUE(Rejects(R"(
+    .map m array 4 8 4
+    ldmapfd r1, m
+    mov r2, 1234
+    call map_lookup_elem
+    mov r0, 0
+    exit
+  )", "stack or map value pointer"));
+}
+
+TEST(Verifier, RejectsTailCallOnNonProgArray) {
+  EXPECT_TRUE(Rejects(R"(
+    .map m array 4 8 4
+    mov r1, 0
+    ldmapfd r2, m
+    mov r3, 0
+    call tail_call
+    mov r0, 0
+    exit
+  )", "prog_array"));
+}
+
+TEST(Verifier, RejectsUnknownHelper) {
+  EXPECT_TRUE(Rejects("call 999\nmov r0, 0\nexit\n", "unknown helper"));
+}
+
+TEST(Verifier, RejectsPointerScalarComparison) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, 5
+    jgt r1, r3, +1
+    mov r0, 0
+    exit
+  )", "comparison between pointer and scalar"));
+}
+
+TEST(Verifier, RejectsPointerImmediateComparison) {
+  EXPECT_TRUE(Rejects(R"(
+    jgt r1, 5, +1
+    mov r0, 0
+    exit
+  )", "comparison between pointer and immediate"));
+}
+
+TEST(Verifier, RejectsArithmeticOnPktEnd) {
+  EXPECT_TRUE(Rejects(R"(
+    add r2, 4
+    mov r0, 0
+    exit
+  )", "arithmetic on pkt_end"));
+}
+
+TEST(Verifier, RejectsMulOnPointer) {
+  EXPECT_TRUE(Rejects(R"(
+    mul r1, 2
+    mov r0, 0
+    exit
+  )", "ALU op on pointer"));
+}
+
+TEST(Verifier, RejectsPointerAddUnknownScalar) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, r1
+    add r3, 4
+    jgt r3, r2, out
+    ldxw r4, [r1+0]
+    add r1, r4          ; unknown scalar offset: range would be lost
+    mov r0, 0
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )", "pointer arithmetic with unknown"));
+}
+
+TEST(Verifier, RejectsAtomicOnStackIsAllowedButPacketIsNot) {
+  EXPECT_TRUE(Rejects(R"(
+    mov r4, 1
+    xadddw [r1+0], r4
+    mov r0, 0
+    exit
+  )", "atomic op on packet"));
+}
+
+TEST(Verifier, RejectsStoringPointerToStack) {
+  EXPECT_TRUE(Rejects(R"(
+    stxdw [r10-8], r1
+    mov r0, 0
+    exit
+  )", "expected scalar"));
+}
+
+TEST(Verifier, RejectsJumpOutOfBounds) {
+  Program prog;
+  prog.name = "bad_jump";
+  prog.insns = {Insn{Op::kJa, 0, 0, 100, 0}, Insn{Op::kExit, 0, 0, 0, 0}};
+  EXPECT_FALSE(Verify(prog, ProgramContext::kPacket).ok());
+}
+
+TEST(Verifier, RejectsBadMapIndex) {
+  Program prog;
+  prog.name = "bad_map";
+  prog.insns = {Insn{Op::kLdMapFd, 1, 0, 0, 3},  // no maps loaded
+                Insn{Op::kMovImm, 0, 0, 0, 0},
+                Insn{Op::kExit, 0, 0, 0, 0}};
+  EXPECT_FALSE(Verify(prog, ProgramContext::kPacket).ok());
+}
+
+TEST(Verifier, RejectsEmptyProgram) {
+  Program prog;
+  prog.name = "empty";
+  EXPECT_FALSE(Verify(prog, ProgramContext::kPacket).ok());
+}
+
+TEST(Verifier, RejectsPacketAccessInThreadContext) {
+  // In the thread context r1/r2 are scalars, not packet pointers.
+  Program prog = Load(R"(
+    .ctx thread
+    ldxw r0, [r1+0]
+    exit
+  )");
+  EXPECT_FALSE(Verify(prog, ProgramContext::kThread).ok());
+}
+
+TEST(Verifier, ErrorsNameTheProgramAndInstruction) {
+  Program prog = Load(".name culprit\nldxw r0, [r1+0]\nexit\n");
+  const Status status = Verify(prog, ProgramContext::kPacket);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("culprit"), std::string::npos);
+  EXPECT_NE(status.message().find("insn 0"), std::string::npos);
+  EXPECT_NE(status.message().find("ldxw"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace syrup::bpf

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/decision.h"
+#include "src/common/distributions.h"
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace syrup {
+namespace {
+
+// --- Status ------------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(Status, AllConstructorsSetDistinctCodes) {
+  std::set<StatusCode> codes;
+  codes.insert(NotFoundError("").code());
+  codes.insert(AlreadyExistsError("").code());
+  codes.insert(PermissionDeniedError("").code());
+  codes.insert(ResourceExhaustedError("").code());
+  codes.insert(FailedPreconditionError("").code());
+  codes.insert(OutOfRangeError("").code());
+  codes.insert(UnimplementedError("").code());
+  codes.insert(InternalError("").code());
+  codes.insert(UnavailableError("").code());
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  SYRUP_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(StatusOr, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBoundedInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 6ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBoundedRoughlyUniform) {
+  Rng rng(9);
+  constexpr int kBuckets = 6;
+  constexpr int kSamples = 60'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    EXPECT_NEAR(counts[bucket], kSamples / kBuckets, kSamples / 100);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+// --- Distributions -------------------------------------------------------------
+
+TEST(Distributions, UniformDurationWithinBounds) {
+  Rng rng(3);
+  UniformDuration d(10, 12);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration v = d.Sample(rng);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Distributions, ExponentialMeanMatchesRate) {
+  Rng rng(5);
+  constexpr double kRate = 100'000;  // mean gap 10us
+  ExponentialDuration d(kRate);
+  double sum = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(d.Sample(rng));
+  }
+  const double mean_us = sum / kSamples / 1000.0;
+  EXPECT_NEAR(mean_us, 10.0, 0.2);
+}
+
+TEST(Distributions, DiscreteIndexRespectsWeights) {
+  Rng rng(6);
+  DiscreteIndex d({99.5, 0.5});
+  int rare = 0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (d.Sample(rng) == 1) {
+      ++rare;
+    }
+  }
+  EXPECT_NEAR(rare, kSamples * 0.005, kSamples * 0.001);
+}
+
+TEST(Distributions, ZipfSkewsTowardSmallIndices) {
+  Rng rng(8);
+  ZipfIndex zipf(1000, 0.99);
+  int head = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) < 10) {
+      ++head;
+    }
+  }
+  // Top 1% of keys should receive far more than 1% of traffic.
+  EXPECT_GT(head, kSamples / 5);
+}
+
+TEST(Distributions, ZipfThetaZeroIsUniform) {
+  Rng rng(8);
+  ZipfIndex zipf(100, 0.0);
+  int head = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (zipf.Sample(rng) < 10) {
+      ++head;
+    }
+  }
+  EXPECT_NEAR(head, 5000, 500);
+}
+
+// --- Histogram ------------------------------------------------------------------
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  Histogram h;
+  for (uint64_t v = 0; v < 31; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 31u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_EQ(h.Percentile(100), 30u);
+}
+
+TEST(Histogram, PercentileWithinRelativeError) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100'000; ++v) {
+    h.Record(v);
+  }
+  // Log-linear bucketing bounds relative error by ~1/32 per bucket.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 50'000.0, 50'000 / 16.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 99'000.0, 99'000 / 16.0);
+  EXPECT_EQ(h.Percentile(100), 100'000u);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(60);
+  EXPECT_DOUBLE_EQ(h.Mean(), 30.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Record(100);
+  b.Record(200);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 300u);
+}
+
+TEST(Histogram, RecordNAndReset) {
+  Histogram h;
+  h.RecordN(50, 1000);
+  EXPECT_EQ(h.count(), 1000u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, ClampsToMaxValue) {
+  Histogram h(1 << 20);
+  h.Record(uint64_t{1} << 40);  // way beyond max: clamps, doesn't crash
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h;
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    h.Record(rng.NextBounded(1'000'000));
+  }
+  uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const uint64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+// --- hash / decision -----------------------------------------------------------
+
+TEST(Hash, Fnv1aStable) {
+  const char data[] = "syrup";
+  EXPECT_EQ(Fnv1a64(data, 5), Fnv1a64(data, 5));
+  EXPECT_NE(Fnv1a64(data, 5), Fnv1a64(data, 4));
+}
+
+TEST(Hash, Mix64Distributes) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Decision, SentinelsAreNotExecutors) {
+  EXPECT_FALSE(IsExecutorIndex(kPass));
+  EXPECT_FALSE(IsExecutorIndex(kDrop));
+  EXPECT_TRUE(IsExecutorIndex(0));
+  EXPECT_TRUE(IsExecutorIndex(5));
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(ToMicros(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_EQ(FromMicros(2.5), 2500u);
+}
+
+}  // namespace
+}  // namespace syrup

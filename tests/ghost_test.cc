@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/ghost/ghost.h"
+#include "src/map/map.h"
+#include "src/policies/ghost_policies.h"
+#include "src/sched/machine.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+struct GhostRig {
+  explicit GhostRig(int cores, int managed, GhostPolicy& policy)
+      : machine(sim, cores), sched(machine, policy, Config(managed)) {
+    machine.SetScheduler(&sched);
+  }
+
+  static GhostConfig Config(int managed) {
+    GhostConfig config;
+    config.num_managed_cores = managed;
+    return config;
+  }
+
+  Simulator sim;
+  Machine machine;
+  GhostScheduler sched;
+};
+
+TEST(Ghost, PlacesThreadAfterMessageAndCommitDelays) {
+  FcfsGhostPolicy policy;
+  GhostRig rig(2, 1, policy);
+  Thread* thread = rig.machine.CreateThread("t");
+  Time done = 0;
+  thread->SetSegmentDoneCallback([&]() { done = rig.sim.Now(); });
+  rig.machine.AddWork(thread, 100);
+  rig.machine.Wake(thread);
+  rig.sim.RunToCompletion();
+  const GhostConfig config = GhostRig::Config(1);
+  // Wakeup -> message delay -> per-message cost -> commit delay -> 100ns.
+  const Time expected = config.message_delay + config.per_message_cost +
+                        config.commit_delay + 100;
+  EXPECT_EQ(done, expected);
+  EXPECT_GE(rig.sched.messages_processed(), 1u);
+  EXPECT_EQ(rig.sched.commits(), 1u);
+}
+
+TEST(Ghost, NeverUsesUnmanagedCores) {
+  FcfsGhostPolicy policy;
+  GhostRig rig(4, 2, policy);  // cores 2,3 reserved (agent + spare)
+  std::vector<Thread*> threads;
+  int completions = 0;
+  for (int i = 0; i < 4; ++i) {
+    Thread* thread = rig.machine.CreateThread("t");
+    thread->SetSegmentDoneCallback([&]() { ++completions; });
+    rig.machine.AddWork(thread, 10'000);
+    threads.push_back(thread);
+  }
+  for (Thread* thread : threads) {
+    rig.machine.Wake(thread);
+  }
+  rig.sim.RunUntil(5'000);
+  EXPECT_EQ(rig.machine.CurrentOn(2), nullptr);
+  EXPECT_EQ(rig.machine.CurrentOn(3), nullptr);
+  EXPECT_NE(rig.machine.CurrentOn(0), nullptr);
+  EXPECT_NE(rig.machine.CurrentOn(1), nullptr);
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(completions, 4);
+}
+
+TEST(Ghost, FcfsOrdersByWakeTime) {
+  FcfsGhostPolicy policy;
+  GhostRig rig(1, 1, policy);
+  Thread* first = rig.machine.CreateThread("first");
+  Thread* second = rig.machine.CreateThread("second");
+  std::vector<std::string> order;
+  first->SetSegmentDoneCallback([&]() { order.push_back("first"); });
+  second->SetSegmentDoneCallback([&]() { order.push_back("second"); });
+  rig.machine.AddWork(first, 1000);
+  rig.machine.AddWork(second, 1000);
+  rig.machine.Wake(first);
+  rig.sim.ScheduleAt(10, [&]() { rig.machine.Wake(second); });
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Ghost, GetPriorityPolicyJumpsQueue) {
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = 16;
+  auto types = CreateMap(spec).value();
+  GetPriorityGhostPolicy policy(types);
+  GhostRig rig(1, 1, policy);
+
+  Thread* scan_thread = rig.machine.CreateThread("scan");
+  Thread* get_thread = rig.machine.CreateThread("get");
+  std::vector<std::string> order;
+  scan_thread->SetSegmentDoneCallback([&]() { order.push_back("scan"); });
+  get_thread->SetSegmentDoneCallback([&]() { order.push_back("get"); });
+
+  ASSERT_TRUE(types->UpdateU64(static_cast<uint32_t>(scan_thread->tid()),
+                               static_cast<uint64_t>(ReqType::kScan))
+                  .ok());
+  ASSERT_TRUE(types->UpdateU64(static_cast<uint32_t>(get_thread->tid()),
+                               static_cast<uint64_t>(ReqType::kGet))
+                  .ok());
+
+  // Both wake in the same agent batch, SCAN first; the GET thread still
+  // runs first under strict priority.
+  rig.machine.AddWork(scan_thread, 700'000);
+  rig.machine.AddWork(get_thread, 10'000);
+  rig.machine.Wake(scan_thread);
+  rig.machine.Wake(get_thread);
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<std::string>{"get", "scan"}));
+}
+
+TEST(Ghost, GetPreemptsRunningScan) {
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = 16;
+  auto types = CreateMap(spec).value();
+  GetPriorityGhostPolicy policy(types);
+  GhostRig rig(1, 1, policy);
+
+  Thread* scan_thread = rig.machine.CreateThread("scan");
+  Thread* get_thread = rig.machine.CreateThread("get");
+  Time get_done = 0;
+  Time scan_done = 0;
+  scan_thread->SetSegmentDoneCallback([&]() { scan_done = rig.sim.Now(); });
+  get_thread->SetSegmentDoneCallback([&]() { get_done = rig.sim.Now(); });
+  ASSERT_TRUE(types->UpdateU64(static_cast<uint32_t>(scan_thread->tid()),
+                               static_cast<uint64_t>(ReqType::kScan))
+                  .ok());
+  ASSERT_TRUE(types->UpdateU64(static_cast<uint32_t>(get_thread->tid()),
+                               static_cast<uint64_t>(ReqType::kGet))
+                  .ok());
+
+  rig.machine.AddWork(scan_thread, 700 * kMicrosecond);
+  rig.machine.Wake(scan_thread);
+  // GET arrives mid-SCAN; the policy preempts "at will" (paper §5.3).
+  rig.sim.ScheduleAt(100 * kMicrosecond, [&]() {
+    rig.machine.AddWork(get_thread, 10 * kMicrosecond);
+    rig.machine.Wake(get_thread);
+  });
+  rig.sim.RunToCompletion();
+  EXPECT_GE(rig.sched.preemptions(), 1u);
+  EXPECT_LT(get_done, 150 * kMicrosecond);  // didn't wait out the SCAN
+  EXPECT_GT(scan_done, 700 * kMicrosecond);
+  // SCAN work is conserved across preemption.
+  EXPECT_EQ(scan_thread->total_cpu(), 700 * kMicrosecond);
+}
+
+TEST(Ghost, ScanDoesNotPreemptScan) {
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = 16;
+  auto types = CreateMap(spec).value();
+  GetPriorityGhostPolicy policy(types);
+  GhostRig rig(1, 1, policy);
+
+  Thread* a = rig.machine.CreateThread("scan_a");
+  Thread* b = rig.machine.CreateThread("scan_b");
+  a->SetSegmentDoneCallback([] {});
+  b->SetSegmentDoneCallback([] {});
+  for (Thread* thread : {a, b}) {
+    ASSERT_TRUE(types->UpdateU64(static_cast<uint32_t>(thread->tid()),
+                                 static_cast<uint64_t>(ReqType::kScan))
+                    .ok());
+  }
+  rig.machine.AddWork(a, 700 * kMicrosecond);
+  rig.machine.Wake(a);
+  rig.sim.ScheduleAt(50 * kMicrosecond, [&]() {
+    rig.machine.AddWork(b, 700 * kMicrosecond);
+    rig.machine.Wake(b);
+  });
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(rig.sched.preemptions(), 0u);
+}
+
+TEST(Ghost, UnclassifiedThreadTreatedAsShort) {
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = 16;
+  auto types = CreateMap(spec).value();
+  GetPriorityGhostPolicy policy(types);
+  const GhostThreadInfo info{42, 0};
+  // tid 42 not in the map: PickThread treats it as GET-class.
+  EXPECT_EQ(policy.PickThread(0, {info}), 42);
+}
+
+TEST(Ghost, PolicyCanLeaveCoreIdle) {
+  class NeverPlace : public GhostPolicy {
+   public:
+    int PickThread(int, const std::vector<GhostThreadInfo>&) override {
+      return -1;
+    }
+  };
+  NeverPlace policy;
+  GhostRig rig(1, 1, policy);
+  Thread* thread = rig.machine.CreateThread("t");
+  thread->SetSegmentDoneCallback([] {});
+  rig.machine.AddWork(thread, 100);
+  rig.machine.Wake(thread);
+  rig.sim.RunUntil(1 * kMillisecond);
+  EXPECT_EQ(thread->state(), Thread::State::kRunnable);  // starved by policy
+  EXPECT_EQ(rig.sched.commits(), 0u);
+}
+
+TEST(Ghost, StalePickIsIgnored) {
+  class PickBogus : public GhostPolicy {
+   public:
+    int PickThread(int, const std::vector<GhostThreadInfo>&) override {
+      return 999;  // not a runnable tid
+    }
+  };
+  PickBogus policy;
+  GhostRig rig(1, 1, policy);
+  Thread* thread = rig.machine.CreateThread("t");
+  thread->SetSegmentDoneCallback([] {});
+  rig.machine.AddWork(thread, 100);
+  rig.machine.Wake(thread);
+  rig.sim.RunUntil(1 * kMillisecond);
+  EXPECT_EQ(rig.sched.commits(), 0u);  // bogus pick skipped, no crash
+}
+
+
+TEST(Ghost, ManyThreadsManyCores) {
+  // 12 threads over 3 managed cores: everything completes, total CPU time
+  // is conserved, unmanaged core untouched.
+  FcfsGhostPolicy policy;
+  GhostRig rig(4, 3, policy);
+  std::vector<Thread*> threads;
+  int completions = 0;
+  for (int i = 0; i < 12; ++i) {
+    Thread* thread = rig.machine.CreateThread("t" + std::to_string(i));
+    thread->SetSegmentDoneCallback([&]() { ++completions; });
+    rig.machine.AddWork(thread, 10'000 + static_cast<Duration>(i) * 100);
+    threads.push_back(thread);
+  }
+  for (Thread* thread : threads) {
+    rig.machine.Wake(thread);
+  }
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(completions, 12);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(threads[static_cast<size_t>(i)]->total_cpu(),
+              10'000u + static_cast<Duration>(i) * 100);
+  }
+  EXPECT_EQ(rig.machine.CoreUtilization(3), 0.0);
+  EXPECT_EQ(rig.sched.commits(), 12u);
+}
+
+TEST(Ghost, RepeatedWakeBlockCycles) {
+  FcfsGhostPolicy policy;
+  GhostRig rig(1, 1, policy);
+  Thread* thread = rig.machine.CreateThread("t");
+  int completions = 0;
+  thread->SetSegmentDoneCallback([&]() { ++completions; });
+  // Wake it 10 times with gaps larger than the run time.
+  for (int i = 0; i < 10; ++i) {
+    rig.sim.ScheduleAt(static_cast<Time>(i) * 100'000, [&]() {
+      rig.machine.AddWork(thread, 1000);
+      rig.machine.Wake(thread);
+    });
+  }
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(completions, 10);
+  EXPECT_EQ(thread->total_cpu(), 10'000u);
+}
+
+TEST(Ghost, PreemptionConservesWorkAcrossManyCycles) {
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = 16;
+  auto types = CreateMap(spec).value();
+  GetPriorityGhostPolicy policy(types);
+  GhostRig rig(1, 1, policy);
+
+  Thread* scan_thread = rig.machine.CreateThread("scan");
+  Thread* get_thread = rig.machine.CreateThread("get");
+  Time scan_done = 0;
+  int gets_done = 0;
+  scan_thread->SetSegmentDoneCallback([&]() { scan_done = rig.sim.Now(); });
+  get_thread->SetSegmentDoneCallback([&]() { ++gets_done; });
+  ASSERT_TRUE(types->UpdateU64(static_cast<uint32_t>(scan_thread->tid()),
+                               static_cast<uint64_t>(ReqType::kScan)).ok());
+  ASSERT_TRUE(types->UpdateU64(static_cast<uint32_t>(get_thread->tid()),
+                               static_cast<uint64_t>(ReqType::kGet)).ok());
+
+  rig.machine.AddWork(scan_thread, 700 * kMicrosecond);
+  rig.machine.Wake(scan_thread);
+  // Five GETs arrive during the SCAN; each preempts it.
+  for (int i = 1; i <= 5; ++i) {
+    rig.sim.ScheduleAt(static_cast<Time>(i) * 100 * kMicrosecond, [&]() {
+      rig.machine.AddWork(get_thread, 10 * kMicrosecond);
+      rig.machine.Wake(get_thread);
+    });
+  }
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(gets_done, 5);
+  EXPECT_GE(rig.sched.preemptions(), 5u);
+  EXPECT_EQ(scan_thread->total_cpu(), 700 * kMicrosecond);
+  EXPECT_GT(scan_done, 750 * kMicrosecond);  // delayed by the GETs
+}
+
+TEST(Ghost, MessageCountsAreSane) {
+  FcfsGhostPolicy policy;
+  GhostRig rig(1, 1, policy);
+  Thread* thread = rig.machine.CreateThread("t");
+  thread->SetSegmentDoneCallback([] {});
+  rig.machine.AddWork(thread, 100);
+  rig.machine.Wake(thread);
+  rig.sim.RunToCompletion();
+  // At least: wakeup, blocked, cpu-available.
+  EXPECT_GE(rig.sched.messages_processed(), 3u);
+}
+
+}  // namespace
+}  // namespace syrup

@@ -1,0 +1,598 @@
+#include <gtest/gtest.h>
+
+#include "src/common/decision.h"
+#include "src/net/packet.h"
+#include "src/net/socket.h"
+#include "src/net/stack.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+Packet MakePacket(uint16_t dst_port, ReqType type = ReqType::kGet,
+                  uint16_t src_port = 20'000, uint32_t key_hash = 0) {
+  Packet pkt;
+  pkt.tuple.src_ip = 0x0a000001;
+  pkt.tuple.dst_ip = 0x0a0000ff;
+  pkt.tuple.src_port = src_port;
+  pkt.tuple.dst_port = dst_port;
+  pkt.SetHeader(type, /*user_id=*/1, key_hash, /*req_id=*/1, /*send=*/0);
+  return pkt;
+}
+
+// --- packet wire format --------------------------------------------------------
+
+TEST(Packet, WireLayoutRoundtrips) {
+  Packet pkt = MakePacket(9000, ReqType::kScan, 21'000, 0xABCD);
+  EXPECT_EQ(pkt.req_type(), ReqType::kScan);
+  EXPECT_EQ(pkt.user_id(), 1u);
+  EXPECT_EQ(pkt.key_hash(), 0xABCDu);
+  EXPECT_EQ(pkt.req_id(), 1u);
+  const PacketView view = PacketView::Of(pkt);
+  EXPECT_EQ(view.size(), kWireSize);
+  EXPECT_EQ(view.DstPort(), 9000u);
+}
+
+TEST(Packet, DstPortIsBigEndianOnWire) {
+  Packet pkt = MakePacket(0x1234);
+  EXPECT_EQ(pkt.wire[2], 0x12);
+  EXPECT_EQ(pkt.wire[3], 0x34);
+}
+
+TEST(Packet, RequestTypeAtPaperOffset) {
+  // The SITA policy reads *(u64*)(pkt + 8): "first 8 bytes are UDP header".
+  Packet pkt = MakePacket(9000, ReqType::kScan);
+  uint64_t type;
+  std::memcpy(&type, pkt.wire.data() + 8, 8);
+  EXPECT_EQ(type, static_cast<uint64_t>(ReqType::kScan));
+}
+
+TEST(FiveTuple, HashDependsOnEachField) {
+  FiveTuple base{1, 2, 3, 4, 17};
+  FiveTuple other = base;
+  other.src_port = 5;
+  EXPECT_NE(base.Hash(), other.Hash());
+  other = base;
+  other.src_ip = 9;
+  EXPECT_NE(base.Hash(), other.Hash());
+  EXPECT_EQ(base.Hash(), FiveTuple(base).Hash());
+}
+
+// --- sockets --------------------------------------------------------------------
+
+TEST(Socket, BoundedQueueDrops) {
+  Socket sock(9000, /*depth=*/2);
+  Packet pkt = MakePacket(9000);
+  EXPECT_TRUE(sock.Enqueue(pkt));
+  EXPECT_TRUE(sock.Enqueue(pkt));
+  EXPECT_FALSE(sock.Enqueue(pkt));
+  EXPECT_EQ(sock.enqueued(), 2u);
+  EXPECT_EQ(sock.dropped(), 1u);
+  EXPECT_EQ(sock.queue_length(), 2u);
+}
+
+TEST(Socket, FifoOrder) {
+  Socket sock(9000, 8);
+  for (uint64_t id = 1; id <= 3; ++id) {
+    Packet pkt = MakePacket(9000);
+    pkt.SetHeader(ReqType::kGet, 1, 0, id, 0);
+    sock.Enqueue(pkt);
+  }
+  EXPECT_EQ(sock.Dequeue()->req_id(), 1u);
+  EXPECT_EQ(sock.Dequeue()->req_id(), 2u);
+  EXPECT_EQ(sock.Dequeue()->req_id(), 3u);
+  EXPECT_FALSE(sock.Dequeue().has_value());
+}
+
+TEST(Socket, WakeCallbackFiresPerEnqueue) {
+  Socket sock(9000, 8);
+  int wakes = 0;
+  sock.SetWakeCallback([&]() { ++wakes; });
+  Packet pkt = MakePacket(9000);
+  sock.Enqueue(pkt);
+  sock.Enqueue(pkt);
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(ReuseportGroup, DefaultSelectIsHashStable) {
+  ReuseportGroup group(9000);
+  for (int i = 0; i < 4; ++i) {
+    group.AddSocket(8);
+  }
+  Packet pkt = MakePacket(9000);
+  Socket* first = group.DefaultSelect(pkt);
+  EXPECT_EQ(group.DefaultSelect(pkt), first);  // same flow, same socket
+}
+
+TEST(ReuseportGroup, FewFlowsImbalance) {
+  // The Fig. 2 premise: 50 flows over 6 sockets spread unevenly.
+  ReuseportGroup group(9000);
+  for (int i = 0; i < 6; ++i) {
+    group.AddSocket(1024);
+  }
+  int counts[6] = {};
+  for (uint16_t flow = 0; flow < 50; ++flow) {
+    Packet pkt = MakePacket(9000, ReqType::kGet, 20'000 + flow);
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (group.DefaultSelect(pkt) == group.at(i)) {
+        ++counts[i];
+      }
+    }
+  }
+  int max_count = 0;
+  for (int count : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // Perfect balance would be ~8.3; hashing a small flow set overloads
+  // someone.
+  EXPECT_GT(max_count, 9);
+}
+
+// --- host stack pipeline -----------------------------------------------------------
+
+class StackTest : public testing::Test {
+ protected:
+  StackTest() : stack_(sim_, Config()) {}
+
+  static StackConfig Config() {
+    StackConfig config;
+    config.num_nic_queues = 2;
+    return config;
+  }
+
+  Simulator sim_;
+  HostStack stack_;
+};
+
+TEST_F(StackTest, DeliversToSocketThroughFullPath) {
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  Socket* sock = group->AddSocket(16);
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().rx_packets, 1u);
+  EXPECT_EQ(stack_.stats().delivered_socket, 1u);
+  EXPECT_EQ(sock->queue_length(), 1u);
+  // Latency through driver+skb+protocol costs: delivery is not instant.
+  EXPECT_GE(sim_.Now(), StackConfig().driver_cost);
+}
+
+TEST_F(StackTest, NoListenerCountsAsDrop) {
+  stack_.Rx(MakePacket(12345));
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().socket_drops, 1u);
+}
+
+TEST_F(StackTest, SocketSelectHookPicksSocket) {
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  group->AddSocket(16);
+  Socket* second = group->AddSocket(16);
+  stack_.hooks().socket_select = [](const PacketView&) -> Decision {
+    return 1;
+  };
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(second->queue_length(), 1u);
+}
+
+TEST_F(StackTest, SocketSelectDropHonored) {
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  group->AddSocket(16);
+  stack_.hooks().socket_select = [](const PacketView&) { return kDrop; };
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().policy_drops, 1u);
+  EXPECT_EQ(stack_.stats().delivered_socket, 0u);
+}
+
+TEST_F(StackTest, SocketSelectPassUsesDefaultHash) {
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  group->AddSocket(16);
+  group->AddSocket(16);
+  stack_.hooks().socket_select = [](const PacketView&) { return kPass; };
+  Packet pkt = MakePacket(9000);
+  Socket* expected = group->DefaultSelect(pkt);
+  stack_.Rx(pkt);
+  sim_.RunToCompletion();
+  EXPECT_EQ(expected->queue_length(), 1u);
+}
+
+TEST_F(StackTest, InvalidSocketIndexFallsBack) {
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  group->AddSocket(16);
+  stack_.hooks().socket_select = [](const PacketView&) -> Decision {
+    return 99;
+  };
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().invalid_decisions, 1u);
+  EXPECT_EQ(stack_.stats().delivered_socket, 1u);
+}
+
+TEST_F(StackTest, XdpDrvRedirectsToAfXdpSocket) {
+  Socket* xsk0 = stack_.RegisterAfXdpSocket(/*queue=*/0, 16);
+  Socket* xsk1 = stack_.RegisterAfXdpSocket(/*queue=*/1, 16);
+  stack_.hooks().xdp_offload = [](const PacketView&) -> Decision {
+    return 1;  // steer to queue 1
+  };
+  stack_.hooks().xdp_drv = [](const PacketView&) -> Decision { return 0; };
+  stack_.Rx(MakePacket(9100));
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().delivered_afxdp, 1u);
+  EXPECT_EQ(xsk0->queue_length(), 0u);
+  EXPECT_EQ(xsk1->queue_length(), 1u);
+}
+
+TEST_F(StackTest, XdpDrvDropsEarly) {
+  stack_.hooks().xdp_drv = [](const PacketView&) { return kDrop; };
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().policy_drops, 1u);
+}
+
+TEST_F(StackTest, XdpSkbUsedWhenDrvPasses) {
+  stack_.RegisterAfXdpSocket(0, 16);
+  Socket* generic = stack_.RegisterAfXdpSocket(0, 16);
+  stack_.hooks().xdp_offload = [](const PacketView&) -> Decision {
+    return 0;
+  };
+  stack_.hooks().xdp_drv = [](const PacketView&) { return kPass; };
+  stack_.hooks().xdp_skb = [](const PacketView&) -> Decision { return 1; };
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(generic->queue_length(), 1u);
+}
+
+TEST_F(StackTest, CpuRedirectMovesProtocolProcessing) {
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  group->AddSocket(16);
+  stack_.hooks().xdp_offload = [](const PacketView&) -> Decision {
+    return 0;
+  };
+  stack_.hooks().cpu_redirect = [](const PacketView&) -> Decision {
+    return 1;  // move to the other softirq core
+  };
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().cpu_redirects, 1u);
+  EXPECT_EQ(stack_.stats().delivered_socket, 1u);
+  EXPECT_GT(stack_.SoftirqUtilization(1), 0.0);
+}
+
+TEST_F(StackTest, NicRingOverflowDrops) {
+  StackConfig config;
+  config.num_nic_queues = 1;
+  config.nic_ring_depth = 4;
+  HostStack small(sim_, config);
+  small.GetOrCreateGroup(9000)->AddSocket(1024);
+  // Burst of back-to-back packets at one instant: ring holds 4 + 1 in
+  // service; the rest drop.
+  for (int i = 0; i < 10; ++i) {
+    small.Rx(MakePacket(9000));
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(small.stats().nic_ring_drops, 5u);
+  EXPECT_EQ(small.stats().delivered_socket, 5u);
+}
+
+TEST_F(StackTest, SocketOverflowCountsInStackStats) {
+  StackConfig config;
+  config.num_nic_queues = 1;
+  config.socket_queue_depth = 2;
+  HostStack small(sim_, config);
+  small.GetOrCreateGroup(9000)->AddSocket(config.socket_queue_depth);
+  for (int i = 0; i < 5; ++i) {
+    small.Rx(MakePacket(9000));
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(small.stats().socket_drops, 3u);
+}
+
+TEST_F(StackTest, SoftirqSerializesPackets) {
+  // Two packets on the same queue finish one full cost apart.
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  Socket* sock = group->AddSocket(16);
+  std::vector<Time> deliveries;
+  sock->SetWakeCallback([&]() { deliveries.push_back(sim_.Now()); });
+  stack_.hooks().xdp_offload = [](const PacketView&) -> Decision {
+    return 0;
+  };
+  stack_.Rx(MakePacket(9000));
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  ASSERT_EQ(deliveries.size(), 2u);
+  const StackConfig config = Config();
+  const Duration per_packet =
+      config.driver_cost + config.skb_alloc_cost + config.protocol_cost;
+  EXPECT_EQ(deliveries[1] - deliveries[0], per_packet);
+}
+
+
+// --- late binding (paper §6.3 extension) -------------------------------------------
+
+class LateBindingTest : public testing::Test {
+ protected:
+  LateBindingTest() : stack_(sim_, Config()) {
+    stack_.EnableLateBinding(9000, /*buffer_depth=*/4);
+    group_ = stack_.GetOrCreateGroup(9000);
+    sock_a_ = group_->AddSocket(16);
+    sock_b_ = group_->AddSocket(16);
+  }
+
+  static StackConfig Config() {
+    StackConfig config;
+    config.num_nic_queues = 1;
+    return config;
+  }
+
+  Simulator sim_;
+  HostStack stack_;
+  ReuseportGroup* group_ = nullptr;
+  Socket* sock_a_ = nullptr;
+  Socket* sock_b_ = nullptr;
+};
+
+TEST_F(LateBindingTest, BuffersWhenNoExecutorIdle) {
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  // No socket reported idle: nothing delivered, nothing dropped.
+  EXPECT_EQ(sock_a_->queue_length(), 0u);
+  EXPECT_EQ(sock_b_->queue_length(), 0u);
+  EXPECT_EQ(stack_.stats().socket_drops, 0u);
+  // The idle notification binds the buffered packet.
+  stack_.NotifySocketIdle(9000, sock_b_);
+  EXPECT_EQ(sock_b_->queue_length(), 1u);
+  EXPECT_EQ(stack_.late_bound_deliveries(), 1u);
+}
+
+TEST_F(LateBindingTest, DeliversImmediatelyToIdleExecutor) {
+  stack_.NotifySocketIdle(9000, sock_a_);
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(sock_a_->queue_length(), 1u);
+}
+
+TEST_F(LateBindingTest, IdleExecutorsServedFifo) {
+  stack_.NotifySocketIdle(9000, sock_b_);
+  stack_.NotifySocketIdle(9000, sock_a_);
+  stack_.Rx(MakePacket(9000));
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  // First packet to the longest-idle socket (b), second to a.
+  EXPECT_EQ(sock_b_->queue_length(), 1u);
+  EXPECT_EQ(sock_a_->queue_length(), 1u);
+}
+
+TEST_F(LateBindingTest, PolicyPickHonoredWhenIdle) {
+  stack_.hooks().socket_select = [](const PacketView&) -> Decision {
+    return 0;  // always socket a
+  };
+  stack_.NotifySocketIdle(9000, sock_b_);
+  stack_.NotifySocketIdle(9000, sock_a_);
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(sock_a_->queue_length(), 1u);  // policy overrode FIFO order
+  EXPECT_EQ(sock_b_->queue_length(), 0u);
+}
+
+TEST_F(LateBindingTest, BusyPolicyPickFallsBackToIdle) {
+  stack_.hooks().socket_select = [](const PacketView&) -> Decision {
+    return 0;  // wants socket a, which is busy
+  };
+  stack_.NotifySocketIdle(9000, sock_b_);
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(sock_b_->queue_length(), 1u);
+}
+
+TEST_F(LateBindingTest, BoundedBufferDrops) {
+  for (int i = 0; i < 6; ++i) {
+    stack_.Rx(MakePacket(9000));
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().socket_drops, 2u);  // buffer depth 4
+}
+
+TEST_F(LateBindingTest, DropDecisionStillHonored) {
+  stack_.hooks().socket_select = [](const PacketView&) { return kDrop; };
+  stack_.NotifySocketIdle(9000, sock_a_);
+  stack_.Rx(MakePacket(9000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.stats().policy_drops, 1u);
+  EXPECT_EQ(sock_a_->queue_length(), 0u);
+}
+
+TEST_F(LateBindingTest, EarlyBindingPortsUnaffected) {
+  Socket* other = stack_.GetOrCreateGroup(7000)->AddSocket(16);
+  stack_.NotifySocketIdle(7000, other);  // no-op
+  stack_.Rx(MakePacket(7000));
+  sim_.RunToCompletion();
+  EXPECT_EQ(other->queue_length(), 1u);  // normal early-binding delivery
+}
+
+
+// --- TCP connection steering (paper Fig. 4: connection -> socket) -------------------
+
+class TcpSteeringTest : public testing::Test {
+ protected:
+  TcpSteeringTest() : stack_(sim_, Config()) {
+    group_ = stack_.GetOrCreateGroup(9000);
+    for (int i = 0; i < 3; ++i) {
+      group_->AddSocket(64);
+    }
+  }
+
+  static StackConfig Config() {
+    StackConfig config;
+    config.num_nic_queues = 1;
+    return config;
+  }
+
+  static Packet TcpPacket(uint16_t src_port, uint64_t req_id = 1) {
+    Packet pkt = MakePacket(9000, ReqType::kGet, src_port);
+    pkt.tuple.protocol = kProtoTcp;
+    pkt.SetHeader(ReqType::kGet, 1, 0, req_id, 0);
+    return pkt;
+  }
+
+  Simulator sim_;
+  HostStack stack_;
+  ReuseportGroup* group_ = nullptr;
+};
+
+TEST_F(TcpSteeringTest, PolicyRunsOncePerConnection) {
+  int policy_calls = 0;
+  stack_.hooks().socket_select = [&](const PacketView&) -> Decision {
+    ++policy_calls;
+    return 2;
+  };
+  // Five packets on one connection: the policy sees only the first.
+  for (uint64_t id = 1; id <= 5; ++id) {
+    stack_.Rx(TcpPacket(30'000, id));
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(policy_calls, 1);
+  EXPECT_EQ(group_->at(2)->queue_length(), 5u);
+  EXPECT_EQ(stack_.open_connections(), 1u);
+}
+
+TEST_F(TcpSteeringTest, ConnectionsSteerIndependently) {
+  // Round robin over *connections*: each new tuple gets the next socket,
+  // and every packet of a connection follows its binding.
+  uint32_t next = 0;
+  stack_.hooks().socket_select = [&](const PacketView&) -> Decision {
+    return next++ % 3;
+  };
+  for (uint16_t conn = 0; conn < 3; ++conn) {
+    for (uint64_t id = 1; id <= 2; ++id) {
+      stack_.Rx(TcpPacket(30'000 + conn, id));
+    }
+  }
+  sim_.RunToCompletion();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(group_->at(i)->queue_length(), 2u) << "socket " << i;
+  }
+  EXPECT_EQ(stack_.open_connections(), 3u);
+}
+
+TEST_F(TcpSteeringTest, CloseUnbindsAndResteers) {
+  uint32_t next = 0;
+  stack_.hooks().socket_select = [&](const PacketView&) -> Decision {
+    return next++ % 3;
+  };
+  Packet pkt = TcpPacket(30'000);
+  stack_.Rx(pkt);
+  sim_.RunToCompletion();
+  EXPECT_EQ(group_->at(0)->queue_length(), 1u);
+  stack_.CloseConnection(pkt.tuple);
+  EXPECT_EQ(stack_.open_connections(), 0u);
+  // A "new connection" with the same tuple is re-scheduled (socket 1 now).
+  stack_.Rx(pkt);
+  sim_.RunToCompletion();
+  EXPECT_EQ(group_->at(1)->queue_length(), 1u);
+}
+
+TEST_F(TcpSteeringTest, UdpUnaffectedByConnectionTable) {
+  stack_.hooks().socket_select = [](const PacketView&) -> Decision {
+    return 1;
+  };
+  stack_.Rx(MakePacket(9000));  // UDP
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.open_connections(), 0u);
+  EXPECT_EQ(group_->at(1)->queue_length(), 1u);
+}
+
+TEST_F(TcpSteeringTest, DefaultHashBindsWithoutPolicy) {
+  Packet pkt = TcpPacket(31'000);
+  stack_.Rx(pkt);
+  stack_.Rx(pkt);
+  sim_.RunToCompletion();
+  EXPECT_EQ(stack_.open_connections(), 1u);
+  EXPECT_EQ(stack_.stats().delivered_socket, 2u);
+}
+
+
+// --- flow affinity model (§2.1 RFS motivation) ---------------------------------------
+
+TEST(FlowAffinity, ColdPenaltyChargedOnceWithinWindow) {
+  Simulator sim;
+  StackConfig config;
+  config.num_nic_queues = 1;
+  config.protocol_cold_penalty = 1000;
+  HostStack stack(sim, config);
+  Socket* sock = stack.GetOrCreateGroup(9000)->AddSocket(64);
+  std::vector<Time> deliveries;
+  sock->SetWakeCallback([&]() { deliveries.push_back(sim.Now()); });
+
+  stack.Rx(MakePacket(9000));  // cold
+  stack.Rx(MakePacket(9000));  // warm (same flow, same core)
+  sim.RunToCompletion();
+  ASSERT_EQ(deliveries.size(), 2u);
+  const Duration base =
+      config.driver_cost + config.skb_alloc_cost + config.protocol_cost;
+  EXPECT_EQ(deliveries[0], base + config.protocol_cold_penalty);
+  EXPECT_EQ(deliveries[1] - deliveries[0], base);  // no penalty
+}
+
+TEST(FlowAffinity, ExpiresAfterWindow) {
+  Simulator sim;
+  StackConfig config;
+  config.num_nic_queues = 1;
+  config.protocol_cold_penalty = 1000;
+  config.affinity_window = 10 * kMicrosecond;
+  HostStack stack(sim, config);
+  Socket* sock = stack.GetOrCreateGroup(9000)->AddSocket(64);
+  std::vector<Time> deliveries;
+  sock->SetWakeCallback([&]() { deliveries.push_back(sim.Now()); });
+  stack.Rx(MakePacket(9000));
+  sim.RunToCompletion();
+  sim.RunUntil(1 * kMillisecond);  // cache long expired
+  stack.Rx(MakePacket(9000));
+  sim.RunToCompletion();
+  ASSERT_EQ(deliveries.size(), 2u);
+  const Duration base =
+      config.driver_cost + config.skb_alloc_cost + config.protocol_cost;
+  EXPECT_EQ(deliveries[1] - 1 * kMillisecond,
+            base + config.protocol_cold_penalty);
+}
+
+TEST(FlowAffinity, DisabledByDefault) {
+  Simulator sim;
+  StackConfig config;
+  config.num_nic_queues = 1;
+  HostStack stack(sim, config);
+  Socket* sock = stack.GetOrCreateGroup(9000)->AddSocket(64);
+  Time delivered = 0;
+  sock->SetWakeCallback([&]() { delivered = sim.Now(); });
+  stack.Rx(MakePacket(9000));
+  sim.RunToCompletion();
+  EXPECT_EQ(delivered,
+            config.driver_cost + config.skb_alloc_cost + config.protocol_cost);
+}
+
+TEST(FlowAffinity, RedirectedFlowIsColdOnNewCore) {
+  Simulator sim;
+  StackConfig config;
+  config.num_nic_queues = 2;
+  config.protocol_cold_penalty = 1000;
+  HostStack stack(sim, config);
+  stack.GetOrCreateGroup(9000)->AddSocket(64);
+  // Pin arrivals to queue 0; redirect protocol processing alternating
+  // between cores: each switch re-incurs the cold penalty.
+  stack.hooks().xdp_offload = [](const PacketView&) -> Decision { return 0; };
+  int flip = 0;
+  stack.hooks().cpu_redirect = [&](const PacketView&) -> Decision {
+    return flip++ % 2;
+  };
+  stack.Rx(MakePacket(9000));
+  stack.Rx(MakePacket(9000));
+  stack.Rx(MakePacket(9000));
+  sim.RunToCompletion();
+  // Cores 0 and 1 each saw the flow cold once; core 0 then warm once.
+  // (Indirectly validated through utilization: both cores did protocol
+  // work.)
+  EXPECT_GT(stack.SoftirqUtilization(1), 0.0);
+  EXPECT_EQ(stack.stats().cpu_redirects, 1u);  // one of three moved cores
+}
+
+}  // namespace
+}  // namespace syrup

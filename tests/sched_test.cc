@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sched/cfs_scheduler.h"
+#include "src/sched/machine.h"
+#include "src/sched/pinned_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+// --- Machine with pinned scheduler ------------------------------------------------
+
+TEST(Machine, ThreadRunsToSegmentCompletion) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+
+  Thread* thread = machine.CreateThread("worker");
+  int completions = 0;
+  thread->SetSegmentDoneCallback([&]() {
+    ++completions;
+    machine.Block(thread);
+  });
+
+  machine.AddWork(thread, 100);
+  machine.Wake(thread);
+  sim.RunToCompletion();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(sim.Now(), 100u);
+  EXPECT_EQ(thread->state(), Thread::State::kBlocked);
+  EXPECT_EQ(thread->total_cpu(), 100u);
+}
+
+TEST(Machine, BackToBackSegments) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+
+  Thread* thread = machine.CreateThread("worker");
+  int completions = 0;
+  thread->SetSegmentDoneCallback([&]() {
+    if (++completions < 3) {
+      machine.AddWork(thread, 50);  // keep running: next request
+    } else {
+      machine.Block(thread);
+    }
+  });
+  machine.AddWork(thread, 50);
+  machine.Wake(thread);
+  sim.RunToCompletion();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(sim.Now(), 150u);
+}
+
+TEST(Machine, ImplicitBlockWhenCallbackDoesNothing) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+  Thread* thread = machine.CreateThread("worker");
+  machine.AddWork(thread, 10);
+  machine.Wake(thread);
+  sim.RunToCompletion();
+  EXPECT_EQ(thread->state(), Thread::State::kBlocked);
+}
+
+TEST(Machine, PinnedThreadsShareNothing) {
+  Simulator sim;
+  Machine machine(sim, 2);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+
+  Thread* a = machine.CreateThread("a");  // tid 1 -> core 0
+  Thread* b = machine.CreateThread("b");  // tid 2 -> core 1
+  std::vector<Time> done;
+  a->SetSegmentDoneCallback([&]() { done.push_back(sim.Now()); });
+  b->SetSegmentDoneCallback([&]() { done.push_back(sim.Now()); });
+  machine.AddWork(a, 100);
+  machine.AddWork(b, 100);
+  machine.Wake(a);
+  machine.Wake(b);
+  sim.RunToCompletion();
+  // Both finish at t=100: they ran in parallel on separate cores.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 100u);
+  EXPECT_EQ(done[1], 100u);
+}
+
+TEST(Machine, PinnedQueuesWhenCoreBusy) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+  Thread* a = machine.CreateThread("a");
+  Thread* b = machine.CreateThread("b");  // same core as a (1 core)
+  std::vector<std::pair<std::string, Time>> done;
+  a->SetSegmentDoneCallback([&]() { done.push_back({"a", sim.Now()}); });
+  b->SetSegmentDoneCallback([&]() { done.push_back({"b", sim.Now()}); });
+  machine.AddWork(a, 100);
+  machine.AddWork(b, 50);
+  machine.Wake(a);
+  machine.Wake(b);
+  sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, "a");
+  EXPECT_EQ(done[0].second, 100u);
+  EXPECT_EQ(done[1].first, "b");
+  EXPECT_EQ(done[1].second, 150u);  // serialized behind a
+}
+
+TEST(Machine, PreemptMidSegmentPreservesRemainingWork) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+  Thread* thread = machine.CreateThread("worker");
+  Time finished = 0;
+  thread->SetSegmentDoneCallback([&]() { finished = sim.Now(); });
+  machine.AddWork(thread, 100);
+  machine.Wake(thread);
+
+  sim.ScheduleAt(40, [&]() { machine.Preempt(0); });
+  sim.RunToCompletion();
+  // Preempted at 40 with 60 remaining; pinned scheduler re-dispatches
+  // immediately, so completion lands at 100 total CPU.
+  EXPECT_EQ(finished, 100u);
+  EXPECT_EQ(thread->total_cpu(), 100u);
+}
+
+TEST(Machine, PreemptIdleCoreIsNoop) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+  machine.Preempt(0);  // no crash
+  EXPECT_EQ(machine.CurrentOn(0), nullptr);
+}
+
+TEST(Machine, CoreUtilizationTracksBusyTime) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+  Thread* thread = machine.CreateThread("worker");
+  machine.AddWork(thread, 250);
+  machine.Wake(thread);
+  sim.RunUntil(1000);
+  EXPECT_NEAR(machine.CoreUtilization(0), 0.25, 0.01);
+}
+
+TEST(Machine, WakeWithoutWorkDies) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+  Thread* thread = machine.CreateThread("worker");
+  EXPECT_DEATH(machine.Wake(thread), "with no work");
+}
+
+// --- CFS ---------------------------------------------------------------------------
+
+struct CfsRig {
+  CfsRig(int cores, CfsParams params = {})
+      : machine(sim, cores), sched(machine, params) {
+    machine.SetScheduler(&sched);
+  }
+  Simulator sim;
+  Machine machine;
+  CfsScheduler sched;
+};
+
+TEST(Cfs, SingleThreadRunsImmediately) {
+  CfsRig rig(1);
+  Thread* thread = rig.machine.CreateThread("t");
+  Time done = 0;
+  thread->SetSegmentDoneCallback([&]() { done = rig.sim.Now(); });
+  rig.machine.AddWork(thread, 100);
+  rig.machine.Wake(thread);
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(done, 100u);
+}
+
+TEST(Cfs, FairSharingOfOneCore) {
+  // Two CPU-bound threads on one core finish in about 2x the solo time,
+  // interleaved by timeslices.
+  CfsRig rig(1);
+  Thread* a = rig.machine.CreateThread("a");
+  Thread* b = rig.machine.CreateThread("b");
+  std::vector<Time> done;
+  a->SetSegmentDoneCallback([&]() { done.push_back(rig.sim.Now()); });
+  b->SetSegmentDoneCallback([&]() { done.push_back(rig.sim.Now()); });
+  const Duration work = 10 * kMillisecond;
+  rig.machine.AddWork(a, work);
+  rig.machine.AddWork(b, work);
+  rig.machine.Wake(a);
+  rig.machine.Wake(b);
+  rig.sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 2u);
+  // Interleaving: neither finishes before the other has made real progress.
+  EXPECT_GT(done[0], work + work / 2);
+  EXPECT_NEAR(static_cast<double>(done[1]), 2.0 * work, 2.0 * work * 0.1);
+}
+
+TEST(Cfs, UsesAllCores) {
+  CfsRig rig(3);
+  std::vector<Thread*> threads;
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    Thread* thread = rig.machine.CreateThread("t");
+    thread->SetSegmentDoneCallback([&]() { ++completions; });
+    rig.machine.AddWork(thread, 1000);
+    threads.push_back(thread);
+  }
+  for (Thread* thread : threads) {
+    rig.machine.Wake(thread);
+  }
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(rig.sim.Now(), 1000u);  // fully parallel
+}
+
+TEST(Cfs, WakeupPreemptsLongRunner) {
+  // A long CPU hog gets preempted when a fresh thread wakes after the hog
+  // has accumulated vruntime beyond wakeup_granularity.
+  CfsParams params;
+  params.wakeup_granularity = 1 * kMillisecond;
+  CfsRig rig(1, params);
+  Thread* hog = rig.machine.CreateThread("hog");
+  Thread* sprinter = rig.machine.CreateThread("sprinter");
+  Time sprinter_done = 0;
+  hog->SetSegmentDoneCallback([] {});
+  sprinter->SetSegmentDoneCallback([&]() { sprinter_done = rig.sim.Now(); });
+
+  rig.machine.AddWork(hog, 100 * kMillisecond);
+  rig.machine.Wake(hog);
+  rig.sim.ScheduleAt(10 * kMillisecond, [&]() {
+    rig.machine.AddWork(sprinter, 10 * kMicrosecond);
+    rig.machine.Wake(sprinter);
+  });
+  rig.sim.RunToCompletion();
+  // Far sooner than waiting out the hog's remaining 90ms.
+  EXPECT_LT(sprinter_done, 15 * kMillisecond);
+  EXPECT_GT(sprinter_done, 0u);
+}
+
+TEST(Cfs, ObliviousToRequestType) {
+  // The Fig. 8 premise: CFS gives no priority to short work. A short
+  // segment arriving behind queued long segments waits at least a
+  // min_granularity-scale delay.
+  CfsParams params;
+  CfsRig rig(1, params);
+  Thread* longa = rig.machine.CreateThread("long_a");
+  Thread* longb = rig.machine.CreateThread("long_b");
+  Thread* shorty = rig.machine.CreateThread("short");
+  Time short_done = 0;
+  longa->SetSegmentDoneCallback([] {});
+  longb->SetSegmentDoneCallback([] {});
+  shorty->SetSegmentDoneCallback([&]() { short_done = rig.sim.Now(); });
+  rig.machine.AddWork(longa, 5 * kMillisecond);
+  rig.machine.AddWork(longb, 5 * kMillisecond);
+  rig.machine.Wake(longa);
+  rig.machine.Wake(longb);
+  rig.sim.ScheduleAt(100 * kMicrosecond, [&]() {
+    rig.machine.AddWork(shorty, 10 * kMicrosecond);
+    rig.machine.Wake(shorty);
+  });
+  rig.sim.RunToCompletion();
+  // The short request cannot jump the line instantly.
+  EXPECT_GT(short_done, 500 * kMicrosecond);
+}
+
+
+TEST(Cfs, ManyThreadsAllComplete) {
+  CfsRig rig(2);
+  int completions = 0;
+  std::vector<Thread*> threads;
+  for (int i = 0; i < 12; ++i) {
+    Thread* thread = rig.machine.CreateThread("t");
+    thread->SetSegmentDoneCallback([&]() { ++completions; });
+    rig.machine.AddWork(thread, 2 * kMillisecond);
+    threads.push_back(thread);
+  }
+  for (Thread* thread : threads) {
+    rig.machine.Wake(thread);
+  }
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(completions, 12);
+  // 12 x 2ms over 2 cores = 12ms minimum makespan.
+  EXPECT_GE(rig.sim.Now(), 12 * kMillisecond);
+  EXPECT_LE(rig.sim.Now(), 13 * kMillisecond);  // near-work-conserving
+}
+
+TEST(Cfs, LongRunnersShareFairly) {
+  // Three equal CPU hogs on one core finish within a slice of each other.
+  CfsRig rig(1);
+  std::vector<Time> done;
+  std::vector<Thread*> threads;
+  for (int i = 0; i < 3; ++i) {
+    Thread* thread = rig.machine.CreateThread("hog");
+    thread->SetSegmentDoneCallback([&]() { done.push_back(rig.sim.Now()); });
+    rig.machine.AddWork(thread, 20 * kMillisecond);
+    threads.push_back(thread);
+  }
+  for (Thread* thread : threads) {
+    rig.machine.Wake(thread);
+  }
+  rig.sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 3u);
+  // All three finish in the last ~10% of the run: fair interleaving.
+  EXPECT_GT(done.front(), 50 * kMillisecond);
+  EXPECT_EQ(done.back(), 60 * kMillisecond);
+}
+
+TEST(Cfs, BlockedThreadConsumesNoCpu) {
+  CfsRig rig(1);
+  Thread* active = rig.machine.CreateThread("active");
+  Thread* sleeper = rig.machine.CreateThread("sleeper");
+  active->SetSegmentDoneCallback([] {});
+  sleeper->SetSegmentDoneCallback([] {});
+  rig.machine.AddWork(active, 5 * kMillisecond);
+  rig.machine.Wake(active);
+  rig.sim.RunToCompletion();
+  EXPECT_EQ(sleeper->total_cpu(), 0u);
+  EXPECT_EQ(active->total_cpu(), 5 * kMillisecond);
+}
+
+TEST(Machine, PreemptStorm) {
+  // Hammer a running thread with preemptions; work is still conserved.
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+  Thread* thread = machine.CreateThread("victim");
+  Time done = 0;
+  thread->SetSegmentDoneCallback([&]() { done = sim.Now(); });
+  machine.AddWork(thread, 100 * kMicrosecond);
+  machine.Wake(thread);
+  for (int i = 1; i <= 50; ++i) {
+    sim.ScheduleAt(static_cast<Time>(i) * 1500, [&machine]() {
+      machine.Preempt(0);
+    });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(done, 100 * kMicrosecond);  // pinned resumes instantly
+  EXPECT_EQ(thread->total_cpu(), 100 * kMicrosecond);
+}
+
+TEST(Machine, AddWorkWhileRunningExtendsSegment) {
+  Simulator sim;
+  Machine machine(sim, 1);
+  PinnedScheduler sched(machine);
+  machine.SetScheduler(&sched);
+  Thread* thread = machine.CreateThread("t");
+  Time done = 0;
+  thread->SetSegmentDoneCallback([&]() { done = sim.Now(); });
+  machine.AddWork(thread, 100);
+  machine.Wake(thread);
+  // Mid-run, more work lands on the same segment.
+  sim.ScheduleAt(50, [&]() { machine.AddWork(thread, 70); });
+  sim.RunToCompletion();
+  EXPECT_EQ(done, 170u);
+}
+
+}  // namespace
+}  // namespace syrup

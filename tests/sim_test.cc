@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&]() { order.push_back(3); });
+  sim.ScheduleAt(10, [&]() { order.push_back(1); });
+  sim.ScheduleAt(20, [&]() { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(Simulator, SameTimeEventsRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i]() { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&]() { ++fired; });
+  sim.ScheduleAt(100, [&]() { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 10u);  // clock rests at the last dispatched event
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000u);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 100) {
+      sim.ScheduleAfter(1, chain);
+    }
+  };
+  sim.ScheduleAfter(1, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.ScheduleAt(10, [&]() { fired = true; });
+  EXPECT_TRUE(handle.valid());
+  handle.Cancel();
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotent) {
+  Simulator sim;
+  EventHandle handle = sim.ScheduleAt(10, []() {});
+  handle.Cancel();
+  handle.Cancel();  // no crash
+  EXPECT_FALSE(handle.valid());
+  sim.RunToCompletion();
+}
+
+TEST(Simulator, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&]() { order.push_back(1); });
+  EventHandle second = sim.ScheduleAt(20, [&]() { order.push_back(2); });
+  sim.ScheduleAt(30, [&]() { order.push_back(3); });
+  second.Cancel();
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, StopHaltsDispatch) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&]() {
+    ++fired;
+    sim.Stop();
+  });
+  sim.ScheduleAt(20, [&]() { ++fired; });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+  // A later run resumes from where it stopped.
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ReturnsDispatchCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(static_cast<Time>(i + 1), []() {});
+  }
+  EXPECT_EQ(sim.RunToCompletion(), 5u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.ScheduleAt(100, []() {});
+  sim.RunToCompletion();
+  EXPECT_DEATH(sim.ScheduleAt(50, []() {}), "scheduled in the past");
+}
+
+}  // namespace
+}  // namespace syrup

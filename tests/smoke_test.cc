@@ -1,0 +1,21 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/experiments.h"
+
+namespace syrup {
+namespace {
+
+TEST(Smoke, RocksDbVanillaLowLoad) {
+  RocksDbExperimentConfig config;
+  config.socket_policy = SocketPolicyKind::kVanilla;
+  config.load_rps = 50'000;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  const RocksDbResult result = RunRocksDbExperiment(config);
+  EXPECT_GT(result.throughput_rps, 40'000);
+  EXPECT_GT(result.p99_us, 10);
+  EXPECT_LT(result.p50_us, 1000);
+}
+
+}  // namespace
+}  // namespace syrup

@@ -1,0 +1,425 @@
+// syrupd tests: the deployment workflow (Fig. 3), the Table-1 API, and the
+// multi-tenancy / isolation guarantees of §3.5 and §4.3.
+#include <gtest/gtest.h>
+
+#include "src/core/root_dispatcher.h"
+#include "src/core/syrup_api.h"
+#include "src/core/syrupd.h"
+#include "src/net/stack.h"
+#include "src/policies/builtin.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+Packet MakePacket(uint16_t dst_port, uint16_t src_port = 20'000) {
+  Packet pkt;
+  pkt.tuple.src_ip = 0x0a000001;
+  pkt.tuple.dst_ip = 0x0a0000ff;
+  pkt.tuple.src_port = src_port;
+  pkt.tuple.dst_port = dst_port;
+  pkt.SetHeader(ReqType::kGet, 1, 0, 1, 0);
+  return pkt;
+}
+
+class SyrupdTest : public testing::Test {
+ protected:
+  SyrupdTest() : stack_(sim_, Config()), syrupd_(sim_, &stack_) {}
+
+  static StackConfig Config() {
+    StackConfig config;
+    config.num_nic_queues = 2;
+    return config;
+  }
+
+  Simulator sim_;
+  HostStack stack_;
+  Syrupd syrupd_;
+};
+
+// --- app registration -------------------------------------------------------------
+
+TEST_F(SyrupdTest, RegisterAppAndPorts) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000);
+  ASSERT_TRUE(app.ok());
+  EXPECT_TRUE(syrupd_.AddPort(*app, 9001).ok());
+}
+
+TEST_F(SyrupdTest, PortConflictRejected) {
+  ASSERT_TRUE(syrupd_.RegisterApp("a", 1000, 9000).ok());
+  EXPECT_EQ(syrupd_.RegisterApp("b", 2000, 9000).status().code(),
+            StatusCode::kAlreadyExists);
+  auto b = syrupd_.RegisterApp("b", 2000, 9001);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(syrupd_.AddPort(*b, 9000).code(), StatusCode::kAlreadyExists);
+}
+
+// --- deployment workflow -----------------------------------------------------------
+
+TEST_F(SyrupdTest, DeploysVerifiedPolicyFile) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  auto fd = client.syr_deploy_policy(RoundRobinPolicyAsm(4),
+                                     Hook::kSocketSelect);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  EXPECT_GT(*fd, 0);
+}
+
+TEST_F(SyrupdTest, RejectsUnverifiablePolicy) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  // Reads the packet without a bounds check: must never reach a hook.
+  auto fd = client.syr_deploy_policy(R"(
+    ldxw r0, [r1+0]
+    exit
+  )", Hook::kSocketSelect);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_NE(fd.status().message().find("verifier"), std::string::npos);
+  // And no dispatcher was installed.
+  EXPECT_FALSE(static_cast<bool>(stack_.hooks().socket_select));
+}
+
+TEST_F(SyrupdTest, RejectsSyntacticallyBrokenPolicy) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  EXPECT_FALSE(client.syr_deploy_policy("not a program", Hook::kXdpDrv).ok());
+}
+
+TEST_F(SyrupdTest, DeclaredMapsArePinnedUnderAppPath) {
+  auto app = syrupd_.RegisterApp("rocksdb", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  ASSERT_TRUE(client.syr_deploy_policy(ScanAvoidPolicyAsm(4),
+                                       Hook::kSocketSelect)
+                  .ok());
+  EXPECT_TRUE(
+      syrupd_.registry().Open("/syrup/rocksdb/scan_map", 1000).ok());
+  // A different uid cannot open the pin.
+  EXPECT_FALSE(
+      syrupd_.registry().Open("/syrup/rocksdb/scan_map", 2000).ok());
+}
+
+TEST_F(SyrupdTest, RedeployReusesPinnedMapState) {
+  auto app = syrupd_.RegisterApp("rocksdb", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  ASSERT_TRUE(client.syr_deploy_policy(RoundRobinPolicyAsm(4),
+                                       Hook::kSocketSelect)
+                  .ok());
+  auto map =
+      syrupd_.registry().Open("/syrup/rocksdb/rr_state", 1000).value();
+  ASSERT_TRUE(map->UpdateU64(0, 41).ok());
+  // Redeploy (policy update at runtime, §3.1): counter state survives.
+  ASSERT_TRUE(client.syr_deploy_policy(RoundRobinPolicyAsm(4),
+                                       Hook::kSocketSelect)
+                  .ok());
+  auto again =
+      syrupd_.registry().Open("/syrup/rocksdb/rr_state", 1000).value();
+  EXPECT_EQ(again->LookupU64(0).value(), 41u);
+  EXPECT_EQ(again.get(), map.get());
+}
+
+TEST_F(SyrupdTest, ExternMapRequiresPermission) {
+  auto owner = syrupd_.RegisterApp("owner", 1000, 9000).value();
+  auto other = syrupd_.RegisterApp("other", 2000, 9001).value();
+  MapSpec spec;
+  spec.max_entries = 4;
+  ASSERT_TRUE(syrupd_.MapCreate(owner, spec, "/pins/private").ok());
+
+  const std::string policy = R"(
+    .extern_map m /pins/private
+    mov r0, PASS
+    exit
+  )";
+  SyrupClient other_client(syrupd_, other);
+  auto result = other_client.syr_deploy_policy(policy, Hook::kSocketSelect);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+
+  SyrupClient owner_client(syrupd_, owner);
+  EXPECT_TRUE(
+      owner_client.syr_deploy_policy(policy, Hook::kSocketSelect).ok());
+}
+
+TEST_F(SyrupdTest, RemovePolicyRestoresDefault) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_
+                  .DeployNativePolicy(app,
+                                      std::make_shared<RoundRobinPolicy>(4),
+                                      Hook::kSocketSelect)
+                  .ok());
+  EXPECT_TRUE(static_cast<bool>(stack_.hooks().socket_select));
+  ASSERT_TRUE(syrupd_.RemovePolicy(app, Hook::kSocketSelect).ok());
+  EXPECT_FALSE(static_cast<bool>(stack_.hooks().socket_select));
+  EXPECT_EQ(syrupd_.RemovePolicy(app, Hook::kSocketSelect).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SyrupdTest, ThreadHookRejectsPolicyFiles) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  EXPECT_FALSE(
+      client.syr_deploy_policy("mov r0, 0\nexit\n", Hook::kThreadScheduler)
+          .ok());
+}
+
+TEST_F(SyrupdTest, UnknownAppRejected) {
+  EXPECT_FALSE(syrupd_
+                   .DeployNativePolicy(999,
+                                       std::make_shared<RoundRobinPolicy>(4),
+                                       Hook::kSocketSelect)
+                   .ok());
+}
+
+// --- isolation (§4.3) ----------------------------------------------------------------
+
+TEST_F(SyrupdTest, PoliciesOnlySeeOwnTraffic) {
+  auto app_a = syrupd_.RegisterApp("a", 1000, 9000).value();
+  auto app_b = syrupd_.RegisterApp("b", 2000, 9001).value();
+
+  // Counting policies so we can observe exactly which packets each saw.
+  class CountingPolicy : public PacketPolicy {
+   public:
+    Decision Schedule(const PacketView& pkt) override {
+      ++seen;
+      last_port = pkt.DstPort();
+      return 0;
+    }
+    std::string_view name() const override { return "counting"; }
+    int seen = 0;
+    uint16_t last_port = 0;
+  };
+  auto policy_a = std::make_shared<CountingPolicy>();
+  auto policy_b = std::make_shared<CountingPolicy>();
+  ASSERT_TRUE(
+      syrupd_.DeployNativePolicy(app_a, policy_a, Hook::kSocketSelect).ok());
+  ASSERT_TRUE(
+      syrupd_.DeployNativePolicy(app_b, policy_b, Hook::kSocketSelect).ok());
+
+  stack_.GetOrCreateGroup(9000)->AddSocket(16);
+  stack_.GetOrCreateGroup(9001)->AddSocket(16);
+
+  for (int i = 0; i < 3; ++i) {
+    stack_.Rx(MakePacket(9000));
+  }
+  stack_.Rx(MakePacket(9001));
+  sim_.RunToCompletion();
+
+  EXPECT_EQ(policy_a->seen, 3);
+  EXPECT_EQ(policy_a->last_port, 9000u);
+  EXPECT_EQ(policy_b->seen, 1);
+  EXPECT_EQ(policy_b->last_port, 9001u);
+}
+
+TEST_F(SyrupdTest, MaliciousDropPolicyOnlyHurtsItsOwner) {
+  auto app_a = syrupd_.RegisterApp("victim", 1000, 9000).value();
+  auto app_b = syrupd_.RegisterApp("malicious", 2000, 9001).value();
+  (void)app_a;
+  // "b" drops everything it schedules.
+  ASSERT_TRUE(syrupd_
+                  .DeployNativePolicy(
+                      app_b, std::make_shared<ConstIndexPolicy>(kDrop),
+                      Hook::kSocketSelect)
+                  .ok());
+  Socket* victim_sock = stack_.GetOrCreateGroup(9000)->AddSocket(16);
+  Socket* malicious_sock = stack_.GetOrCreateGroup(9001)->AddSocket(16);
+
+  stack_.Rx(MakePacket(9000));
+  stack_.Rx(MakePacket(9001));
+  sim_.RunToCompletion();
+
+  EXPECT_EQ(victim_sock->queue_length(), 1u);    // unaffected
+  EXPECT_EQ(malicious_sock->queue_length(), 0u); // self-inflicted drop
+  EXPECT_EQ(stack_.stats().policy_drops, 1u);
+}
+
+TEST_F(SyrupdTest, UnmatchedPortPassesThrough) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_
+                  .DeployNativePolicy(app,
+                                      std::make_shared<RoundRobinPolicy>(1),
+                                      Hook::kSocketSelect)
+                  .ok());
+  Socket* other = stack_.GetOrCreateGroup(7777)->AddSocket(16);
+  stack_.Rx(MakePacket(7777));
+  sim_.RunToCompletion();
+  EXPECT_EQ(other->queue_length(), 1u);
+  EXPECT_EQ(syrupd_.dispatch_stats(Hook::kSocketSelect).no_policy, 1u);
+}
+
+// --- map fd API ------------------------------------------------------------------------
+
+TEST_F(SyrupdTest, MapFdLifecycle) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  MapSpec spec;
+  spec.max_entries = 8;
+  auto created = syrupd_.MapCreate(app, spec, "/pins/counters");
+  ASSERT_TRUE(created.ok());
+
+  auto fd = client.syr_map_open("/pins/counters");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(client.syr_map_update_elem(*fd, 3, 300).ok());
+  EXPECT_EQ(client.syr_map_lookup_elem(*fd, 3).value(), 300u);
+  EXPECT_TRUE(client.syr_map_close(*fd).ok());
+  EXPECT_FALSE(client.syr_map_lookup_elem(*fd, 3).ok());
+  EXPECT_FALSE(client.syr_map_close(*fd).ok());
+}
+
+TEST_F(SyrupdTest, MapOpenEnforcesUid) {
+  auto owner = syrupd_.RegisterApp("owner", 1000, 9000).value();
+  auto other = syrupd_.RegisterApp("other", 2000, 9001).value();
+  MapSpec spec;
+  spec.max_entries = 8;
+  ASSERT_TRUE(syrupd_.MapCreate(owner, spec, "/pins/m").ok());
+  SyrupClient other_client(syrupd_, other);
+  EXPECT_EQ(other_client.syr_map_open("/pins/m").status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+// --- bytecode path end to end ------------------------------------------------------------
+
+TEST_F(SyrupdTest, BytecodePolicySteersPackets) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  ASSERT_TRUE(client.syr_deploy_policy(RoundRobinPolicyAsm(2),
+                                       Hook::kSocketSelect)
+                  .ok());
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  Socket* sock0 = group->AddSocket(64);
+  Socket* sock1 = group->AddSocket(64);
+  for (int i = 0; i < 10; ++i) {
+    stack_.Rx(MakePacket(9000));
+  }
+  sim_.RunToCompletion();
+  // Perfect 5/5 balance regardless of flow hashing.
+  EXPECT_EQ(sock0->queue_length(), 5u);
+  EXPECT_EQ(sock1->queue_length(), 5u);
+}
+
+// --- literal root dispatcher artifact -----------------------------------------------------
+
+TEST(RootDispatcher, RoutesByPortViaTailCalls) {
+  auto dispatcher = BuildRootDispatcher(8);
+  ASSERT_TRUE(dispatcher.ok()) << dispatcher.status();
+
+  // Two app policies: app A returns 10, app B returns 20.
+  bpf::Program policy_a;
+  {
+    auto assembled = bpf::Assemble("mov r0, 10\nexit\n");
+    policy_a.insns = assembled->insns;
+    policy_a.name = "a";
+  }
+  bpf::Program policy_b;
+  {
+    auto assembled = bpf::Assemble("mov r0, 20\nexit\n");
+    policy_b.insns = assembled->insns;
+    policy_b.name = "b";
+  }
+  ASSERT_TRUE(dispatcher->AddRoute(9000, 0, /*prog_id=*/101).ok());
+  ASSERT_TRUE(dispatcher->AddRoute(9001, 1, /*prog_id=*/102).ok());
+
+  bpf::ExecEnv env;
+  env.resolve_program = [&](uint64_t id) -> const bpf::Program* {
+    if (id == 101) return &policy_a;
+    if (id == 102) return &policy_b;
+    return nullptr;
+  };
+  bpf::Interpreter interp(env);
+
+  auto run = [&](uint16_t port) {
+    Packet pkt = MakePacket(port);
+    auto result = interp.Run(
+        *dispatcher->program,
+        reinterpret_cast<uint64_t>(pkt.wire.data()),
+        reinterpret_cast<uint64_t>(pkt.wire.data() + pkt.wire.size()),
+        /*args_are_packet=*/true);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return static_cast<uint32_t>(result->r0);
+  };
+
+  EXPECT_EQ(run(9000), 10u);
+  EXPECT_EQ(run(9001), 20u);
+  EXPECT_EQ(run(9002), kPass);  // unowned port: default policy
+}
+
+TEST(RootDispatcher, RuntPacketPasses) {
+  auto dispatcher = BuildRootDispatcher(8);
+  ASSERT_TRUE(dispatcher.ok());
+  bpf::Interpreter interp(bpf::ExecEnv{});
+  uint8_t tiny[2] = {0, 1};
+  auto result = interp.Run(*dispatcher->program,
+                           reinterpret_cast<uint64_t>(tiny),
+                           reinterpret_cast<uint64_t>(tiny + 2), true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(static_cast<uint32_t>(result->r0), kPass);
+}
+
+
+TEST_F(SyrupdTest, ListDeploymentsReportsAttachedPolicies) {
+  auto app_a = syrupd_.RegisterApp("alpha", 1000, 9000).value();
+  auto app_b = syrupd_.RegisterApp("beta", 2000, 9001).value();
+  ASSERT_TRUE(syrupd_
+                  .DeployNativePolicy(app_a,
+                                      std::make_shared<RoundRobinPolicy>(4),
+                                      Hook::kSocketSelect)
+                  .ok());
+  ASSERT_TRUE(syrupd_
+                  .DeployNativePolicy(app_b,
+                                      std::make_shared<SitaPolicy>(4),
+                                      Hook::kXdpSkb)
+                  .ok());
+  auto deployments = syrupd_.ListDeployments();
+  ASSERT_EQ(deployments.size(), 2u);
+  bool saw_rr = false, saw_sita = false;
+  for (const auto& d : deployments) {
+    if (d.policy_name == "round_robin") {
+      saw_rr = true;
+      EXPECT_EQ(d.app_name, "alpha");
+      EXPECT_EQ(d.port, 9000u);
+      EXPECT_EQ(d.hook, Hook::kSocketSelect);
+    }
+    if (d.policy_name == "sita") {
+      saw_sita = true;
+      EXPECT_EQ(d.app_name, "beta");
+      EXPECT_EQ(d.hook, Hook::kXdpSkb);
+    }
+  }
+  EXPECT_TRUE(saw_rr);
+  EXPECT_TRUE(saw_sita);
+  // Removal is reflected.
+  ASSERT_TRUE(syrupd_.RemovePolicy(app_a, Hook::kSocketSelect).ok());
+  EXPECT_EQ(syrupd_.ListDeployments().size(), 1u);
+}
+
+TEST_F(SyrupdTest, ExecEnvIsDeterministicPerSeed) {
+  Simulator sim_a, sim_b;
+  Syrupd a(sim_a, nullptr, 42), b(sim_b, nullptr, 42);
+  auto env_a = a.MakeExecEnv();
+  auto env_b = b.MakeExecEnv();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(env_a.random_u32(), env_b.random_u32());
+  }
+}
+
+TEST_F(SyrupdTest, ExecEnvTimeTracksSimulator) {
+  auto env = syrupd_.MakeExecEnv();
+  EXPECT_EQ(env.ktime_ns(), 0u);
+  sim_.ScheduleAt(12'345, []() {});
+  sim_.RunToCompletion();
+  EXPECT_EQ(env.ktime_ns(), 12'345u);
+}
+
+TEST_F(SyrupdTest, ProgramByIdResolvesDeployedBytecode) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  auto prog_id = client.syr_deploy_policy(RoundRobinPolicyAsm(4),
+                                          Hook::kSocketSelect);
+  ASSERT_TRUE(prog_id.ok());
+  const bpf::Program* program =
+      syrupd_.ProgramById(static_cast<uint64_t>(*prog_id));
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(program->name, "round_robin");
+  EXPECT_EQ(syrupd_.ProgramById(999'999), nullptr);
+}
+
+}  // namespace
+}  // namespace syrup
