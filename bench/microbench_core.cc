@@ -11,9 +11,11 @@
 #include "src/bpf/verifier.h"
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
+#include "src/core/syrup_api.h"
 #include "src/map/hash_map.h"
 #include "src/map/map.h"
 #include "src/net/packet.h"
+#include "src/obs/metrics.h"
 #include "src/policies/builtin.h"
 #include "src/sim/simulator.h"
 
@@ -147,6 +149,61 @@ void BM_SimulatorEventDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  // The per-event cost of the always-on metrics layer: a pointer chase and
+  // a plain add (the single-threaded datapath variant).
+  obs::MetricsRegistry registry;
+  auto counter = registry.GetCounter("bench", "hook", "events");
+  for (auto _ : state) {
+    counter->Inc();
+    benchmark::DoNotOptimize(counter->value);
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterIncAtomic(benchmark::State& state) {
+  // The thread-safe variant map ops use.
+  obs::MetricsRegistry registry;
+  auto counter = registry.GetCounter("bench", "map", "ops");
+  for (auto _ : state) {
+    counter->IncAtomic();
+    benchmark::DoNotOptimize(counter->value);
+  }
+}
+BENCHMARK(BM_ObsCounterIncAtomic);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::LatencyHistogram histogram;
+  Rng rng(6);
+  for (auto _ : state) {
+    histogram.Record(rng.NextBounded(1'000'000));
+  }
+  benchmark::DoNotOptimize(histogram.Percentile(99));
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_SyrupdDispatch(benchmark::State& state) {
+  // The per-packet dispatcher path with metrics on: port match, per-hook +
+  // per-app accounting, decision classification, native policy decision.
+  // Guards the acceptance criterion that the registry adds no measurable
+  // overhead to dispatch throughput.
+  Simulator sim;
+  HostStack stack(sim, StackConfig{});
+  Syrupd syrupd(sim, &stack);
+  const AppId app = syrupd.RegisterApp("bench", /*uid=*/1000, 9000).value();
+  (void)syrupd
+      .DeployNativePolicy(app, std::make_shared<RoundRobinPolicy>(6),
+                          Hook::kSocketSelect)
+      .value();
+  const Packet pkt = BenchPacket();
+  const PacketView view = PacketView::Of(pkt);
+  SteerHook& dispatch = stack.hooks().socket_select;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatch(view));
+  }
+}
+BENCHMARK(BM_SyrupdDispatch);
 
 void BM_FiveTupleHash(benchmark::State& state) {
   FiveTuple tuple{0x0a000001, 0x0a0000ff, 20'000, 9000, 17};

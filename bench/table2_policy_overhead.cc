@@ -4,8 +4,10 @@
 //
 // LoC counts the policy-file source lines (directives/labels excluded, as
 // the paper counts C statements). Instructions is the mean VM instruction
-// count per scheduling decision, measured by running each verified bytecode
-// policy over a representative packet stream. Cycles has two parts, as in
+// count per scheduling decision, measured by deploying each policy through
+// syrupd (the real path: assemble, pin maps, verify, attach) and reading
+// the per-app policy counters back from Syrupd::StatsSnapshot() — the
+// same observability surface syrupctl exposes. Cycles has two parts, as in
 // the paper ("most of this time is spent on enforcing ... rather than
 // making ... each scheduling decision"): the measured native decision cost,
 // plus a fixed enforcement cost (packet redirect + dispatch) modeled at
@@ -17,10 +19,8 @@
 #include <sstream>
 #include <vector>
 
-#include "src/bpf/assembler.h"
-#include "src/bpf/verifier.h"
 #include "src/common/rng.h"
-#include "src/core/policy.h"
+#include "src/core/syrup_api.h"
 #include "src/policies/builtin.h"
 
 namespace syrup {
@@ -30,6 +30,7 @@ constexpr double kGhz = 2.3;
 constexpr double kEnforcementCycles = 1400;  // redirect + dispatch, modeled
 constexpr int kWarmupIters = 10'000;
 constexpr int kMeasureIters = 2'000'000;
+constexpr int kDecisionIters = 4096;
 
 int CountLoc(const std::string& source) {
   std::istringstream stream(source);
@@ -53,14 +54,14 @@ int CountLoc(const std::string& source) {
   return loc;
 }
 
-std::vector<Packet> MakeWorkload() {
+std::vector<Packet> MakeWorkload(uint16_t dst_port) {
   Rng rng(42);
   std::vector<Packet> packets;
   packets.reserve(1024);
   for (int i = 0; i < 1024; ++i) {
     Packet pkt;
     pkt.tuple.src_port = static_cast<uint16_t>(20'000 + rng.NextBounded(50));
-    pkt.tuple.dst_port = 9000;
+    pkt.tuple.dst_port = dst_port;
     const ReqType type =
         rng.NextBounded(200) == 0 ? ReqType::kScan : ReqType::kGet;
     pkt.SetHeader(type, 1 + static_cast<uint32_t>(rng.NextBounded(2)),
@@ -87,78 +88,99 @@ double MeasureNs(PacketPolicy& policy, const std::vector<Packet>& packets) {
 
 struct PolicyUnderTest {
   const char* name;
+  const char* app;  // syrupd registration (also the snapshot key)
   std::string asm_source;
   std::shared_ptr<PacketPolicy> native;
 };
 
-std::unique_ptr<BytecodePacketPolicy> LoadBytecode(
-    const std::string& source) {
-  auto assembled = bpf::Assemble(source).value();
-  auto program = std::make_shared<bpf::Program>();
-  program->name = assembled.name;
-  program->insns = assembled.insns;
-  for (const bpf::MapSlot& slot : assembled.map_slots) {
-    program->maps.push_back(CreateMap(slot.spec).value());
-  }
-  const Status verified = bpf::Verify(*program, bpf::ProgramContext::kPacket);
-  if (!verified.ok()) {
-    std::fprintf(stderr, "verify failed: %s\n", verified.ToString().c_str());
-    std::abort();
-  }
-  bpf::ExecEnv env;
-  auto rng = std::make_shared<Rng>(7);
-  env.random_u32 = [rng]() { return static_cast<uint32_t>(rng->Next()); };
-  env.ktime_ns = []() { return 0u; };
-  return std::make_unique<BytecodePacketPolicy>(program, env);
-}
-
 void Run() {
-  const auto workload = MakeWorkload();
+  Simulator sim;
+  HostStack stack(sim, StackConfig{});
+  Syrupd syrupd(sim, &stack);
 
-  // Token policy needs populated buckets; SCAN Avoid needs a scan map +
-  // randomness.
+  // Native mirrors need the same shared state the bytecode twins read
+  // through their pinned maps.
   MapSpec token_spec;
   token_spec.type = MapType::kHash;
   token_spec.max_entries = 64;
-  auto token_map = CreateMap(token_spec).value();
+  auto native_token_map = CreateMap(token_spec).value();
   for (uint32_t user = 1; user <= 2; ++user) {
-    (void)token_map->UpdateU64(user, 1'000'000'000);
+    (void)native_token_map->UpdateU64(user, 1'000'000'000);
   }
   MapSpec scan_spec;
   scan_spec.type = MapType::kArray;
   scan_spec.max_entries = 6;
-  auto scan_map = CreateMap(scan_spec).value();
-  (void)scan_map->UpdateU64(2, static_cast<uint64_t>(ReqType::kScan));
+  auto native_scan_map = CreateMap(scan_spec).value();
+  (void)native_scan_map->UpdateU64(2, static_cast<uint64_t>(ReqType::kScan));
   auto rng = std::make_shared<Rng>(3);
 
   std::vector<PolicyUnderTest> policies;
-  policies.push_back({"Round Robin", RoundRobinPolicyAsm(6),
+  policies.push_back({"Round Robin", "t2_rr", RoundRobinPolicyAsm(6),
                       std::make_shared<RoundRobinPolicy>(6)});
   policies.push_back(
-      {"SCAN Avoid", ScanAvoidPolicyAsm(6),
-       std::make_shared<ScanAvoidPolicy>(6, scan_map, [rng]() {
+      {"SCAN Avoid", "t2_scan_avoid", ScanAvoidPolicyAsm(6),
+       std::make_shared<ScanAvoidPolicy>(6, native_scan_map, [rng]() {
          return static_cast<uint32_t>(rng->Next());
        })});
   policies.push_back(
-      {"SITA", SitaPolicyAsm(6), std::make_shared<SitaPolicy>(6)});
-  policies.push_back({"Token-based", TokenPolicyAsm(),
-                      std::make_shared<TokenPolicy>(token_map)});
+      {"SITA", "t2_sita", SitaPolicyAsm(6), std::make_shared<SitaPolicy>(6)});
+  policies.push_back({"Token-based", "t2_token", TokenPolicyAsm(),
+                      std::make_shared<TokenPolicy>(native_token_map)});
 
   std::printf("# Table 2: overhead of different Syrup policies\n");
   std::printf("%-12s %5s %13s %18s %10s\n", "Policy", "LoC", "Instructions",
               "DecisionCycles", "Cycles");
+  uint16_t next_port = 9000;
   for (auto& put : policies) {
-    auto bytecode = LoadBytecode(put.asm_source);
-    // Instruction count per decision over the workload.
-    for (size_t i = 0; i < 4096; ++i) {
-      bytecode->Schedule(PacketView::Of(workload[i % workload.size()]));
+    const uint16_t port = next_port++;
+    const AppId app = syrupd.RegisterApp(put.app, /*uid=*/1000, port).value();
+    SyrupClient client(syrupd, app);
+
+    // The real deployment path: assemble, pin maps, verify, attach. The
+    // handle keeps the deployment alive for the measurement scope.
+    PolicyHandle deployed =
+        client.DeployPolicy(put.asm_source, Hook::kSocketSelect).value();
+
+    // Seed the policy's pinned maps through the typed map API, exactly as
+    // the owning application would.
+    if (std::string_view(put.app) == "t2_token") {
+      MapHandle tokens =
+          client.MapOpen("/syrup/t2_token/token_map").value();
+      for (uint32_t user = 1; user <= 2; ++user) {
+        (void)tokens.Update(user, 1'000'000'000);
+      }
+    } else if (std::string_view(put.app) == "t2_scan_avoid") {
+      MapHandle scan = client.MapOpen("/syrup/t2_scan_avoid/scan_map").value();
+      (void)scan.Update(2, static_cast<uint64_t>(ReqType::kScan));
     }
-    const double insns = bytecode->MeanInsnsPerDecision();
+
+    // Drive the attached policy object over the workload (the dispatcher
+    // would do exactly this per matching packet).
+    const auto workload = MakeWorkload(port);
+    std::shared_ptr<PacketPolicy> attached =
+        syrupd.PolicyAt(Hook::kSocketSelect, port);
+    for (int i = 0; i < kDecisionIters; ++i) {
+      attached->Schedule(PacketView::Of(workload[
+          static_cast<size_t>(i) % workload.size()]));
+    }
+
+    // Instructions per decision, read back from the daemon's snapshot: the
+    // registry is the single source for this column.
+    const obs::Snapshot snap = syrupd.StatsSnapshot();
+    const uint64_t insns =
+        snap.CounterValue(put.app, "socket_select", "policy.insns");
+    const uint64_t decisions =
+        snap.CounterValue(put.app, "socket_select", "policy.invocations");
+    const double mean_insns =
+        decisions == 0
+            ? 0.0
+            : static_cast<double>(insns) / static_cast<double>(decisions);
+
     const double decision_ns = MeasureNs(*put.native, workload);
     const double decision_cycles = decision_ns * kGhz;
     const double total_cycles = decision_cycles + kEnforcementCycles;
     std::printf("%-12s %5d %13.0f %18.0f %10.0f\n", put.name,
-                CountLoc(put.asm_source), insns, decision_cycles,
+                CountLoc(put.asm_source), mean_insns, decision_cycles,
                 total_cycles);
   }
   std::printf(

@@ -11,14 +11,20 @@
 // operations on the same map concurrently. Offload rows go through the
 // OffloadMapProxy, which charges the Netronome's measured ~24us PCIe round
 // trip per operation — the value is modeled, the code path is real.
+//
+// The map is created through syrupd and every measured latency is recorded
+// as a gauge in the daemon's MetricsRegistry; the printed table reads
+// exclusively from Syrupd::StatsSnapshot(), alongside the per-map op
+// counters the instrumented Map layer accumulated during the run.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "src/common/rng.h"
-#include "src/map/map.h"
+#include "src/core/syrup_api.h"
 #include "src/map/offload_proxy.h"
 
 namespace syrup {
@@ -26,18 +32,6 @@ namespace {
 
 constexpr uint32_t kElements = 1'000'000;
 constexpr std::chrono::nanoseconds kPcieRoundTrip{23'500};
-
-std::shared_ptr<Map> MakeHostMap() {
-  MapSpec spec;
-  spec.type = MapType::kHash;
-  spec.max_entries = kElements;
-  spec.name = "table3";
-  auto map = CreateMap(spec).value();
-  for (uint32_t key = 0; key < kElements; ++key) {
-    (void)map->UpdateU64(key, key);
-  }
-  return map;
-}
 
 enum class OpKind { kGet, kUpdate };
 
@@ -89,25 +83,82 @@ void Run() {
   std::printf("# host map: hash, %u elements; offload: +%lld ns modeled "
               "PCIe round trip\n",
               kElements, static_cast<long long>(kPcieRoundTrip.count()));
-  auto host = MakeHostMap();
+
+  // API-only daemon (no host stack): the bench is a syrupd application
+  // like any other, so its numbers land in the daemon's registry.
+  Simulator sim;
+  Syrupd syrupd(sim, /*stack=*/nullptr);
+  const AppId app = syrupd.RegisterApp("t3", /*uid=*/1000, 9300).value();
+  SyrupClient client(syrupd, app);
+
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = kElements;
+  spec.name = "table3";
+  MapHandle handle = client.MapCreate(spec, "/syrup/t3/table3").value();
+  std::shared_ptr<Map> host = handle.map();
+  for (uint32_t key = 0; key < kElements; ++key) {
+    (void)host->UpdateU64(key, key);
+  }
+
   OffloadMapProxy offload(host, kPcieRoundTrip);
+  offload.BindCounters(
+      MapOpCounters::InRegistry(syrupd.metrics(), "t3", "offload"));
 
   constexpr int kHostIters = 2'000'000;
   constexpr int kOffloadIters = 4'000;
 
+  // Measure every cell, recording each as a gauge so the snapshot is the
+  // single source for the printed table.
+  struct Row {
+    const char* label;
+    const char* key;  // metric prefix under {"t3", "latency", ...}
+    Map& map;
+    int iters;
+    bool contended;
+  };
+  Row rows[] = {
+      {"Host", "host", *host, kHostIters, false},
+      {"Host Contended", "host_contended", *host, kHostIters, true},
+      {"Offload", "offload", offload, kOffloadIters, false},
+      {"Offload Contended", "offload_contended", offload, kOffloadIters,
+       true},
+  };
+  obs::MetricsRegistry& metrics = syrupd.metrics();
+  for (Row& row : rows) {
+    const double get_ns = row.contended
+                              ? MeasureContendedNs(row.map, OpKind::kGet,
+                                                   row.iters)
+                              : MeasureNs(row.map, OpKind::kGet, row.iters);
+    const double update_ns =
+        row.contended ? MeasureContendedNs(row.map, OpKind::kUpdate, row.iters)
+                      : MeasureNs(row.map, OpKind::kUpdate, row.iters);
+    metrics.GetGauge("t3", "latency", std::string(row.key) + ".get_ns")
+        ->Set(static_cast<int64_t>(get_ns));
+    metrics.GetGauge("t3", "latency", std::string(row.key) + ".update_ns")
+        ->Set(static_cast<int64_t>(update_ns));
+  }
+
+  const obs::Snapshot snap = syrupd.StatsSnapshot();
   std::printf("%-20s %12s %12s\n", "Backend", "Get (ns)", "Update (ns)");
-  std::printf("%-20s %12.0f %12.0f\n", "Host",
-              MeasureNs(*host, OpKind::kGet, kHostIters),
-              MeasureNs(*host, OpKind::kUpdate, kHostIters));
-  std::printf("%-20s %12.0f %12.0f\n", "Host Contended",
-              MeasureContendedNs(*host, OpKind::kGet, kHostIters),
-              MeasureContendedNs(*host, OpKind::kUpdate, kHostIters));
-  std::printf("%-20s %12.0f %12.0f\n", "Offload",
-              MeasureNs(offload, OpKind::kGet, kOffloadIters),
-              MeasureNs(offload, OpKind::kUpdate, kOffloadIters));
-  std::printf("%-20s %12.0f %12.0f\n", "Offload Contended",
-              MeasureContendedNs(offload, OpKind::kGet, kOffloadIters),
-              MeasureContendedNs(offload, OpKind::kUpdate, kOffloadIters));
+  for (const Row& row : rows) {
+    std::printf("%-20s %12lld %12lld\n", row.label,
+                static_cast<long long>(snap.GaugeValue(
+                    "t3", "latency", std::string(row.key) + ".get_ns")),
+                static_cast<long long>(snap.GaugeValue(
+                    "t3", "latency", std::string(row.key) + ".update_ns")));
+  }
+  std::printf(
+      "# map ops accounted by the registry: host lookups=%llu updates=%llu "
+      "| offload lookups=%llu updates=%llu\n",
+      static_cast<unsigned long long>(
+          snap.CounterValue("t3", "map", "table3.lookups")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("t3", "map", "table3.updates")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("t3", "map", "offload.lookups")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("t3", "map", "offload.updates")));
   std::printf(
       "# Expected shape (paper): host ~1us/op (syscall-dominated there, "
       "map-op here), little\n"

@@ -5,6 +5,10 @@
 //                  [--sched pinned|cfs|ghost]
 //                  [--load RPS] [--get-fraction F] [--threads N] [--cores N]
 //                  [--seconds S] [--seed S] [--bytecode] [--late-binding]
+//                  [--stats-json]
+//
+// --stats-json additionally prints the daemon's full metrics snapshot
+// (Syrupd::StatsSnapshot(), docs/OBSERVABILITY.md schema) after the run.
 //
 // Examples:
 //   experiment_cli --policy sita --load 250000 --get-fraction 0.995
@@ -28,7 +32,7 @@ using namespace syrup;
                "          [--load RPS] [--get-fraction F] [--threads N] "
                "[--cores N]\n"
                "          [--seconds S] [--seed S] [--bytecode] "
-               "[--late-binding]\n",
+               "[--late-binding] [--stats-json]\n",
                argv0);
   std::exit(2);
 }
@@ -38,6 +42,7 @@ using namespace syrup;
 int main(int argc, char** argv) {
   RocksDbExperimentConfig config;
   config.load_rps = 200'000;
+  bool stats_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +93,8 @@ int main(int argc, char** argv) {
       config.use_bytecode = true;
     } else if (arg == "--late-binding") {
       config.late_binding = true;
+    } else if (arg == "--stats-json") {
+      stats_json = true;
     } else {
       Usage(argv[0]);
     }
@@ -112,5 +119,8 @@ int main(int argc, char** argv) {
     std::printf("p99 (SCAN) : %10.1f us\n", result.p99_scan_us);
   }
   std::printf("drops      : %10.3f %%\n", result.drop_fraction * 100);
+  if (stats_json) {
+    std::printf("%s\n", result.stats_json.c_str());
+  }
   return 0;
 }

@@ -24,23 +24,24 @@ int main() {
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack);
 
-  // Tenant A: a well-behaved KV store on port 9000 with round robin.
+  // Tenant A: a well-behaved KV store on port 9000 with round robin. The
+  // PolicyHandle keeps the deployment attached for the whole run.
   const AppId app_a = syrupd.RegisterApp("tenant_a", 1001, 9000).value();
   SyrupClient client_a(syrupd, app_a);
-  auto fd_a = client_a.syr_deploy_policy(RoundRobinPolicyAsm(3),
-                                         Hook::kSocketSelect);
-  std::printf("tenant A deploy: %s\n", fd_a.ok() ? "ok" : "FAILED");
+  auto policy_a = client_a.DeployPolicy(RoundRobinPolicyAsm(3),
+                                        Hook::kSocketSelect);
+  std::printf("tenant A deploy: %s\n", policy_a.ok() ? "ok" : "FAILED");
 
   // Tenant B: hostile — its policy drops every packet it schedules.
   const AppId app_b = syrupd.RegisterApp("tenant_b", 1002, 9001).value();
   SyrupClient client_b(syrupd, app_b);
-  auto fd_b = client_b.syr_deploy_policy(R"(
+  auto policy_b = client_b.DeployPolicy(R"(
 .name drop_everything
 .ctx packet
   mov r0, DROP
   exit
 )", Hook::kSocketSelect);
-  std::printf("tenant B deploy: %s\n", fd_b.ok() ? "ok" : "FAILED");
+  std::printf("tenant B deploy: %s\n", policy_b.ok() ? "ok" : "FAILED");
 
   // Tenant B also tries to steal tenant A's port and to open A's maps:
   // both are refused.

@@ -3,11 +3,13 @@
 // This walks the paper's Fig. 3 workflow end to end on the simulated host:
 //   1. write a scheduling policy as a `schedule` matching function
 //      (a policy file in VM assembly),
-//   2. hand it to syrupd with syr_deploy_policy(<policy>, <hook>),
+//   2. hand it to syrupd with DeployPolicy(<policy>, <hook>) — the
+//      returned PolicyHandle owns the deployment,
 //   3. watch it fix the kernel's hash-based socket imbalance.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <utility>
 
 #include "src/apps/loadgen.h"
 #include "src/apps/rocksdb_server.h"
@@ -61,17 +63,18 @@ RunResult RunWorkload(bool deploy_policy) {
                                        /*port=*/9000).value();
   SyrupClient client(syrupd, app);
 
+  PolicyHandle deployed;  // owns the deployment; detaches when it dies
   if (deploy_policy) {
     // syrupd assembles the policy file, creates & pins its maps, runs the
     // verifier, and attaches it behind the per-port dispatcher.
-    auto prog_fd =
-        client.syr_deploy_policy(kRoundRobinPolicy, Hook::kSocketSelect);
-    if (!prog_fd.ok()) {
+    auto handle = client.DeployPolicy(kRoundRobinPolicy, Hook::kSocketSelect);
+    if (!handle.ok()) {
       std::fprintf(stderr, "deploy failed: %s\n",
-                   prog_fd.status().ToString().c_str());
+                   handle.status().ToString().c_str());
       std::exit(1);
     }
-    std::printf("deployed policy, prog fd %d\n", *prog_fd);
+    deployed = std::move(*handle);
+    std::printf("deployed policy, prog id %d\n", deployed.prog_id());
   }
 
   // A 6-thread RocksDB-style server (one SO_REUSEPORT socket per thread).

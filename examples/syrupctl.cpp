@@ -1,13 +1,18 @@
 // syrupctl: bpftool-style introspection of a live Syrup deployment.
 //
 // Demonstrates the operator surface: list attached policies, list pinned
-// maps, and dump map contents — the observability a resource manager
-// (paper §3.2) builds on. Runs against a small in-process deployment since
-// the whole system is a library.
+// maps, dump map contents, and export the daemon's metrics — the
+// observability a resource manager (paper §3.2) builds on. Runs against a
+// small in-process multi-tenant deployment since the whole system is a
+// library.
 //
-// Build & run:  ./build/examples/syrupctl
+// Build & run:
+//   ./build/examples/syrupctl            # human-readable inspection
+//   ./build/examples/syrupctl stats      # full StatsSnapshot() as JSON
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "src/apps/loadgen.h"
 #include "src/apps/rocksdb_server.h"
@@ -15,23 +20,43 @@
 #include "src/sim/simulator.h"
 #include "src/syrup.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syrup;
+  const std::string command = argc > 1 ? argv[1] : "inspect";
+  if (command != "inspect" && command != "stats") {
+    std::fprintf(stderr, "usage: %s [inspect|stats]\n", argv[0]);
+    return 2;
+  }
+
   Simulator sim;
   StackConfig stack_config;
   stack_config.num_nic_queues = 4;
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack);
 
-  // A deployment to inspect: one app with SCAN Avoid at socket-select and
-  // a token policy file at XDP_SKB.
-  const AppId app = syrupd.RegisterApp("rocksdb", 1000, 9000).value();
-  SyrupClient client(syrupd, app);
-  (void)client.syr_deploy_policy(ScanAvoidPolicyAsm(4), Hook::kSocketSelect);
-  (void)client.syr_deploy_policy(TokenPolicyAsm(), Hook::kXdpSkb);
-  auto token_fd = client.syr_map_open("/syrup/rocksdb/token_map").value();
-  (void)client.syr_map_update_elem(token_fd, /*user=*/1, 35);
-  (void)client.syr_map_update_elem(token_fd, /*user=*/2, 7);
+  // A multi-tenant deployment to inspect: "rocksdb" runs SCAN Avoid at
+  // socket-select plus a token policy file at XDP_SKB; "analytics" shares
+  // the host with round robin on its own port. The typed handles own the
+  // deployments; holding them in main keeps the policies attached for the
+  // whole run.
+  const AppId rocksdb = syrupd.RegisterApp("rocksdb", 1000, 9000).value();
+  SyrupClient rocksdb_client(syrupd, rocksdb);
+  PolicyHandle scan_avoid =
+      rocksdb_client.DeployPolicy(ScanAvoidPolicyAsm(4), Hook::kSocketSelect)
+          .value();
+  PolicyHandle token =
+      rocksdb_client.DeployPolicy(TokenPolicyAsm(), Hook::kXdpSkb).value();
+  MapHandle tokens =
+      rocksdb_client.MapOpen("/syrup/rocksdb/token_map").value();
+  (void)tokens.Update(/*user=*/1, 35);
+  (void)tokens.Update(/*user=*/2, 7);
+
+  const AppId analytics = syrupd.RegisterApp("analytics", 1001, 9001).value();
+  SyrupClient analytics_client(syrupd, analytics);
+  PolicyHandle analytics_rr =
+      analytics_client.DeployPolicy(RoundRobinPolicyAsm(4),
+                                    Hook::kSocketSelect)
+          .value();
 
   Machine machine(sim, 4);
   PinnedScheduler scheduler(machine);
@@ -42,15 +67,34 @@ int main() {
       syrupd.registry().Open("/syrup/rocksdb/scan_map", 1000).value();
   RocksDbServer server(sim, stack, machine, server_config);
 
-  LoadGenConfig gen_config;
-  gen_config.rate_rps = 50'000;
-  gen_config.dst_port = 9000;
-  gen_config.mix = {{ReqType::kGet, 0.99}, {ReqType::kScan, 0.01}};
-  LoadGenerator gen(sim, stack, gen_config);
-  gen.Start(100 * kMillisecond);
+  // The analytics tenant has no server object; bare reuseport sockets on
+  // its port are enough for its policy to dispatch real traffic.
+  ReuseportGroup* analytics_group = stack.GetOrCreateGroup(9001);
+  for (int i = 0; i < 4; ++i) {
+    analytics_group->AddSocket(256);
+  }
+
+  auto make_gen = [&](uint16_t port, double rate) {
+    LoadGenConfig gen_config;
+    gen_config.rate_rps = rate;
+    gen_config.dst_port = port;
+    gen_config.mix = {{ReqType::kGet, 0.99}, {ReqType::kScan, 0.01}};
+    return std::make_unique<LoadGenerator>(sim, stack, gen_config);
+  };
+  auto rocksdb_gen = make_gen(9000, 50'000);
+  auto analytics_gen = make_gen(9001, 10'000);
+  rocksdb_gen->Start(100 * kMillisecond);
+  analytics_gen->Start(100 * kMillisecond);
   sim.RunUntil(100 * kMillisecond);
 
   // --- the syrupctl surface ------------------------------------------------
+
+  if (command == "stats") {
+    // The entire observability tree: every app, hook, and metric the
+    // daemon accounted during the run (docs/OBSERVABILITY.md schema).
+    std::printf("%s\n", syrupd.StatsSnapshot().ToJson().c_str());
+    return 0;
+  }
 
   std::printf("== deployments ==\n");
   for (const DeploymentInfo& d : syrupd.ListDeployments()) {
@@ -74,8 +118,7 @@ int main() {
   }
 
   std::printf("\n== map dump: /syrup/rocksdb/token_map ==\n");
-  auto tokens = syrupd.registry().Open("/syrup/rocksdb/token_map", 1000);
-  tokens.value()->Visit([](const void* key, void* value) {
+  tokens.map()->Visit([](const void* key, void* value) {
     uint32_t k;
     std::memcpy(&k, key, sizeof(k));
     std::printf("  user %u -> %llu tokens\n", k,
@@ -99,5 +142,7 @@ int main() {
                   syrupd.dispatch_stats(Hook::kSocketSelect).dispatched),
               static_cast<unsigned long long>(
                   syrupd.dispatch_stats(Hook::kSocketSelect).no_policy));
+  std::printf("\n(run `%s stats` for the full metrics tree as JSON)\n",
+              argv[0]);
   return 0;
 }

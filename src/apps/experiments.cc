@@ -79,20 +79,22 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   std::shared_ptr<Map> scan_map;
   const uint32_t n = static_cast<uint32_t>(config.num_threads);
   auto policy_rng = std::make_shared<Rng>(config.seed ^ 0x5caf00dULL);
+  // Handles keep bytecode deployments attached for the whole run.
+  std::vector<PolicyHandle> deployments;
   if (config.use_bytecode) {
     SyrupClient client(syrupd, app);
     switch (config.socket_policy) {
       case SocketPolicyKind::kVanilla:
         break;
       case SocketPolicyKind::kRoundRobin:
-        SYRUP_CHECK(client.syr_deploy_policy(RoundRobinPolicyAsm(n),
-                                             Hook::kSocketSelect)
-                        .ok());
+        deployments.push_back(
+            client.DeployPolicy(RoundRobinPolicyAsm(n), Hook::kSocketSelect)
+                .value());
         break;
       case SocketPolicyKind::kScanAvoid: {
-        SYRUP_CHECK(client.syr_deploy_policy(ScanAvoidPolicyAsm(n),
-                                             Hook::kSocketSelect)
-                        .ok());
+        deployments.push_back(
+            client.DeployPolicy(ScanAvoidPolicyAsm(n), Hook::kSocketSelect)
+                .value());
         // The policy file declared scan_map; open the pin for the server's
         // userspace half.
         scan_map =
@@ -100,9 +102,9 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
         break;
       }
       case SocketPolicyKind::kSita:
-        SYRUP_CHECK(
-            client.syr_deploy_policy(SitaPolicyAsm(n), Hook::kSocketSelect)
-                .ok());
+        deployments.push_back(
+            client.DeployPolicy(SitaPolicyAsm(n), Hook::kSocketSelect)
+                .value());
         break;
     }
   } else {
@@ -210,6 +212,7 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   result.drop_fraction =
       sent == 0 ? 0.0
                 : static_cast<double>(drops) / static_cast<double>(sent);
+  result.stats_json = syrupd.StatsSnapshot().ToJson();
   return result;
 }
 
@@ -322,6 +325,7 @@ TokenQosResult RunTokenQosExperiment(const TokenQosConfig& config) {
   result.be_throughput_rps = static_cast<double>(be_completed) / window_sec;
   result.ls_p99_us = ToUs(server.user_latency(kLsUser).Percentile(99));
   result.be_p99_us = ToUs(server.user_latency(kBeUser).Percentile(99));
+  result.stats_json = syrupd.StatsSnapshot().ToJson();
   return result;
 }
 
@@ -355,14 +359,14 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
 
   const uint32_t n = static_cast<uint32_t>(config.num_threads);
   SyrupClient client(syrupd, app);
+  std::vector<PolicyHandle> deployments;
   switch (config.variant) {
     case MicaVariant::kSwRedirect:
       break;  // no Syrup policies: kernel-default distribution
     case MicaVariant::kSyrupSw:
       if (config.use_bytecode) {
-        SYRUP_CHECK(
-            client.syr_deploy_policy(MicaHomePolicyAsm(n), Hook::kXdpSkb)
-                .ok());
+        deployments.push_back(
+            client.DeployPolicy(MicaHomePolicyAsm(n), Hook::kXdpSkb).value());
       } else {
         SYRUP_CHECK(syrupd
                         .DeployNativePolicy(
@@ -374,9 +378,8 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
     case MicaVariant::kSyrupSwZc:
       // Zero-copy native mode (XDP_DRV): pre-SKB, no frame copy.
       if (config.use_bytecode) {
-        SYRUP_CHECK(
-            client.syr_deploy_policy(MicaHomePolicyAsm(n), Hook::kXdpDrv)
-                .ok());
+        deployments.push_back(
+            client.DeployPolicy(MicaHomePolicyAsm(n), Hook::kXdpDrv).value());
       } else {
         SYRUP_CHECK(syrupd
                         .DeployNativePolicy(
@@ -389,12 +392,12 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
       // The same matching function, offloaded: the NIC picks the home
       // queue; the queue's single AF_XDP socket receives locally.
       if (config.use_bytecode) {
-        SYRUP_CHECK(
-            client.syr_deploy_policy(MicaHomePolicyAsm(n), Hook::kXdpOffload)
-                .ok());
-        SYRUP_CHECK(
-            client.syr_deploy_policy(ConstIndexPolicyAsm(0), Hook::kXdpSkb)
-                .ok());
+        deployments.push_back(
+            client.DeployPolicy(MicaHomePolicyAsm(n), Hook::kXdpOffload)
+                .value());
+        deployments.push_back(
+            client.DeployPolicy(ConstIndexPolicyAsm(0), Hook::kXdpSkb)
+                .value());
       } else {
         SYRUP_CHECK(syrupd
                         .DeployNativePolicy(
@@ -442,6 +445,7 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
       sent == 0 ? 0.0
                 : static_cast<double>(drops) / static_cast<double>(sent);
   result.redirected = server.redirected();
+  result.stats_json = syrupd.StatsSnapshot().ToJson();
   return result;
 }
 

@@ -68,6 +68,9 @@ struct RocksDbResult {
   double drop_fraction = 0;  // of generated requests
   double get_throughput_rps = 0;
   double scan_throughput_rps = 0;
+  // Full Syrupd::StatsSnapshot() of the run, rendered to JSON
+  // (docs/OBSERVABILITY.md schema). `experiment_cli --stats-json` prints it.
+  std::string stats_json;
 };
 
 RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config);
@@ -93,6 +96,7 @@ struct TokenQosResult {
   double be_throughput_rps = 0;
   double ls_p99_us = 0;
   double be_p99_us = 0;
+  std::string stats_json;  // Syrupd::StatsSnapshot() of the run, as JSON
 };
 
 TokenQosResult RunTokenQosExperiment(const TokenQosConfig& config);
@@ -117,6 +121,7 @@ struct MicaResult {
   double p50_us = 0;
   double drop_fraction = 0;
   uint64_t redirected = 0;
+  std::string stats_json;  // Syrupd::StatsSnapshot() of the run, as JSON
 };
 
 MicaResult RunMicaExperiment(const MicaExperimentConfig& config);

@@ -223,6 +223,7 @@ restart:  // tail-call target: rerun with fresh pc but original context args
       }
 
       case Op::kCall: {
+        ++result.helper_calls;
         switch (static_cast<HelperId>(insn.imm)) {
           case HelperId::kMapLookupElem: {
             auto* map = reinterpret_cast<Map*>(regs[1]);

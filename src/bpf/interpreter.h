@@ -29,6 +29,7 @@ struct ExecResult {
   uint64_t r0 = 0;              // the schedule() return value
   uint64_t insns_executed = 0;  // across tail calls
   uint32_t tail_calls = 0;
+  uint32_t helper_calls = 0;    // every kCall insn, tail calls included
 };
 
 class Interpreter {

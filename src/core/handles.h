@@ -1,0 +1,182 @@
+// RAII typed handles for the control-plane API.
+//
+// The paper's Table 1 API traffics in raw int fds (syr_map_open returns an
+// fd, callers must syr_map_close it). These wrappers make ownership a
+// type: a MapHandle closes its fd on destruction and remembers the access
+// mode it was opened with; a PolicyHandle detaches its deployment on
+// destruction and knows which hook it lives at. The paper-named shims in
+// SyrupClient still exist and delegate here, releasing ownership so raw-fd
+// callers keep the manual lifecycle they expect.
+#ifndef SYRUP_SRC_CORE_HANDLES_H_
+#define SYRUP_SRC_CORE_HANDLES_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/syrupd.h"
+
+namespace syrup {
+
+// Owns one map fd. Move-only; closes on destruction unless released.
+class MapHandle {
+ public:
+  MapHandle() = default;
+  MapHandle(Syrupd* daemon, int fd, MapAccess access, std::string path)
+      : daemon_(daemon), fd_(fd), access_(access), path_(std::move(path)) {}
+
+  ~MapHandle() { Reset(); }
+
+  MapHandle(const MapHandle&) = delete;
+  MapHandle& operator=(const MapHandle&) = delete;
+
+  MapHandle(MapHandle&& other) noexcept { *this = std::move(other); }
+  MapHandle& operator=(MapHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      daemon_ = other.daemon_;
+      fd_ = other.fd_;
+      access_ = other.access_;
+      path_ = std::move(other.path_);
+      other.daemon_ = nullptr;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return daemon_ != nullptr && fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  int fd() const { return fd_; }
+  MapAccess access() const { return access_; }
+  const std::string& path() const { return path_; }
+
+  // --- Element access through the daemon (permission-checked) -------------
+
+  StatusOr<uint64_t> Lookup(uint32_t key) const {
+    if (!valid()) {
+      return FailedPreconditionError("empty map handle");
+    }
+    return daemon_->MapLookupElem(fd_, key);
+  }
+
+  Status Update(uint32_t key, uint64_t value) const {
+    if (!valid()) {
+      return FailedPreconditionError("empty map handle");
+    }
+    return daemon_->MapUpdateElem(fd_, key, value);
+  }
+
+  // In-process fast path (nullptr for an empty handle).
+  std::shared_ptr<Map> map() const {
+    return valid() ? daemon_->MapByFd(fd_) : nullptr;
+  }
+
+  // Closes now (idempotent: an already-released handle is a no-op).
+  Status Close() {
+    if (!valid()) {
+      return OkStatus();
+    }
+    Status s = daemon_->MapClose(fd_);
+    daemon_ = nullptr;
+    fd_ = -1;
+    return s;
+  }
+
+  // Gives up ownership and returns the raw fd (the shim path: the caller
+  // now owes a syr_map_close).
+  int Release() {
+    const int fd = fd_;
+    daemon_ = nullptr;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  void Reset() {
+    if (valid()) {
+      (void)daemon_->MapClose(fd_);
+    }
+    daemon_ = nullptr;
+    fd_ = -1;
+  }
+
+  Syrupd* daemon_ = nullptr;
+  int fd_ = -1;
+  MapAccess access_ = MapAccess::kWrite;
+  std::string path_;
+};
+
+// Owns one policy deployment. Move-only; detaches on destruction unless
+// released. The detach is conditional on the prog id, so a stale handle
+// (its deployment already replaced by a redeploy at the same hook) going
+// out of scope never tears down the newer policy.
+class PolicyHandle {
+ public:
+  PolicyHandle() = default;
+  PolicyHandle(Syrupd* daemon, AppId app, Hook hook, int prog_id)
+      : daemon_(daemon), app_(app), hook_(hook), prog_id_(prog_id) {}
+
+  ~PolicyHandle() { Reset(); }
+
+  PolicyHandle(const PolicyHandle&) = delete;
+  PolicyHandle& operator=(const PolicyHandle&) = delete;
+
+  PolicyHandle(PolicyHandle&& other) noexcept { *this = std::move(other); }
+  PolicyHandle& operator=(PolicyHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      daemon_ = other.daemon_;
+      app_ = other.app_;
+      hook_ = other.hook_;
+      prog_id_ = other.prog_id_;
+      other.daemon_ = nullptr;
+      other.prog_id_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return daemon_ != nullptr && prog_id_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  Hook hook() const { return hook_; }
+  int prog_id() const { return prog_id_; }
+
+  // Detaches now (idempotent). NotFound means the deployment was already
+  // gone (removed explicitly or replaced); treated as success.
+  Status Detach() {
+    if (!valid()) {
+      return OkStatus();
+    }
+    Status s = daemon_->RemovePolicy(app_, hook_, prog_id_);
+    daemon_ = nullptr;
+    prog_id_ = -1;
+    return s.code() == StatusCode::kNotFound ? OkStatus() : s;
+  }
+
+  // Gives up ownership and returns the prog id: the deployment outlives
+  // the handle (the shim path).
+  int Release() {
+    const int id = prog_id_;
+    daemon_ = nullptr;
+    prog_id_ = -1;
+    return id;
+  }
+
+ private:
+  void Reset() {
+    if (valid()) {
+      (void)daemon_->RemovePolicy(app_, hook_, prog_id_);
+    }
+    daemon_ = nullptr;
+    prog_id_ = -1;
+  }
+
+  Syrupd* daemon_ = nullptr;
+  AppId app_ = 0;
+  Hook hook_ = Hook::kSocketSelect;
+  int prog_id_ = -1;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_CORE_HANDLES_H_

@@ -2,6 +2,7 @@
 #ifndef SYRUP_SRC_CORE_HOOK_H_
 #define SYRUP_SRC_CORE_HOOK_H_
 
+#include <cstddef>
 #include <string_view>
 
 namespace syrup {
@@ -14,6 +15,19 @@ enum class Hook {
   kSocketSelect,    // input: datagram/conn, executor: socket
   kThreadScheduler, // input: thread,        executor: core (via ghOSt)
 };
+
+// Number of hooks; sizes every per-hook table. Keep in sync with the enum
+// (kThreadScheduler is the last member).
+inline constexpr size_t kNumHooks =
+    static_cast<size_t>(Hook::kThreadScheduler) + 1;
+
+inline constexpr size_t HookIndex(Hook hook) {
+  return static_cast<size_t>(hook);
+}
+
+inline constexpr Hook HookFromIndex(size_t index) {
+  return static_cast<Hook>(index);
+}
 
 inline constexpr std::string_view HookName(Hook hook) {
   switch (hook) {

@@ -21,8 +21,40 @@
 #include "src/common/decision.h"
 #include "src/common/status.h"
 #include "src/net/packet.h"
+#include "src/obs/metrics.h"
 
 namespace syrup {
+
+// Metric cells a bytecode policy accounts into. Standalone construction
+// (tests, the playground) uses detached cells; syrupd deployments resolve
+// them from its MetricsRegistry keyed {app, hook, "policy.*"} so redeploys
+// keep accumulating into the same series.
+struct PolicyMetrics {
+  std::shared_ptr<obs::Counter> invocations;
+  std::shared_ptr<obs::Counter> insns;
+  std::shared_ptr<obs::Counter> helper_calls;
+  std::shared_ptr<obs::Counter> runtime_faults;
+
+  static PolicyMetrics Detached() {
+    PolicyMetrics m;
+    m.invocations = std::make_shared<obs::Counter>();
+    m.insns = std::make_shared<obs::Counter>();
+    m.helper_calls = std::make_shared<obs::Counter>();
+    m.runtime_faults = std::make_shared<obs::Counter>();
+    return m;
+  }
+
+  static PolicyMetrics InRegistry(obs::MetricsRegistry& registry,
+                                  std::string_view app,
+                                  std::string_view hook) {
+    PolicyMetrics m;
+    m.invocations = registry.GetCounter(app, hook, "policy.invocations");
+    m.insns = registry.GetCounter(app, hook, "policy.insns");
+    m.helper_calls = registry.GetCounter(app, hook, "policy.helper_calls");
+    m.runtime_faults = registry.GetCounter(app, hook, "policy.runtime_faults");
+    return m;
+  }
+};
 
 class PacketPolicy {
  public:
@@ -38,8 +70,11 @@ class PacketPolicy {
 class BytecodePacketPolicy : public PacketPolicy {
  public:
   BytecodePacketPolicy(std::shared_ptr<const bpf::Program> program,
-                       bpf::ExecEnv env)
-      : program_(std::move(program)), interp_(std::move(env)) {}
+                       bpf::ExecEnv env,
+                       PolicyMetrics metrics = PolicyMetrics::Detached())
+      : program_(std::move(program)),
+        interp_(std::move(env)),
+        metrics_(std::move(metrics)) {}
 
   Decision Schedule(const PacketView& pkt) override {
     auto result = interp_.Run(*program_,
@@ -50,35 +85,35 @@ class BytecodePacketPolicy : public PacketPolicy {
       // A verified program should never fault at runtime; treat a fault as
       // PASS so a buggy policy degrades to the system default rather than
       // taking down the datapath.
-      ++runtime_faults_;
+      metrics_.runtime_faults->Inc();
       return kPass;
     }
-    invocations_++;
-    insns_executed_ += result->insns_executed;
+    metrics_.invocations->Inc();
+    metrics_.insns->Inc(result->insns_executed);
+    metrics_.helper_calls->Inc(result->helper_calls);
     return static_cast<Decision>(result->r0);
   }
 
   std::string_view name() const override { return program_->name; }
 
   const bpf::Program& program() const { return *program_; }
-  uint64_t invocations() const { return invocations_; }
-  uint64_t insns_executed() const { return insns_executed_; }
-  uint64_t runtime_faults() const { return runtime_faults_; }
+  uint64_t invocations() const { return metrics_.invocations->value; }
+  uint64_t insns_executed() const { return metrics_.insns->value; }
+  uint64_t helper_calls() const { return metrics_.helper_calls->value; }
+  uint64_t runtime_faults() const { return metrics_.runtime_faults->value; }
 
   // Mean VM instructions per decision (Table 2's "Instructions" column).
   double MeanInsnsPerDecision() const {
-    return invocations_ == 0
-               ? 0.0
-               : static_cast<double>(insns_executed_) /
-                     static_cast<double>(invocations_);
+    const uint64_t n = invocations();
+    return n == 0 ? 0.0
+                  : static_cast<double>(insns_executed()) /
+                        static_cast<double>(n);
   }
 
  private:
   std::shared_ptr<const bpf::Program> program_;
   bpf::Interpreter interp_;
-  uint64_t invocations_ = 0;
-  uint64_t insns_executed_ = 0;
-  uint64_t runtime_faults_ = 0;
+  PolicyMetrics metrics_;
 };
 
 }  // namespace syrup

@@ -6,14 +6,28 @@
 #include "src/common/trace.h"
 
 namespace syrup {
-namespace {
-
-size_t HookIndex(Hook hook) { return static_cast<size_t>(hook); }
-
-}  // namespace
 
 Syrupd::Syrupd(Simulator& sim, HostStack* stack, uint64_t seed)
-    : sim_(sim), stack_(stack), rng_(seed) {}
+    : sim_(sim), stack_(stack), rng_(seed) {
+  // Eagerly resolve the per-hook dispatcher cells so the packet path only
+  // ever bumps pointers.
+  for (size_t i = 0; i < kNumHooks; ++i) {
+    const std::string_view hook = HookName(HookFromIndex(i));
+    hook_cells_[i].dispatched = metrics_.GetCounter("syrupd", hook,
+                                                    "dispatched");
+    hook_cells_[i].no_policy = metrics_.GetCounter("syrupd", hook,
+                                                   "no_policy");
+    hook_cells_[i].decision_steer =
+        metrics_.GetCounter("syrupd", hook, "decision_steer");
+    hook_cells_[i].decision_pass =
+        metrics_.GetCounter("syrupd", hook, "decision_pass");
+    hook_cells_[i].decision_drop =
+        metrics_.GetCounter("syrupd", hook, "decision_drop");
+  }
+  if (stack_ != nullptr) {
+    stack_->BindMetrics(metrics_);
+  }
+}
 
 StatusOr<AppId> Syrupd::RegisterApp(const std::string& name, Uid uid,
                                     uint16_t port) {
@@ -81,6 +95,8 @@ StatusOr<std::vector<std::shared_ptr<Map>>> Syrupd::ResolveMapSlots(
       continue;
     }
     SYRUP_ASSIGN_OR_RETURN(std::shared_ptr<Map> map, CreateMap(slot.spec));
+    map->BindCounters(
+        MapOpCounters::InRegistry(metrics_, state.name, slot.name));
     SYRUP_RETURN_IF_ERROR(registry_.Pin(pin_path, map, state.uid));
     maps.push_back(std::move(map));
   }
@@ -118,15 +134,25 @@ StatusOr<int> Syrupd::DeployPolicyFile(AppId app,
   const uint64_t prog_id = next_prog_id_++;
   programs_[prog_id] = program;
 
-  auto policy = std::make_shared<BytecodePacketPolicy>(program, MakeExecEnv());
-  SYRUP_ASSIGN_OR_RETURN(int fd, DeployNativePolicy(app, policy, hook));
-  (void)fd;
+  auto policy = std::make_shared<BytecodePacketPolicy>(
+      program, MakeExecEnv(),
+      PolicyMetrics::InRegistry(metrics_, apps_.at(app).name,
+                                HookName(hook)));
+  SYRUP_RETURN_IF_ERROR(
+      AttachPolicy(app, std::move(policy), hook, static_cast<int>(prog_id)));
   return static_cast<int>(prog_id);
 }
 
 StatusOr<int> Syrupd::DeployNativePolicy(AppId app,
                                          std::shared_ptr<PacketPolicy> policy,
                                          Hook hook) {
+  const int prog_id = static_cast<int>(next_prog_id_++);
+  SYRUP_RETURN_IF_ERROR(AttachPolicy(app, std::move(policy), hook, prog_id));
+  return prog_id;
+}
+
+Status Syrupd::AttachPolicy(AppId app, std::shared_ptr<PacketPolicy> policy,
+                            Hook hook, int prog_id) {
   auto it = apps_.find(app);
   if (it == apps_.end()) {
     return NotFoundError("unknown app");
@@ -140,25 +166,37 @@ StatusOr<int> Syrupd::DeployNativePolicy(AppId app,
   // The dispatcher routes by destination port, so installing the policy for
   // each of the app's ports is exactly the paper's "each application's
   // program handles only packets directed to its corresponding port".
+  std::shared_ptr<obs::Counter> app_dispatched =
+      metrics_.GetCounter(it->second.name, HookName(hook), "dispatched");
   for (uint16_t port : it->second.ports) {
-    dispatch_[HookIndex(hook)][port] = policy;
+    dispatch_[HookIndex(hook)][port] =
+        PortEntry{policy, prog_id, app_dispatched};
     SYRUP_TRACE(sim_.Now(), "syrupd",
                 "deploy app=" << it->second.name << " policy="
                               << policy->name() << " hook="
                               << HookName(hook) << " port=" << port);
   }
   SYRUP_RETURN_IF_ERROR(InstallStackHook(hook));
-  return static_cast<int>(next_prog_id_++);
+  return OkStatus();
 }
 
-Status Syrupd::RemovePolicy(AppId app, Hook hook) {
+Status Syrupd::RemovePolicy(AppId app, Hook hook, int only_prog_id) {
   auto it = apps_.find(app);
   if (it == apps_.end()) {
     return NotFoundError("unknown app");
   }
   bool removed = false;
   for (uint16_t port : it->second.ports) {
-    removed |= dispatch_[HookIndex(hook)].erase(port) > 0;
+    auto& table = dispatch_[HookIndex(hook)];
+    auto entry = table.find(port);
+    if (entry == table.end()) {
+      continue;
+    }
+    if (only_prog_id >= 0 && entry->second.prog_id != only_prog_id) {
+      continue;  // a newer deployment replaced this one; leave it alone
+    }
+    table.erase(entry);
+    removed = true;
   }
   if (!removed) {
     return NotFoundError("no policy deployed at hook");
@@ -180,6 +218,7 @@ Status Syrupd::DeployThreadPolicy(AppId app, GhostPolicy* policy,
                               std::to_string(ghost_owner_) + ")");
   }
   ghost_ = std::make_unique<GhostScheduler>(machine, *policy, config);
+  ghost_->BindMetrics(metrics_, apps_.at(app).name);
   ghost_owner_ = app;
   machine.SetScheduler(ghost_.get());
   return OkStatus();
@@ -222,24 +261,41 @@ void Syrupd::MaybeUninstallStackHook(Hook hook) {
 
 Decision Syrupd::Dispatch(Hook hook, const PacketView& pkt) {
   const uint16_t port = pkt.DstPort();
+  HookCells& cells = hook_cells_[HookIndex(hook)];
   auto& table = dispatch_[HookIndex(hook)];
   auto it = table.find(port);
   if (it == table.end()) {
-    ++dispatch_stats_[HookIndex(hook)].no_policy;
+    cells.no_policy->value += 1;
     return kPass;
   }
-  ++dispatch_stats_[HookIndex(hook)].dispatched;
-  return it->second->Schedule(pkt);
+  cells.dispatched->value += 1;
+  it->second.app_dispatched->value += 1;
+  const Decision d = it->second.policy->Schedule(pkt);
+  if (d == kPass) {
+    cells.decision_pass->value += 1;
+  } else if (d == kDrop) {
+    cells.decision_drop->value += 1;
+  } else {
+    cells.decision_steer->value += 1;
+  }
+  return d;
+}
+
+std::shared_ptr<PacketPolicy> Syrupd::PolicyAt(Hook hook,
+                                               uint16_t port) const {
+  const auto& table = dispatch_[HookIndex(hook)];
+  auto it = table.find(port);
+  return it == table.end() ? nullptr : it->second.policy;
 }
 
 std::vector<DeploymentInfo> Syrupd::ListDeployments() const {
   std::vector<DeploymentInfo> out;
-  for (size_t hook_index = 0; hook_index < 6; ++hook_index) {
-    for (const auto& [port, policy] : dispatch_[hook_index]) {
+  for (size_t hook_index = 0; hook_index < kNumHooks; ++hook_index) {
+    for (const auto& [port, entry] : dispatch_[hook_index]) {
       DeploymentInfo info;
-      info.hook = static_cast<Hook>(hook_index);
+      info.hook = HookFromIndex(hook_index);
       info.port = port;
-      info.policy_name = std::string(policy->name());
+      info.policy_name = std::string(entry.policy->name());
       for (const auto& [id, app] : apps_) {
         if (std::find(app.ports.begin(), app.ports.end(), port) !=
             app.ports.end()) {
@@ -261,9 +317,12 @@ StatusOr<int> Syrupd::MapCreate(AppId app, const MapSpec& spec,
     return NotFoundError("unknown app");
   }
   SYRUP_ASSIGN_OR_RETURN(std::shared_ptr<Map> map, CreateMap(spec));
+  map->BindCounters(MapOpCounters::InRegistry(
+      metrics_, it->second.name,
+      spec.name.empty() ? pin_path : spec.name));
   SYRUP_RETURN_IF_ERROR(registry_.Pin(pin_path, map, it->second.uid, mode));
   const int fd = next_fd_++;
-  fds_[fd] = FdEntry{app, std::move(map)};
+  fds_[fd] = FdEntry{app, std::move(map), MapAccess::kWrite};
   return fd;
 }
 
@@ -275,8 +334,14 @@ StatusOr<int> Syrupd::MapOpen(AppId app, const std::string& path,
   }
   SYRUP_ASSIGN_OR_RETURN(std::shared_ptr<Map> map,
                          registry_.Open(path, it->second.uid, access));
+  // First binding wins: a map pinned by its owning app already accounts
+  // there; an unbound (externally created) map lands under the opener.
+  map->BindCounters(MapOpCounters::InRegistry(metrics_, it->second.name,
+                                              map->spec().name.empty()
+                                                  ? path
+                                                  : map->spec().name));
   const int fd = next_fd_++;
-  fds_[fd] = FdEntry{app, std::move(map)};
+  fds_[fd] = FdEntry{app, std::move(map), access};
   return fd;
 }
 
@@ -297,7 +362,15 @@ Status Syrupd::MapUpdateElem(int fd, uint32_t key, uint64_t value) {
   if (it == fds_.end()) {
     return NotFoundError("bad map fd");
   }
+  if (it->second.access == MapAccess::kRead) {
+    return PermissionDeniedError("map fd is read-only");
+  }
   return it->second.map->UpdateU64(key, value);
+}
+
+MapAccess Syrupd::MapFdAccess(int fd) const {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? MapAccess::kWrite : it->second.access;
 }
 
 std::shared_ptr<Map> Syrupd::MapByFd(int fd) const {

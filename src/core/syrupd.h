@@ -24,6 +24,7 @@
 #include "src/bpf/verifier.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/core/hook.h"
 #include "src/core/policy.h"
 #include "src/ghost/ghost.h"
@@ -45,6 +46,9 @@ struct DeploymentInfo {
   std::string policy_name;
 };
 
+// Point-in-time copy of one hook's dispatcher counters (read through
+// `dispatch_stats()`; the live cells live in the metrics registry under
+// {"syrupd", <hook>, ...}).
 struct DispatchStats {
   uint64_t dispatched = 0;  // packets matched to an app policy
   uint64_t no_policy = 0;   // packets passed through (no matching port)
@@ -84,7 +88,11 @@ class Syrupd {
                             GhostConfig config = {});
 
   // Detaches the app's policy from `hook`; traffic reverts to the default.
-  Status RemovePolicy(AppId app, Hook hook);
+  // With `only_prog_id` >= 0 the detach is conditional: it only removes
+  // the deployment if it is still the one identified by that prog id, so a
+  // stale PolicyHandle going out of scope never tears down a newer
+  // deployment at the same hook.
+  Status RemovePolicy(AppId app, Hook hook, int only_prog_id = -1);
 
   // --- Map API (syr_map_*) -------------------------------------------------
 
@@ -96,15 +104,36 @@ class Syrupd {
                         MapAccess access = MapAccess::kWrite);
   Status MapClose(int fd);
   StatusOr<uint64_t> MapLookupElem(int fd, uint32_t key);
+  // Rejected with PermissionDenied when `fd` was opened read-only.
   Status MapUpdateElem(int fd, uint32_t key, uint64_t value);
   // Direct handle for in-process (policy/application) fast paths.
   std::shared_ptr<Map> MapByFd(int fd) const;
+  // Access mode `fd` was opened with (kWrite when unknown fd: callers
+  // should check fd validity through MapByFd first).
+  MapAccess MapFdAccess(int fd) const;
 
   MapRegistry& registry() { return registry_; }
-  const DispatchStats& dispatch_stats(Hook hook) const {
-    return dispatch_stats_[static_cast<size_t>(hook)];
+
+  // --- Observability (the syrstat surface) --------------------------------
+
+  // The registry every component of this daemon accounts into.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  // One coherent snapshot of everything: stack counters, per-hook dispatch
+  // and decision counts, per-app policy VM counters, per-map op counts,
+  // and the ghOSt agent. Serializable with Snapshot::ToJson().
+  obs::Snapshot StatsSnapshot() const { return metrics_.TakeSnapshot(); }
+
+  DispatchStats dispatch_stats(Hook hook) const {
+    const HookCells& cells = hook_cells_[HookIndex(hook)];
+    return DispatchStats{cells.dispatched->value, cells.no_policy->value};
   }
   const GhostScheduler* ghost_scheduler() const { return ghost_.get(); }
+
+  // The policy attached for `port` at `hook` (nullptr when none) — the
+  // object syrupd's dispatcher invokes, shared so callers (Table 2) can
+  // drive it directly.
+  std::shared_ptr<PacketPolicy> PolicyAt(Hook hook, uint16_t port) const;
 
   // Looks up a loaded bytecode program by id (used for tail-call
   // resolution and by Table 2 instrumentation).
@@ -127,8 +156,28 @@ class Syrupd {
   struct FdEntry {
     AppId app;
     std::shared_ptr<Map> map;
+    MapAccess access = MapAccess::kWrite;
   };
 
+  // One deployed policy behind a port: the per-app dispatched cell is
+  // resolved once at attach time so the packet path bumps a pointer.
+  struct PortEntry {
+    std::shared_ptr<PacketPolicy> policy;
+    int prog_id = -1;
+    std::shared_ptr<obs::Counter> app_dispatched;
+  };
+
+  // Per-hook dispatcher counters under {"syrupd", <hook>, ...}.
+  struct HookCells {
+    std::shared_ptr<obs::Counter> dispatched;
+    std::shared_ptr<obs::Counter> no_policy;
+    std::shared_ptr<obs::Counter> decision_steer;
+    std::shared_ptr<obs::Counter> decision_pass;
+    std::shared_ptr<obs::Counter> decision_drop;
+  };
+
+  Status AttachPolicy(AppId app, std::shared_ptr<PacketPolicy> policy,
+                      Hook hook, int prog_id);
   Status InstallStackHook(Hook hook);
   void MaybeUninstallStackHook(Hook hook);
   Decision Dispatch(Hook hook, const PacketView& pkt);
@@ -138,16 +187,16 @@ class Syrupd {
   Simulator& sim_;
   HostStack* stack_;
   MapRegistry registry_;
+  obs::MetricsRegistry metrics_;
   Rng rng_;
 
   std::map<AppId, AppState> apps_;
   AppId next_app_id_ = 1;
 
-  // hook -> (dst port -> policy). Policies are shared_ptr so a packet in
-  // flight can't outlive its policy on removal.
-  std::map<uint16_t, std::shared_ptr<PacketPolicy>>
-      dispatch_[6];
-  mutable DispatchStats dispatch_stats_[6];
+  // hook -> (dst port -> deployment). Policies are shared_ptr so a packet
+  // in flight can't outlive its policy on removal.
+  std::map<uint16_t, PortEntry> dispatch_[kNumHooks];
+  HookCells hook_cells_[kNumHooks];
 
   std::map<uint64_t, std::shared_ptr<const bpf::Program>> programs_;
   uint64_t next_prog_id_ = 1;

@@ -9,8 +9,35 @@ namespace syrup {
 
 GhostScheduler::GhostScheduler(Machine& machine, GhostPolicy& policy,
                                GhostConfig config)
-    : machine_(machine), policy_(policy), config_(config) {
+    : machine_(machine),
+      policy_(policy),
+      config_(config),
+      messages_processed_(std::make_shared<obs::Counter>()),
+      preemptions_(std::make_shared<obs::Counter>()),
+      commits_(std::make_shared<obs::Counter>()),
+      runnable_depth_(std::make_shared<obs::Gauge>()) {
   SYRUP_CHECK_GE(machine.num_cores(), config_.num_managed_cores);
+}
+
+void GhostScheduler::BindMetrics(obs::MetricsRegistry& registry,
+                                 std::string_view app) {
+  if (metrics_bound_) {
+    return;
+  }
+  metrics_bound_ = true;
+  auto rebind = [&](std::shared_ptr<obs::Counter>& cell, const char* name) {
+    std::shared_ptr<obs::Counter> fresh =
+        registry.GetCounter(app, "thread_scheduler", name);
+    fresh->Inc(cell->value);
+    cell = std::move(fresh);
+  };
+  rebind(messages_processed_, "messages_processed");
+  rebind(preemptions_, "preemptions");
+  rebind(commits_, "context_switches");
+  std::shared_ptr<obs::Gauge> fresh =
+      registry.GetGauge(app, "thread_scheduler", "runnable_depth");
+  fresh->Set(runnable_depth_->value);
+  runnable_depth_ = std::move(fresh);
 }
 
 void GhostScheduler::OnThreadRunnable(Thread* thread) {
@@ -61,7 +88,7 @@ void GhostScheduler::AgentRun() {
   while (!channel_.empty()) {
     const GhostMsg msg = channel_.front();
     channel_.pop_front();
-    ++messages_processed_;
+    messages_processed_->value += 1;
     agent_work += config_.per_message_cost;
     switch (msg.type) {
       case GhostMsgType::kThreadWakeup:
@@ -81,6 +108,8 @@ void GhostScheduler::AgentRun() {
         break;  // core occupancy is read directly from the machine below
     }
   }
+
+  runnable_depth_->Set(static_cast<int64_t>(runnable_.size()));
 
   // Agent decision pass happens after it has paid for the message drain.
   if (agent_work == 0) {
@@ -112,7 +141,8 @@ void GhostScheduler::CommitPlacements() {
     runnable_.erase(it);
     committed_cores_.insert(core);
     committed_tids_.insert(tid);
-    ++commits_;
+    ++commits_->value;
+    runnable_depth_->Set(static_cast<int64_t>(runnable_.size()));
     SYRUP_TRACE(machine_.sim().Now(), "ghost",
                 "commit tid=" << tid << " core=" << core);
     machine_.sim().ScheduleAfter(config_.commit_delay, [this, core, tid]() {
@@ -154,7 +184,7 @@ void GhostScheduler::CommitPlacements() {
         continue;
       }
       if (policy_.ShouldPreempt(waiter, current->tid())) {
-        ++preemptions_;
+        preemptions_->value += 1;
         SYRUP_TRACE(machine_.sim().Now(), "ghost",
                     "preempt core=" << core << " victim=" << current->tid()
                                     << " for=" << waiter.tid);

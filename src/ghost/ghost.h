@@ -13,10 +13,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 #include "src/sched/machine.h"
 
 namespace syrup {
@@ -83,9 +86,15 @@ class GhostScheduler : public Scheduler {
   void OnSliceExpired(Thread* thread, int core, Duration ran) override;
   void OnCoreIdle(int core) override;
 
-  uint64_t messages_processed() const { return messages_processed_; }
-  uint64_t preemptions() const { return preemptions_; }
-  uint64_t commits() const { return commits_; }
+  uint64_t messages_processed() const { return messages_processed_->value; }
+  uint64_t preemptions() const { return preemptions_->value; }
+  uint64_t commits() const { return commits_->value; }
+
+  // Re-homes the agent's accounting into `registry` under
+  // {app, "thread_scheduler", ...}. Syrupd calls this at DeployThreadPolicy
+  // time with the owning app's name; counts so far carry over. A commit is
+  // a context switch (the transaction's IPI + switch on the target core).
+  void BindMetrics(obs::MetricsRegistry& registry, std::string_view app);
 
  private:
   void PostMessage(GhostMsg msg);
@@ -105,9 +114,11 @@ class GhostScheduler : public Scheduler {
   std::set<int> committed_cores_;            // placement in flight
   std::set<int> committed_tids_;
 
-  uint64_t messages_processed_ = 0;
-  uint64_t preemptions_ = 0;
-  uint64_t commits_ = 0;
+  std::shared_ptr<obs::Counter> messages_processed_;
+  std::shared_ptr<obs::Counter> preemptions_;
+  std::shared_ptr<obs::Counter> commits_;
+  std::shared_ptr<obs::Gauge> runnable_depth_;
+  bool metrics_bound_ = false;
 };
 
 }  // namespace syrup

@@ -21,7 +21,7 @@ class ArrayMap : public Map {
                      this->spec().max_entries,
                  0) {}
 
-  void* Lookup(const void* key) override {
+  void* DoLookup(const void* key) override {
     const uint32_t index = LoadKey(key);
     if (index >= spec().max_entries) {
       return nullptr;
@@ -29,12 +29,12 @@ class ArrayMap : public Map {
     return storage_.data() + static_cast<size_t>(index) * spec().value_size;
   }
 
-  Status Update(const void* key, const void* value, UpdateFlag flag) override {
+  Status DoUpdate(const void* key, const void* value, UpdateFlag flag) override {
     if (flag == UpdateFlag::kNoExist) {
       // All array entries exist from creation, as in the kernel.
       return AlreadyExistsError("array map entries always exist");
     }
-    void* slot = Lookup(key);
+    void* slot = DoLookup(key);
     if (slot == nullptr) {
       return OutOfRangeError("array index out of bounds");
     }
@@ -42,7 +42,7 @@ class ArrayMap : public Map {
     return OkStatus();
   }
 
-  Status Delete(const void* /*key*/) override {
+  Status DoDelete(const void* /*key*/) override {
     return InvalidArgumentError("array map entries cannot be deleted");
   }
 

@@ -25,14 +25,14 @@ class HashMap : public Map {
         bucket_count_(NextPow2(this->spec().max_entries * 2)),
         buckets_(bucket_count_) {}
 
-  void* Lookup(const void* key) override {
+  void* DoLookup(const void* key) override {
     Bucket& bucket = BucketFor(key);
     std::lock_guard<std::mutex> lock(bucket.mu);
     Node* node = FindLocked(bucket, key);
     return node != nullptr ? node->value.get() : nullptr;
   }
 
-  Status Update(const void* key, const void* value, UpdateFlag flag) override {
+  Status DoUpdate(const void* key, const void* value, UpdateFlag flag) override {
     Bucket& bucket = BucketFor(key);
     std::lock_guard<std::mutex> lock(bucket.mu);
     Node* node = FindLocked(bucket, key);
@@ -60,7 +60,7 @@ class HashMap : public Map {
     return OkStatus();
   }
 
-  Status Delete(const void* key) override {
+  Status DoDelete(const void* key) override {
     Bucket& bucket = BucketFor(key);
     std::lock_guard<std::mutex> lock(bucket.mu);
     std::unique_ptr<Node>* link = &bucket.head;

@@ -18,8 +18,40 @@
 #include <string>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace syrup {
+
+// Per-map operation counters. Maps are contractually thread-safe, so
+// bumps use the atomic variant; cells are shared_ptr into a
+// MetricsRegistry once the map is bound (syrupd binds at create/pin time,
+// keyed {app, "map", "<name>.lookups"} etc.).
+struct MapOpCounters {
+  std::shared_ptr<obs::Counter> lookups;
+  std::shared_ptr<obs::Counter> misses;
+  std::shared_ptr<obs::Counter> updates;
+  std::shared_ptr<obs::Counter> deletes;
+
+  static MapOpCounters Detached() {
+    MapOpCounters c;
+    c.lookups = std::make_shared<obs::Counter>();
+    c.misses = std::make_shared<obs::Counter>();
+    c.updates = std::make_shared<obs::Counter>();
+    c.deletes = std::make_shared<obs::Counter>();
+    return c;
+  }
+
+  static MapOpCounters InRegistry(obs::MetricsRegistry& registry,
+                                  std::string_view app,
+                                  const std::string& map_name) {
+    MapOpCounters c;
+    c.lookups = registry.GetCounter(app, "map", map_name + ".lookups");
+    c.misses = registry.GetCounter(app, "map", map_name + ".misses");
+    c.updates = registry.GetCounter(app, "map", map_name + ".updates");
+    c.deletes = registry.GetCounter(app, "map", map_name + ".deletes");
+    return c;
+  }
+};
 
 enum class MapType {
   kArray,
@@ -52,7 +84,8 @@ struct MapSpec {
 // in-kernel users mutate values in place, typically with atomics).
 class Map {
  public:
-  explicit Map(MapSpec spec) : spec_(std::move(spec)) {}
+  explicit Map(MapSpec spec)
+      : spec_(std::move(spec)), counters_(MapOpCounters::Detached()) {}
   virtual ~Map() = default;
 
   Map(const Map&) = delete;
@@ -61,12 +94,44 @@ class Map {
   const MapSpec& spec() const { return spec_; }
 
   // Returns a pointer to the value for `key`, or nullptr if absent.
-  virtual void* Lookup(const void* key) = 0;
+  // Non-virtual: the public entry points account the op (atomically —
+  // maps are shared across threads) and delegate to the Do* hooks.
+  void* Lookup(const void* key) {
+    counters_.lookups->IncAtomic();
+    void* value = DoLookup(key);
+    if (value == nullptr) {
+      counters_.misses->IncAtomic();
+    }
+    return value;
+  }
 
-  virtual Status Update(const void* key, const void* value,
-                        UpdateFlag flag) = 0;
+  Status Update(const void* key, const void* value, UpdateFlag flag) {
+    counters_.updates->IncAtomic();
+    return DoUpdate(key, value, flag);
+  }
 
-  virtual Status Delete(const void* key) = 0;
+  Status Delete(const void* key) {
+    counters_.deletes->IncAtomic();
+    return DoDelete(key);
+  }
+
+  // Re-homes this map's accounting into registry-owned cells (called by
+  // syrupd when the map is created or pinned). First binding wins so two
+  // apps opening the same pin share one series; values accumulated while
+  // detached carry over.
+  void BindCounters(const MapOpCounters& cells) {
+    if (bound_) {
+      return;
+    }
+    bound_ = true;
+    cells.lookups->IncAtomic(counters_.lookups->Load());
+    cells.misses->IncAtomic(counters_.misses->Load());
+    cells.updates->IncAtomic(counters_.updates->Load());
+    cells.deletes->IncAtomic(counters_.deletes->Load());
+    counters_ = cells;
+  }
+
+  const MapOpCounters& op_counters() const { return counters_; }
 
   // Number of live entries (array maps: max_entries, all preallocated).
   virtual uint32_t Size() const = 0;
@@ -119,8 +184,17 @@ class Map {
     cell->store(v, std::memory_order_relaxed);
   }
 
+ protected:
+  // Concrete map implementations.
+  virtual void* DoLookup(const void* key) = 0;
+  virtual Status DoUpdate(const void* key, const void* value,
+                          UpdateFlag flag) = 0;
+  virtual Status DoDelete(const void* key) = 0;
+
  private:
   MapSpec spec_;
+  MapOpCounters counters_;
+  bool bound_ = false;
 };
 
 // Factory: validates the spec and builds the matching concrete map.

@@ -26,17 +26,17 @@ class OffloadMapProxy : public Map {
         backing_(std::move(backing)),
         round_trip_(pcie_round_trip) {}
 
-  void* Lookup(const void* key) override {
+  void* DoLookup(const void* key) override {
     ChargeRoundTrip();
     return backing_->Lookup(key);
   }
 
-  Status Update(const void* key, const void* value, UpdateFlag flag) override {
+  Status DoUpdate(const void* key, const void* value, UpdateFlag flag) override {
     ChargeRoundTrip();
     return backing_->Update(key, value, flag);
   }
 
-  Status Delete(const void* key) override {
+  Status DoDelete(const void* key) override {
     ChargeRoundTrip();
     return backing_->Delete(key);
   }

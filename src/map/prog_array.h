@@ -25,7 +25,7 @@ class ProgArrayMap : public Map {
     }
   }
 
-  void* Lookup(const void* key) override {
+  void* DoLookup(const void* key) override {
     const uint32_t index = LoadKey(key);
     if (index >= slots_.size()) {
       return nullptr;
@@ -34,7 +34,7 @@ class ProgArrayMap : public Map {
     return &slots_[index];
   }
 
-  Status Update(const void* key, const void* value, UpdateFlag flag) override {
+  Status DoUpdate(const void* key, const void* value, UpdateFlag flag) override {
     if (flag == UpdateFlag::kNoExist) {
       return AlreadyExistsError("prog array entries always exist");
     }
@@ -48,7 +48,7 @@ class ProgArrayMap : public Map {
     return OkStatus();
   }
 
-  Status Delete(const void* key) override {
+  Status DoDelete(const void* key) override {
     const uint32_t index = LoadKey(key);
     if (index >= slots_.size()) {
       return OutOfRangeError("prog array index out of bounds");

@@ -8,11 +8,65 @@
 
 namespace syrup {
 
+HostStack::Metrics HostStack::DetachedMetrics() {
+  HostStack::Metrics m;
+  m.rx_packets = std::make_shared<obs::Counter>();
+  m.nic_ring_drops = std::make_shared<obs::Counter>();
+  m.socket_drops = std::make_shared<obs::Counter>();
+  m.policy_drops = std::make_shared<obs::Counter>();
+  m.invalid_decisions = std::make_shared<obs::Counter>();
+  m.delivered_socket = std::make_shared<obs::Counter>();
+  m.delivered_afxdp = std::make_shared<obs::Counter>();
+  m.cpu_redirects = std::make_shared<obs::Counter>();
+  m.late_bound = std::make_shared<obs::Counter>();
+  m.delivery_latency_ns = std::make_shared<obs::LatencyHistogram>();
+  return m;
+}
+
 HostStack::HostStack(Simulator& sim, StackConfig config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config), m_(DetachedMetrics()) {
   SYRUP_CHECK_GT(config_.num_nic_queues, 0);
   cores_.resize(static_cast<size_t>(config_.num_nic_queues));
   af_xdp_sockets_.resize(static_cast<size_t>(config_.num_nic_queues));
+}
+
+void HostStack::BindMetrics(obs::MetricsRegistry& registry) {
+  if (metrics_bound_) {
+    return;
+  }
+  metrics_bound_ = true;
+  auto rebind = [&](std::shared_ptr<obs::Counter>& cell, const char* name) {
+    std::shared_ptr<obs::Counter> fresh =
+        registry.GetCounter("host", "stack", name);
+    fresh->Inc(cell->value);
+    cell = std::move(fresh);
+  };
+  rebind(m_.rx_packets, "rx_packets");
+  rebind(m_.nic_ring_drops, "nic_ring_drops");
+  rebind(m_.socket_drops, "socket_drops");
+  rebind(m_.policy_drops, "policy_drops");
+  rebind(m_.invalid_decisions, "invalid_decisions");
+  rebind(m_.delivered_socket, "delivered_socket");
+  rebind(m_.delivered_afxdp, "delivered_afxdp");
+  rebind(m_.cpu_redirects, "cpu_redirects");
+  rebind(m_.late_bound, "late_bound_deliveries");
+  std::shared_ptr<obs::LatencyHistogram> fresh =
+      registry.GetHistogram("host", "stack", "delivery_latency_ns");
+  fresh->MergeFrom(*m_.delivery_latency_ns);
+  m_.delivery_latency_ns = std::move(fresh);
+}
+
+StackStats HostStack::stats() const {
+  StackStats s;
+  s.rx_packets = m_.rx_packets->value;
+  s.nic_ring_drops = m_.nic_ring_drops->value;
+  s.socket_drops = m_.socket_drops->value;
+  s.policy_drops = m_.policy_drops->value;
+  s.invalid_decisions = m_.invalid_decisions->value;
+  s.delivered_socket = m_.delivered_socket->value;
+  s.delivered_afxdp = m_.delivered_afxdp->value;
+  s.cpu_redirects = m_.cpu_redirects->value;
+  return s;
 }
 
 ReuseportGroup* HostStack::GetOrCreateGroup(uint16_t port) {
@@ -32,7 +86,7 @@ Socket* HostStack::RegisterAfXdpSocket(int queue, size_t queue_depth) {
 }
 
 void HostStack::Rx(Packet pkt) {
-  ++stats_.rx_packets;
+  m_.rx_packets->value += 1;
   pkt.nic_arrival = sim_.Now();
 
   // XDP Offload hook: a policy running on the NIC picks the RX queue;
@@ -41,7 +95,7 @@ void HostStack::Rx(Packet pkt) {
   if (hooks_.xdp_offload) {
     const Decision d = hooks_.xdp_offload(PacketView::Of(pkt));
     if (d == kDrop) {
-      ++stats_.policy_drops;
+      m_.policy_drops->value += 1;
       return;
     }
     if (d == kPass) {
@@ -50,7 +104,7 @@ void HostStack::Rx(Packet pkt) {
     } else if (d < static_cast<Decision>(config_.num_nic_queues)) {
       queue = static_cast<int>(d);
     } else {
-      ++stats_.invalid_decisions;
+      m_.invalid_decisions->value += 1;
       queue = static_cast<int>(pkt.tuple.Hash() %
                                static_cast<uint64_t>(config_.num_nic_queues));
     }
@@ -65,7 +119,7 @@ void HostStack::Rx(Packet pkt) {
 void HostStack::EnqueueJob(int core, Job job) {
   SoftirqCore& sc = cores_[static_cast<size_t>(core)];
   if (sc.ring.size() >= config_.nic_ring_depth) {
-    ++stats_.nic_ring_drops;
+    m_.nic_ring_drops->value += 1;
     SYRUP_TRACE(sim_.Now(), "stack", "nic ring drop core=" << core);
     return;
   }
@@ -95,7 +149,7 @@ void HostStack::StartNext(int core) {
   sim_.ScheduleAfter(cost, [this, core, deliver = std::move(deliver),
                             requeue_core, pkt = std::move(pkt)]() mutable {
     if (requeue_core >= 0) {
-      ++stats_.cpu_redirects;
+      m_.cpu_redirects->value += 1;
       EnqueueJob(requeue_core, Job{std::move(pkt), Stage::kProtocol});
     } else if (deliver) {
       deliver();
@@ -112,20 +166,20 @@ Duration HostStack::ProcessJob(int core, const Job& job,
   Duration cost = 0;
 
   auto drop = [this, &deliver]() {
-    deliver = [this]() { ++stats_.policy_drops; };
+    deliver = [this]() { m_.policy_drops->value += 1; };
   };
   auto deliver_afxdp = [this, core, &deliver, &pkt](Decision d) -> bool {
     const auto& per_queue = af_xdp_sockets_[static_cast<size_t>(core)];
     if (d >= per_queue.size()) {
-      ++stats_.invalid_decisions;
+      m_.invalid_decisions->value += 1;
       return false;
     }
     Socket* sock = per_queue[d].get();
     deliver = [this, sock, pkt]() {
       if (sock->Enqueue(pkt)) {
-        ++stats_.delivered_afxdp;
+        m_.delivered_afxdp->value += 1;
       } else {
-        ++stats_.socket_drops;
+        m_.socket_drops->value += 1;
       }
     };
     return true;
@@ -184,7 +238,7 @@ Duration HostStack::ProcessJob(int core, const Job& job,
             return cost;
           }
         } else {
-          ++stats_.invalid_decisions;
+          m_.invalid_decisions->value += 1;
         }
       }
     }
@@ -232,11 +286,11 @@ void HostStack::NotifySocketIdle(uint16_t port, Socket* socket) {
     // An input was waiting for exactly this moment: bind it now.
     Packet pkt = state.buffer.front();
     state.buffer.pop_front();
-    ++late_bound_;
+    m_.late_bound->value += 1;
     if (socket->Enqueue(pkt)) {
-      ++stats_.delivered_socket;
+      RecordDelivery(pkt);
     } else {
-      ++stats_.socket_drops;
+      m_.socket_drops->value += 1;
     }
     return;
   }
@@ -248,7 +302,7 @@ bool HostStack::LateBindDeliver(LateBindState& state, ReuseportGroup& group,
   if (state.idle.empty()) {
     // No executor available: buffer the input (scheduler-side queueing).
     if (state.buffer.size() >= state.buffer_depth) {
-      ++stats_.socket_drops;
+      m_.socket_drops->value += 1;
       return true;
     }
     state.buffer.push_back(pkt);
@@ -261,7 +315,7 @@ bool HostStack::LateBindDeliver(LateBindState& state, ReuseportGroup& group,
   if (hooks_.socket_select) {
     const Decision d = hooks_.socket_select(PacketView::Of(pkt));
     if (d == kDrop) {
-      ++stats_.policy_drops;
+      m_.policy_drops->value += 1;
       return true;
     }
     if (d != kPass && d < group.size()) {
@@ -277,11 +331,11 @@ bool HostStack::LateBindDeliver(LateBindState& state, ReuseportGroup& group,
     target = state.idle.front();
     state.idle.pop_front();
   }
-  ++late_bound_;
+  m_.late_bound->value += 1;
   if (target->Enqueue(pkt)) {
-    ++stats_.delivered_socket;
+    RecordDelivery(pkt);
   } else {
-    ++stats_.socket_drops;
+    m_.socket_drops->value += 1;
   }
   return true;
 }
@@ -290,7 +344,7 @@ void HostStack::DeliverToGroupSocket(const Packet& pkt) {
   auto it = groups_.find(pkt.tuple.dst_port);
   if (it == groups_.end() || it->second->size() == 0) {
     // No listener: the kernel would send ICMP port unreachable.
-    ++stats_.socket_drops;
+    m_.socket_drops->value += 1;
     return;
   }
   ReuseportGroup& group = *it->second;
@@ -301,9 +355,9 @@ void HostStack::DeliverToGroupSocket(const Packet& pkt) {
     auto bound = connections_.find(pkt.tuple);
     if (bound != connections_.end()) {
       if (bound->second->Enqueue(pkt)) {
-        ++stats_.delivered_socket;
+        RecordDelivery(pkt);
       } else {
-        ++stats_.socket_drops;
+        m_.socket_drops->value += 1;
       }
       return;
     }
@@ -319,14 +373,14 @@ void HostStack::DeliverToGroupSocket(const Packet& pkt) {
   if (hooks_.socket_select) {
     const Decision d = hooks_.socket_select(PacketView::Of(pkt));
     if (d == kDrop) {
-      ++stats_.policy_drops;
+      m_.policy_drops->value += 1;
       return;
     }
     if (d != kPass) {
       if (d < group.size()) {
         target = group.at(d);
       } else {
-        ++stats_.invalid_decisions;
+        m_.invalid_decisions->value += 1;
       }
     }
   }
@@ -339,9 +393,9 @@ void HostStack::DeliverToGroupSocket(const Packet& pkt) {
     connections_[pkt.tuple] = target;
   }
   if (target->Enqueue(pkt)) {
-    ++stats_.delivered_socket;
+    RecordDelivery(pkt);
   } else {
-    ++stats_.socket_drops;
+    m_.socket_drops->value += 1;
     SYRUP_TRACE(sim_.Now(), "stack",
                 "socket drop port=" << pkt.tuple.dst_port);
   }

@@ -25,6 +25,7 @@
 #include "src/common/time.h"
 #include "src/net/packet.h"
 #include "src/net/socket.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace syrup {
@@ -64,6 +65,8 @@ struct StackConfig {
   Duration affinity_window = 1 * kMillisecond;
 };
 
+// Point-in-time copy of the stack's counters (assembled from the metric
+// cells in `stats()`; kept as a struct so call sites read plain fields).
 struct StackStats {
   uint64_t rx_packets = 0;
   uint64_t nic_ring_drops = 0;
@@ -88,7 +91,13 @@ class HostStack {
 
   StackHooks& hooks() { return hooks_; }
   const StackConfig& config() const { return config_; }
-  const StackStats& stats() const { return stats_; }
+  StackStats stats() const;
+
+  // Re-homes the stack's accounting into `registry` under
+  // {"host", "stack", ...} (counts accumulated so far carry over). Syrupd
+  // calls this when a stack is attached; standalone stacks keep their
+  // detached cells.
+  void BindMetrics(obs::MetricsRegistry& registry);
 
   // Creates (or returns) the SO_REUSEPORT group for `port`.
   ReuseportGroup* GetOrCreateGroup(uint16_t port);
@@ -109,7 +118,7 @@ class HostStack {
   // recvmsg found the queue empty). No-op for early-binding ports.
   void NotifySocketIdle(uint16_t port, Socket* socket);
 
-  uint64_t late_bound_deliveries() const { return late_bound_; }
+  uint64_t late_bound_deliveries() const { return m_.late_bound->value; }
 
   // --- TCP connection steering (paper Fig. 4) -----------------------------
   //
@@ -174,15 +183,39 @@ class HostStack {
   bool LateBindDeliver(LateBindState& state, ReuseportGroup& group,
                        const Packet& pkt);
 
+  // Metric cells (detached until BindMetrics re-homes them). Hot paths
+  // bump `->value` directly: the sim is single-threaded, so no atomics.
+  struct Metrics {
+    std::shared_ptr<obs::Counter> rx_packets;
+    std::shared_ptr<obs::Counter> nic_ring_drops;
+    std::shared_ptr<obs::Counter> socket_drops;
+    std::shared_ptr<obs::Counter> policy_drops;
+    std::shared_ptr<obs::Counter> invalid_decisions;
+    std::shared_ptr<obs::Counter> delivered_socket;
+    std::shared_ptr<obs::Counter> delivered_afxdp;
+    std::shared_ptr<obs::Counter> cpu_redirects;
+    std::shared_ptr<obs::Counter> late_bound;
+    // NIC arrival -> socket enqueue, the wire-to-app half of latency.
+    std::shared_ptr<obs::LatencyHistogram> delivery_latency_ns;
+  };
+
+  static Metrics DetachedMetrics();
+
+  void RecordDelivery(const Packet& pkt) {
+    m_.delivered_socket->value += 1;
+    m_.delivery_latency_ns->Record(
+        static_cast<uint64_t>(sim_.Now() - pkt.nic_arrival));
+  }
+
   Simulator& sim_;
   StackConfig config_;
   StackHooks hooks_;
-  StackStats stats_;
+  Metrics m_;
+  bool metrics_bound_ = false;
   std::vector<SoftirqCore> cores_;
   std::map<uint16_t, std::unique_ptr<ReuseportGroup>> groups_;
   std::map<uint16_t, LateBindState> late_binding_;
   std::map<FiveTuple, Socket*> connections_;  // established TCP bindings
-  uint64_t late_bound_ = 0;
   // af_xdp_sockets_[queue][index]
   std::vector<std::vector<std::unique_ptr<Socket>>> af_xdp_sockets_;
 };

@@ -408,6 +408,182 @@ TEST_F(SyrupdTest, ExecEnvTimeTracksSimulator) {
   EXPECT_EQ(env.ktime_ns(), 12'345u);
 }
 
+// --- observability (StatsSnapshot) --------------------------------------------------------
+
+TEST_F(SyrupdTest, StatsSnapshotCountsMatchDispatchDecisions) {
+  auto app = syrupd_.RegisterApp("alpha", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_
+                  .DeployNativePolicy(app,
+                                      std::make_shared<RoundRobinPolicy>(2),
+                                      Hook::kSocketSelect)
+                  .ok());
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  group->AddSocket(64);
+  group->AddSocket(64);
+  stack_.GetOrCreateGroup(7777)->AddSocket(64);
+
+  for (int i = 0; i < 6; ++i) {
+    stack_.Rx(MakePacket(9000));
+  }
+  stack_.Rx(MakePacket(7777));  // no policy owns this port
+  sim_.RunToCompletion();
+
+  const obs::Snapshot snap = syrupd_.StatsSnapshot();
+  // Per-hook dispatcher accounting.
+  EXPECT_EQ(snap.CounterValue("syrupd", "socket_select", "dispatched"), 6u);
+  EXPECT_EQ(snap.CounterValue("syrupd", "socket_select", "no_policy"), 1u);
+  EXPECT_EQ(snap.CounterValue("syrupd", "socket_select", "decision_steer"),
+            6u);
+  EXPECT_EQ(snap.CounterValue("syrupd", "socket_select", "decision_drop"),
+            0u);
+  // Per-app attribution.
+  EXPECT_EQ(snap.CounterValue("alpha", "socket_select", "dispatched"), 6u);
+  // The dispatch_stats() accessor reads the same cells.
+  EXPECT_EQ(syrupd_.dispatch_stats(Hook::kSocketSelect).dispatched, 6u);
+  EXPECT_EQ(syrupd_.dispatch_stats(Hook::kSocketSelect).no_policy, 1u);
+  // Host-stack accounting flows into the same registry.
+  EXPECT_EQ(snap.CounterValue("host", "stack", "rx_packets"), 7u);
+}
+
+TEST_F(SyrupdTest, StatsSnapshotClassifiesDropDecisions) {
+  auto app = syrupd_.RegisterApp("dropper", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_
+                  .DeployNativePolicy(
+                      app, std::make_shared<ConstIndexPolicy>(kDrop),
+                      Hook::kSocketSelect)
+                  .ok());
+  stack_.GetOrCreateGroup(9000)->AddSocket(64);
+  for (int i = 0; i < 3; ++i) {
+    stack_.Rx(MakePacket(9000));
+  }
+  sim_.RunToCompletion();
+
+  const obs::Snapshot snap = syrupd_.StatsSnapshot();
+  EXPECT_EQ(snap.CounterValue("syrupd", "socket_select", "decision_drop"),
+            3u);
+  EXPECT_EQ(snap.CounterValue("syrupd", "socket_select", "decision_steer"),
+            0u);
+  EXPECT_EQ(snap.CounterValue("host", "stack", "policy_drops"), 3u);
+}
+
+TEST_F(SyrupdTest, StatsSnapshotTracksBytecodePolicyCounters) {
+  auto app = syrupd_.RegisterApp("bc", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  PolicyHandle deployed =
+      client.DeployPolicy(RoundRobinPolicyAsm(2), Hook::kSocketSelect)
+          .value();
+  ReuseportGroup* group = stack_.GetOrCreateGroup(9000);
+  group->AddSocket(64);
+  group->AddSocket(64);
+  for (int i = 0; i < 4; ++i) {
+    stack_.Rx(MakePacket(9000));
+  }
+  sim_.RunToCompletion();
+
+  const obs::Snapshot snap = syrupd_.StatsSnapshot();
+  EXPECT_EQ(snap.CounterValue("bc", "socket_select", "policy.invocations"),
+            4u);
+  EXPECT_GT(snap.CounterValue("bc", "socket_select", "policy.insns"), 0u);
+  // The round-robin policy file calls map_lookup_elem once per decision.
+  EXPECT_EQ(snap.CounterValue("bc", "socket_select", "policy.helper_calls"),
+            4u);
+  EXPECT_EQ(snap.CounterValue("bc", "socket_select", "policy.runtime_faults"),
+            0u);
+  // Its rr_state map was exercised through the instrumented Map layer.
+  EXPECT_EQ(snap.CounterValue("bc", "map", "rr_state.lookups"), 4u);
+  // JSON renders the whole tree.
+  const std::string json = snap.ToJson(/*pretty=*/false);
+  EXPECT_NE(json.find("\"policy.invocations\""), std::string::npos);
+}
+
+// --- typed RAII handles -------------------------------------------------------------------
+
+TEST_F(SyrupdTest, DroppedMapHandleClosesFd) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  MapSpec spec;
+  spec.max_entries = 8;
+  int raw_fd = -1;
+  {
+    MapHandle handle = client.MapCreate(spec, "/pins/scoped").value();
+    raw_fd = handle.fd();
+    ASSERT_TRUE(handle.Update(1, 100).ok());
+    EXPECT_EQ(handle.Lookup(1).value(), 100u);
+    EXPECT_NE(syrupd_.MapByFd(raw_fd), nullptr);
+  }
+  // The handle died: the fd is gone, the pin (and its data) survive.
+  EXPECT_EQ(syrupd_.MapByFd(raw_fd), nullptr);
+  EXPECT_FALSE(syrupd_.MapLookupElem(raw_fd, 1).ok());
+  auto reopened = client.MapOpen("/pins/scoped");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->Lookup(1).value(), 100u);
+}
+
+TEST_F(SyrupdTest, ReleasedMapHandleLeavesFdOpen) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  MapSpec spec;
+  spec.max_entries = 8;
+  int raw_fd = -1;
+  {
+    MapHandle handle = client.MapCreate(spec, "/pins/released").value();
+    raw_fd = handle.Release();  // the shim path: caller owns the fd now
+  }
+  EXPECT_NE(syrupd_.MapByFd(raw_fd), nullptr);
+  EXPECT_TRUE(client.syr_map_close(raw_fd).ok());
+}
+
+TEST_F(SyrupdTest, ReadOnlyMapHandleRejectsUpdates) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  MapSpec spec;
+  spec.max_entries = 8;
+  ASSERT_TRUE(client.MapCreate(spec, "/pins/ro").value().Update(2, 7).ok());
+
+  MapHandle ro = client.MapOpen("/pins/ro", MapAccess::kRead).value();
+  EXPECT_EQ(ro.access(), MapAccess::kRead);
+  EXPECT_EQ(ro.Lookup(2).value(), 7u);
+  EXPECT_EQ(ro.Update(2, 8).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(syrupd_.MapFdAccess(ro.fd()), MapAccess::kRead);
+}
+
+TEST_F(SyrupdTest, DroppedPolicyHandleDetaches) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  {
+    PolicyHandle handle =
+        client.DeployPolicy(RoundRobinPolicyAsm(2), Hook::kSocketSelect)
+            .value();
+    EXPECT_TRUE(handle.valid());
+    EXPECT_EQ(handle.hook(), Hook::kSocketSelect);
+    EXPECT_EQ(syrupd_.ListDeployments().size(), 1u);
+  }
+  EXPECT_EQ(syrupd_.ListDeployments().size(), 0u);
+  EXPECT_FALSE(static_cast<bool>(stack_.hooks().socket_select));
+}
+
+TEST_F(SyrupdTest, StalePolicyHandleDoesNotDetachNewerDeployment) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  auto first =
+      client.DeployPolicy(RoundRobinPolicyAsm(2), Hook::kSocketSelect)
+          .value();
+  // Redeploy (policy update at runtime): `first` is now stale.
+  auto second =
+      client.DeployPolicy(RoundRobinPolicyAsm(4), Hook::kSocketSelect)
+          .value();
+  EXPECT_NE(first.prog_id(), second.prog_id());
+
+  // Dropping the stale handle must not tear down the live deployment.
+  { PolicyHandle dying = std::move(first); }
+  EXPECT_EQ(syrupd_.ListDeployments().size(), 1u);
+  EXPECT_NE(syrupd_.PolicyAt(Hook::kSocketSelect, 9000), nullptr);
+
+  // Dropping the live handle does.
+  EXPECT_TRUE(second.Detach().ok());
+  EXPECT_EQ(syrupd_.ListDeployments().size(), 0u);
+}
+
 TEST_F(SyrupdTest, ProgramByIdResolvesDeployedBytecode) {
   auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
   SyrupClient client(syrupd_, app);
