@@ -1,12 +1,16 @@
 // Ablation (DESIGN.md #1): bytecode policy execution vs native mirrors.
 //
 // The simulation hot path uses native C++ policies; real deployments run
-// verified bytecode through the interpreter. This ablation (a) confirms the
-// two produce statistically identical *simulation results*, and (b)
-// quantifies the per-decision execution cost gap, which is the fidelity
-// price of the native fast path.
+// verified bytecode. This ablation (a) confirms native, interpreted, and
+// compiled (plain + paranoid) execution produce identical *simulation
+// results*, and (b) quantifies the per-decision execution cost gap and how
+// much of it the pre-decoded compiled tier recovers.
+//
+//   --quick  single policy / single load / short windows (CI smoke run)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/apps/experiments.h"
 
@@ -18,13 +22,15 @@ struct Timed {
   double wall_seconds;
 };
 
-Timed RunTimed(SocketPolicyKind policy, bool bytecode, double load) {
+Timed RunTimed(SocketPolicyKind policy, bool bytecode, bpf::ExecMode mode,
+               double load, Duration measure) {
   RocksDbExperimentConfig config;
   config.socket_policy = policy;
   config.use_bytecode = bytecode;
+  config.exec_mode = mode;
   config.get_fraction = 0.995;
   config.load_rps = load;
-  config.measure = 600 * kMillisecond;
+  config.measure = measure;
   config.seed = 11;
   const auto start = std::chrono::steady_clock::now();
   const RocksDbResult result = RunRocksDbExperiment(config);
@@ -32,38 +38,89 @@ Timed RunTimed(SocketPolicyKind policy, bool bytecode, double load) {
   return {result, std::chrono::duration<double>(stop - start).count()};
 }
 
-void Run() {
+bool SameResults(const RocksDbResult& a, const RocksDbResult& b) {
+  return a.p99_us == b.p99_us && a.throughput_rps == b.throughput_rps &&
+         a.drop_fraction == b.drop_fraction;
+}
+
+void Run(bool quick) {
+  const Duration measure = quick ? 150 * kMillisecond : 600 * kMillisecond;
   std::printf("# Ablation: native policy mirrors vs verified bytecode via "
-              "syrupd (Fig. 6 workload)\n");
-  std::printf("%-12s %9s | %11s %11s | %11s %11s | %9s\n", "policy",
-              "load_rps", "native_p99", "bcode_p99", "native_tput",
-              "bcode_tput", "sim_slowdn");
-  for (SocketPolicyKind policy :
-       {SocketPolicyKind::kRoundRobin, SocketPolicyKind::kSita,
-        SocketPolicyKind::kScanAvoid}) {
-    for (double load : {100'000.0, 250'000.0}) {
-      const Timed native = RunTimed(policy, /*bytecode=*/false, load);
-      const Timed bytecode = RunTimed(policy, /*bytecode=*/true, load);
-      std::printf("%-12s %9.0f | %11.1f %11.1f | %11.0f %11.0f | %8.2fx\n",
+              "syrupd (Fig. 6 workload)%s\n", quick ? " [--quick]" : "");
+  std::printf("%-12s %9s | %11s %11s | %11s %11s | %7s %7s %7s | %9s %5s\n",
+              "policy", "load_rps", "native_p99", "bcode_p99", "native_tput",
+              "bcode_tput", "interp", "compld", "parand", "gap_recov",
+              "ident");
+  bool all_identical = true;
+  const auto policies =
+      quick ? std::vector<SocketPolicyKind>{SocketPolicyKind::kRoundRobin}
+            : std::vector<SocketPolicyKind>{SocketPolicyKind::kRoundRobin,
+                                            SocketPolicyKind::kSita,
+                                            SocketPolicyKind::kScanAvoid};
+  const auto loads = quick ? std::vector<double>{100'000.0}
+                           : std::vector<double>{100'000.0, 250'000.0};
+  for (SocketPolicyKind policy : policies) {
+    for (double load : loads) {
+      const Timed native = RunTimed(policy, /*bytecode=*/false,
+                                    bpf::ExecMode::kCompiled, load, measure);
+      const Timed interp = RunTimed(policy, /*bytecode=*/true,
+                                    bpf::ExecMode::kInterpret, load, measure);
+      const Timed compiled = RunTimed(policy, /*bytecode=*/true,
+                                      bpf::ExecMode::kCompiled, load, measure);
+      const Timed paranoid =
+          RunTimed(policy, /*bytecode=*/true,
+                   bpf::ExecMode::kCompiledParanoid, load, measure);
+
+      // Wall-clock slowdown of each bytecode tier over the native mirror,
+      // and the share of the interpreter-vs-native gap the compiled tier
+      // recovers (1.0 = compiled is as cheap as native).
+      const double interp_slow = interp.wall_seconds / native.wall_seconds;
+      const double compiled_slow =
+          compiled.wall_seconds / native.wall_seconds;
+      const double paranoid_slow =
+          paranoid.wall_seconds / native.wall_seconds;
+      const double gap = interp.wall_seconds - native.wall_seconds;
+      const double recovered =
+          gap > 0 ? (interp.wall_seconds - compiled.wall_seconds) / gap : 0;
+
+      // Same seed, same decisions: every bytecode tier must land on the
+      // same simulated outcome to the bit.
+      const bool identical = SameResults(interp.result, compiled.result) &&
+                             SameResults(compiled.result, paranoid.result);
+      all_identical = all_identical && identical;
+
+      std::printf("%-12s %9.0f | %11.1f %11.1f | %11.0f %11.0f | %6.2fx "
+                  "%6.2fx %6.2fx | %8.0f%% %5s\n",
                   std::string(SocketPolicyName(policy)).c_str(), load,
-                  native.result.p99_us, bytecode.result.p99_us,
+                  native.result.p99_us, compiled.result.p99_us,
                   native.result.throughput_rps,
-                  bytecode.result.throughput_rps,
-                  bytecode.wall_seconds / native.wall_seconds);
+                  compiled.result.throughput_rps, interp_slow, compiled_slow,
+                  paranoid_slow, recovered * 100,
+                  identical ? "yes" : "NO");
     }
   }
   std::printf(
-      "# Expectation: p99/tput columns match closely for RR and SITA "
-      "(deterministic policies);\n"
-      "# SCAN Avoid may differ slightly (independent random probe "
-      "streams). The slowdown column\n"
-      "# is the interpreter cost the native fast path avoids.\n");
+      "# interp/compld/parand: simulation wall-clock vs the native mirror "
+      "per execution tier.\n"
+      "# gap_recov: share of the interpreter-vs-native cost gap the "
+      "compiled tier closes.\n"
+      "# ident: interpret, compiled and compiled-paranoid runs produced "
+      "bit-identical results.\n");
+  if (!all_identical) {
+    std::printf("# FAILURE: execution tiers disagreed on simulation "
+                "results\n");
+    std::exit(1);
+  }
 }
 
 }  // namespace
 }  // namespace syrup
 
-int main() {
-  syrup::Run();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  syrup::Run(quick);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "src/bpf/assembler.h"
+#include "src/bpf/compiler.h"
 #include "src/bpf/interpreter.h"
 #include "src/bpf/verifier.h"
 #include "src/common/histogram.h"
@@ -55,6 +56,54 @@ void BM_InterpreterSitaDecision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InterpreterSitaDecision);
+
+void BM_CompiledSitaDecision(benchmark::State& state) {
+  // The pre-decoded tier the daemon actually deploys: operands resolved,
+  // jumps absolute, verifier-proven memory checks elided.
+  bpf::Program prog = LoadProgram(SitaPolicyAsm(6));
+  bpf::CompiledProgram compiled =
+      bpf::Compile(prog, bpf::ProgramContext::kPacket).value();
+  bpf::CompiledExecutor exec{bpf::ExecEnv{}};
+  const Packet pkt = BenchPacket();
+  for (auto _ : state) {
+    auto result =
+        exec.Run(compiled, reinterpret_cast<uint64_t>(pkt.wire.data()),
+                 reinterpret_cast<uint64_t>(pkt.wire.data() + kWireSize),
+                 true);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CompiledSitaDecision);
+
+void BM_CompiledParanoidSitaDecision(benchmark::State& state) {
+  // Same pre-decoded dispatch, runtime memory re-validation retained:
+  // isolates check elision from decode elimination.
+  bpf::Program prog = LoadProgram(SitaPolicyAsm(6));
+  bpf::CompileOptions options;
+  options.paranoid = true;
+  bpf::CompiledProgram compiled =
+      bpf::Compile(prog, bpf::ProgramContext::kPacket, options).value();
+  bpf::CompiledExecutor exec{bpf::ExecEnv{}};
+  const Packet pkt = BenchPacket();
+  for (auto _ : state) {
+    auto result =
+        exec.Run(compiled, reinterpret_cast<uint64_t>(pkt.wire.data()),
+                 reinterpret_cast<uint64_t>(pkt.wire.data() + kWireSize),
+                 true);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CompiledParanoidSitaDecision);
+
+void BM_CompileSita(benchmark::State& state) {
+  // Attach-time translation cost (paid once per deploy, cached by id).
+  bpf::Program prog = LoadProgram(SitaPolicyAsm(6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bpf::Compile(prog, bpf::ProgramContext::kPacket));
+  }
+}
+BENCHMARK(BM_CompileSita);
 
 void BM_NativeSitaDecision(benchmark::State& state) {
   SitaPolicy policy(6);

@@ -1,0 +1,208 @@
+// Per-decision policy execution cost, by tier, machine-readable.
+//
+// Runs each builtin socket policy through the three bytecode execution
+// tiers (interpret, compiled, compiled-paranoid) and the native C++ mirror,
+// then writes `BENCH_policy_exec.json` (mode -> ns/decision per policy) so
+// the perf trajectory is tracked across PRs. Human-readable numbers go to
+// stdout; pass an argument to override the JSON output path.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bpf/assembler.h"
+#include "src/bpf/compiler.h"
+#include "src/bpf/interpreter.h"
+#include "src/common/rng.h"
+#include "src/map/map.h"
+#include "src/net/packet.h"
+#include "src/policies/builtin.h"
+
+namespace syrup {
+namespace {
+
+constexpr int kWarmupIters = 10'000;
+constexpr int kMeasureIters = 400'000;
+
+bpf::Program LoadProgram(const std::string& source) {
+  auto assembled = bpf::Assemble(source).value();
+  bpf::Program prog;
+  prog.name = assembled.name;
+  prog.insns = assembled.insns;
+  for (const bpf::MapSlot& slot : assembled.map_slots) {
+    prog.maps.push_back(CreateMap(slot.spec).value());
+    // The policies that read maps expect the owning app to have seeded
+    // them; give every slot a few plausible entries so lookups hit.
+    for (uint32_t key = 1; key <= 4; ++key) {
+      (void)prog.maps.back()->UpdateU64(key, key == 2 ? 1 : 1'000'000);
+    }
+  }
+  return prog;
+}
+
+std::vector<Packet> MakeWorkload() {
+  Rng rng(42);
+  std::vector<Packet> packets;
+  packets.reserve(1024);
+  for (int i = 0; i < 1024; ++i) {
+    Packet pkt;
+    pkt.tuple.src_port = static_cast<uint16_t>(20'000 + rng.NextBounded(50));
+    pkt.tuple.dst_port = 9000;
+    const ReqType type =
+        rng.NextBounded(200) == 0 ? ReqType::kScan : ReqType::kGet;
+    pkt.SetHeader(type, 1 + static_cast<uint32_t>(rng.NextBounded(2)),
+                  static_cast<uint32_t>(rng.Next()), i, 0);
+    packets.push_back(pkt);
+  }
+  return packets;
+}
+
+bpf::ExecEnv BenchEnv() {
+  bpf::ExecEnv env;
+  auto rng = std::make_shared<Rng>(7);
+  env.random_u32 = [rng]() { return static_cast<uint32_t>(rng->Next()); };
+  auto clock = std::make_shared<uint64_t>(0);
+  env.ktime_ns = [clock]() { return *clock += 1'000; };
+  return env;
+}
+
+// One timed loop shape for all tiers so the comparison is apples-to-apples.
+template <typename Decide>
+double MeasureNs(const std::vector<Packet>& packets, Decide&& decide) {
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < kWarmupIters; ++i) {
+    sink += decide(packets[i % packets.size()]);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kMeasureIters; ++i) {
+    sink += decide(packets[i % packets.size()]);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  (void)sink;
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         kMeasureIters;
+}
+
+void Run(const char* out_path) {
+  struct PolicyUnderTest {
+    const char* name;
+    std::string asm_source;
+    std::shared_ptr<PacketPolicy> native;
+  };
+  auto rng = std::make_shared<Rng>(3);
+  std::vector<PolicyUnderTest> policies;
+  policies.push_back({"round_robin", RoundRobinPolicyAsm(6),
+                      std::make_shared<RoundRobinPolicy>(6)});
+  policies.push_back(
+      {"sita", SitaPolicyAsm(6), std::make_shared<SitaPolicy>(6)});
+  {
+    MapSpec scan_spec;
+    scan_spec.type = MapType::kArray;
+    scan_spec.max_entries = 6;
+    auto scan_map = CreateMap(scan_spec).value();
+    (void)scan_map->UpdateU64(2, static_cast<uint64_t>(ReqType::kScan));
+    policies.push_back(
+        {"scan_avoid", ScanAvoidPolicyAsm(6),
+         std::make_shared<ScanAvoidPolicy>(6, scan_map, [rng]() {
+           return static_cast<uint32_t>(rng->Next());
+         })});
+  }
+  {
+    MapSpec token_spec;
+    token_spec.type = MapType::kHash;
+    token_spec.max_entries = 64;
+    auto token_map = CreateMap(token_spec).value();
+    for (uint32_t user = 1; user <= 2; ++user) {
+      (void)token_map->UpdateU64(user, 1'000'000'000);
+    }
+    policies.push_back({"token", TokenPolicyAsm(),
+                        std::make_shared<TokenPolicy>(token_map)});
+  }
+
+  const auto workload = MakeWorkload();
+  // policy -> mode -> ns/decision (std::map keeps the JSON key order
+  // deterministic across runs).
+  std::map<std::string, std::map<std::string, double>> results;
+
+  std::printf("# policy_exec: per-decision cost by execution tier\n");
+  std::printf("%-12s %10s %10s %10s %10s\n", "policy", "interpret",
+              "compiled", "paranoid", "native");
+  for (const auto& put : policies) {
+    bpf::Program prog = LoadProgram(put.asm_source);
+    bpf::Interpreter interp(BenchEnv());
+    bpf::CompiledExecutor exec(BenchEnv());
+    bpf::CompiledProgram compiled =
+        bpf::Compile(prog, bpf::ProgramContext::kPacket).value();
+    bpf::CompileOptions paranoid_options;
+    paranoid_options.paranoid = true;
+    bpf::CompiledProgram paranoid =
+        bpf::Compile(prog, bpf::ProgramContext::kPacket, paranoid_options)
+            .value();
+
+    auto& row = results[put.name];
+    row[std::string(bpf::ExecModeName(bpf::ExecMode::kInterpret))] =
+        MeasureNs(workload, [&](const Packet& pkt) {
+          return interp
+              .Run(prog, reinterpret_cast<uint64_t>(pkt.wire.data()),
+                   reinterpret_cast<uint64_t>(pkt.wire.data() + kWireSize),
+                   true)
+              .value()
+              .r0;
+        });
+    row[std::string(bpf::ExecModeName(bpf::ExecMode::kCompiled))] =
+        MeasureNs(workload, [&](const Packet& pkt) {
+          return exec
+              .Run(compiled, reinterpret_cast<uint64_t>(pkt.wire.data()),
+                   reinterpret_cast<uint64_t>(pkt.wire.data() + kWireSize),
+                   true)
+              .value()
+              .r0;
+        });
+    row[std::string(bpf::ExecModeName(bpf::ExecMode::kCompiledParanoid))] =
+        MeasureNs(workload, [&](const Packet& pkt) {
+          return exec
+              .Run(paranoid, reinterpret_cast<uint64_t>(pkt.wire.data()),
+                   reinterpret_cast<uint64_t>(pkt.wire.data() + kWireSize),
+                   true)
+              .value()
+              .r0;
+        });
+    row["native"] = MeasureNs(workload, [&](const Packet& pkt) {
+      return put.native->Schedule(PacketView::Of(pkt));
+    });
+    std::printf("%-12s %9.1f %9.1f %9.1f %9.1f   (ns/decision)\n", put.name,
+                row["interpret"], row["compiled"], row["compiled-paranoid"],
+                row["native"]);
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"policy_exec\",\n"
+                    "  \"unit\": \"ns_per_decision\",\n  \"policies\": {\n");
+  size_t policy_index = 0;
+  for (const auto& [policy, modes] : results) {
+    std::fprintf(out, "    \"%s\": {", policy.c_str());
+    size_t mode_index = 0;
+    for (const auto& [mode, ns] : modes) {
+      std::fprintf(out, "%s\"%s\": %.2f",
+                   mode_index++ == 0 ? "" : ", ", mode.c_str(), ns);
+    }
+    std::fprintf(out, "}%s\n", ++policy_index == results.size() ? "" : ",");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path);
+}
+
+}  // namespace
+}  // namespace syrup
+
+int main(int argc, char** argv) {
+  syrup::Run(argc > 1 ? argv[1] : "BENCH_policy_exec.json");
+  return 0;
+}

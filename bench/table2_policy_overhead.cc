@@ -30,6 +30,7 @@ constexpr double kGhz = 2.3;
 constexpr double kEnforcementCycles = 1400;  // redirect + dispatch, modeled
 constexpr int kWarmupIters = 10'000;
 constexpr int kMeasureIters = 2'000'000;
+constexpr int kBytecodeIters = 400'000;  // VM modes are slower per decision
 constexpr int kDecisionIters = 4096;
 
 int CountLoc(const std::string& source) {
@@ -71,19 +72,20 @@ std::vector<Packet> MakeWorkload(uint16_t dst_port) {
   return packets;
 }
 
-double MeasureNs(PacketPolicy& policy, const std::vector<Packet>& packets) {
+double MeasureNs(PacketPolicy& policy, const std::vector<Packet>& packets,
+                 int iters = kMeasureIters) {
   volatile uint64_t sink = 0;
   for (int i = 0; i < kWarmupIters; ++i) {
     sink += policy.Schedule(PacketView::Of(packets[i % packets.size()]));
   }
   const auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < kMeasureIters; ++i) {
+  for (int i = 0; i < iters; ++i) {
     sink += policy.Schedule(PacketView::Of(packets[i % packets.size()]));
   }
   const auto stop = std::chrono::steady_clock::now();
   (void)sink;
   return std::chrono::duration<double, std::nano>(stop - start).count() /
-         kMeasureIters;
+         iters;
 }
 
 struct PolicyUnderTest {
@@ -128,62 +130,92 @@ void Run() {
                       std::make_shared<TokenPolicy>(native_token_map)});
 
   std::printf("# Table 2: overhead of different Syrup policies\n");
-  std::printf("%-12s %5s %13s %18s %10s\n", "Policy", "LoC", "Instructions",
-              "DecisionCycles", "Cycles");
+  std::printf("%-12s %5s %13s | %10s %10s %10s %8s | %18s %10s\n", "Policy",
+              "LoC", "Instructions", "native_ns", "interp_ns", "compiled_ns",
+              "speedup", "DecisionCycles", "Cycles");
   uint16_t next_port = 9000;
   for (auto& put : policies) {
     const uint16_t port = next_port++;
     const AppId app = syrupd.RegisterApp(put.app, /*uid=*/1000, port).value();
     SyrupClient client(syrupd, app);
-
-    // The real deployment path: assemble, pin maps, verify, attach. The
-    // handle keeps the deployment alive for the measurement scope.
-    PolicyHandle deployed =
-        client.DeployPolicy(put.asm_source, Hook::kSocketSelect).value();
-
-    // Seed the policy's pinned maps through the typed map API, exactly as
-    // the owning application would.
-    if (std::string_view(put.app) == "t2_token") {
-      MapHandle tokens =
-          client.MapOpen("/syrup/t2_token/token_map").value();
-      for (uint32_t user = 1; user <= 2; ++user) {
-        (void)tokens.Update(user, 1'000'000'000);
-      }
-    } else if (std::string_view(put.app) == "t2_scan_avoid") {
-      MapHandle scan = client.MapOpen("/syrup/t2_scan_avoid/scan_map").value();
-      (void)scan.Update(2, static_cast<uint64_t>(ReqType::kScan));
-    }
-
-    // Drive the attached policy object over the workload (the dispatcher
-    // would do exactly this per matching packet).
     const auto workload = MakeWorkload(port);
-    std::shared_ptr<PacketPolicy> attached =
-        syrupd.PolicyAt(Hook::kSocketSelect, port);
-    for (int i = 0; i < kDecisionIters; ++i) {
-      attached->Schedule(PacketView::Of(workload[
-          static_cast<size_t>(i) % workload.size()]));
+
+    // Seeds the policy's pinned maps through the typed map API, exactly as
+    // the owning application would. Pins survive redeploys, so one seeding
+    // covers both execution tiers.
+    auto seed_maps = [&]() {
+      if (std::string_view(put.app) == "t2_token") {
+        MapHandle tokens =
+            client.MapOpen("/syrup/t2_token/token_map").value();
+        for (uint32_t user = 1; user <= 2; ++user) {
+          (void)tokens.Update(user, 1'000'000'000);
+        }
+      } else if (std::string_view(put.app) == "t2_scan_avoid") {
+        MapHandle scan =
+            client.MapOpen("/syrup/t2_scan_avoid/scan_map").value();
+        (void)scan.Update(2, static_cast<uint64_t>(ReqType::kScan));
+      }
+    };
+
+    // Interpreter tier: the real deployment path (assemble, pin maps,
+    // verify, attach) with the attach-time compile disabled. The scoped
+    // handle detaches at the end so the compiled tier can redeploy.
+    double interp_ns = 0;
+    double mean_insns = 0;
+    syrupd.set_exec_mode(bpf::ExecMode::kInterpret);
+    {
+      PolicyHandle deployed =
+          client.DeployPolicy(put.asm_source, Hook::kSocketSelect).value();
+      seed_maps();
+      std::shared_ptr<PacketPolicy> attached =
+          syrupd.PolicyAt(Hook::kSocketSelect, port);
+      // Drive the attached policy object over the workload (the dispatcher
+      // would do exactly this per matching packet).
+      for (int i = 0; i < kDecisionIters; ++i) {
+        attached->Schedule(PacketView::Of(workload[
+            static_cast<size_t>(i) % workload.size()]));
+      }
+      // Instructions per decision, read back from the daemon's snapshot:
+      // the registry is the single source for this column.
+      const obs::Snapshot snap = syrupd.StatsSnapshot();
+      const uint64_t insns =
+          snap.CounterValue(put.app, "socket_select", "policy.insns");
+      const uint64_t decisions =
+          snap.CounterValue(put.app, "socket_select", "policy.invocations");
+      mean_insns =
+          decisions == 0
+              ? 0.0
+              : static_cast<double>(insns) / static_cast<double>(decisions);
+      interp_ns = MeasureNs(*attached, workload, kBytecodeIters);
     }
 
-    // Instructions per decision, read back from the daemon's snapshot: the
-    // registry is the single source for this column.
-    const obs::Snapshot snap = syrupd.StatsSnapshot();
-    const uint64_t insns =
-        snap.CounterValue(put.app, "socket_select", "policy.insns");
-    const uint64_t decisions =
-        snap.CounterValue(put.app, "socket_select", "policy.invocations");
-    const double mean_insns =
-        decisions == 0
-            ? 0.0
-            : static_cast<double>(insns) / static_cast<double>(decisions);
+    // Compiled tier (the default deployment mode): same program, same
+    // maps, pre-decoded execution.
+    double compiled_ns = 0;
+    syrupd.set_exec_mode(bpf::ExecMode::kCompiled);
+    {
+      PolicyHandle deployed =
+          client.DeployPolicy(put.asm_source, Hook::kSocketSelect).value();
+      std::shared_ptr<PacketPolicy> attached =
+          syrupd.PolicyAt(Hook::kSocketSelect, port);
+      compiled_ns = MeasureNs(*attached, workload, kBytecodeIters);
+    }
 
     const double decision_ns = MeasureNs(*put.native, workload);
     const double decision_cycles = decision_ns * kGhz;
     const double total_cycles = decision_cycles + kEnforcementCycles;
-    std::printf("%-12s %5d %13.0f %18.0f %10.0f\n", put.name,
-                CountLoc(put.asm_source), mean_insns, decision_cycles,
-                total_cycles);
+    std::printf("%-12s %5d %13.0f | %10.1f %10.1f %10.1f %7.2fx | %18.0f "
+                "%10.0f\n",
+                put.name, CountLoc(put.asm_source), mean_insns, decision_ns,
+                interp_ns, compiled_ns,
+                compiled_ns > 0 ? interp_ns / compiled_ns : 0.0,
+                decision_cycles, total_cycles);
   }
   std::printf(
+      "# native_ns/interp_ns/compiled_ns: per-decision cost of the native "
+      "mirror, the decode-per-\n"
+      "# instruction interpreter, and the pre-decoded compiled tier; "
+      "speedup = interp/compiled.\n"
       "# Cycles = measured native decision cost at %.1f GHz + %.0f modeled "
       "enforcement cycles\n"
       "# (the paper: ~1500-1700 cycles total, dominated by enforcement).\n",

@@ -41,6 +41,7 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   stack_config.protocol_cold_penalty = config.protocol_cold_penalty;
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack, config.seed);
+  syrupd.set_exec_mode(config.exec_mode);
   const AppId app =
       syrupd.RegisterApp("rocksdb", kAppUid, kRocksDbPort).value();
 
@@ -66,11 +67,24 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
       thread_type_map = CreateMap(spec).value();
       SYRUP_CHECK_OK(syrupd.registry().Pin("/syrup/rocksdb/thread_type_map",
                                            thread_type_map, kAppUid));
-      ghost_policy = std::make_unique<GetPriorityGhostPolicy>(thread_type_map);
       GhostConfig ghost_config;
       ghost_config.num_managed_cores = config.num_cores - 1;
-      SYRUP_CHECK_OK(syrupd.DeployThreadPolicy(app, ghost_policy.get(),
-                                               machine, ghost_config));
+      if (config.use_bytecode) {
+        // Thread hook runs the untrusted classifier program through the
+        // active execution tier, just like the packet hooks.
+        SYRUP_CHECK_OK(syrupd
+                           .DeployThreadPolicyFile(
+                               app,
+                               GetPriorityThreadPolicyAsm(
+                                   "/syrup/rocksdb/thread_type_map"),
+                               machine, ghost_config)
+                           .status());
+      } else {
+        ghost_policy =
+            std::make_unique<GetPriorityGhostPolicy>(thread_type_map);
+        SYRUP_CHECK_OK(syrupd.DeployThreadPolicy(app, ghost_policy.get(),
+                                                 machine, ghost_config));
+      }
       break;
     }
   }
@@ -345,6 +359,7 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
   stack_config.socket_queue_depth = 256;
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack, config.seed);
+  syrupd.set_exec_mode(config.exec_mode);
   const AppId app = syrupd.RegisterApp("mica", kAppUid, kMicaPort).value();
 
   Machine machine(sim, config.num_threads);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/apps/mica_server.h"
+#include "src/bpf/compiler.h"
 #include "src/common/time.h"
 
 namespace syrup {
@@ -38,6 +39,8 @@ struct RocksDbExperimentConfig {
   // Deploy the bytecode policy file through syrupd instead of the native
   // mirror (slower to simulate; used by the ablation bench and tests).
   bool use_bytecode = false;
+  // Execution tier for bytecode deployments (ignored without use_bytecode).
+  bpf::ExecMode exec_mode = bpf::ExecMode::kCompiled;
   // Late binding at the socket layer (paper §6.3 extension): buffer
   // datagrams centrally and match them to sockets whose worker is idle.
   bool late_binding = false;
@@ -109,6 +112,8 @@ struct MicaExperimentConfig {
   double get_fraction = 0.95;  // remainder are PUTs
   int num_threads = 8;
   bool use_bytecode = false;
+  // Execution tier for bytecode deployments (ignored without use_bytecode).
+  bpf::ExecMode exec_mode = bpf::ExecMode::kCompiled;
   Duration warmup = 100 * kMillisecond;
   Duration measure = 500 * kMillisecond;
   uint64_t seed = 1;

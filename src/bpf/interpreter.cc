@@ -4,47 +4,16 @@
 #include <bit>
 #include <cstring>
 
+#include "src/bpf/vm_runtime.h"
 #include "src/common/logging.h"
 
 namespace syrup::bpf {
-namespace {
 
-// A contiguous byte region the program may touch at runtime.
-struct Region {
-  uint64_t base;
-  uint64_t size;
-  bool writable;
-};
-
-bool RegionContains(const Region& r, uint64_t addr, uint64_t size) {
-  return addr >= r.base && size <= r.size && addr - r.base <= r.size - size;
-}
-
-uint64_t LoadUnaligned(uint64_t addr, int size) {
-  uint64_t out = 0;
-  std::memcpy(&out, reinterpret_cast<const void*>(addr),
-              static_cast<size_t>(size));
-  return out;
-}
-
-void StoreUnaligned(uint64_t addr, uint64_t value, int size) {
-  std::memcpy(reinterpret_cast<void*>(addr), &value,
-              static_cast<size_t>(size));
-}
-
-uint64_t ByteSwap(uint64_t v, int width) {
-  switch (width) {
-    case 16:
-      return __builtin_bswap16(static_cast<uint16_t>(v));
-    case 32:
-      return __builtin_bswap32(static_cast<uint32_t>(v));
-    case 64:
-      return __builtin_bswap64(v);
-  }
-  return v;
-}
-
-}  // namespace
+using internal::ByteSwap;
+using internal::LoadUnaligned;
+using internal::Region;
+using internal::RegionContains;
+using internal::StoreUnaligned;
 
 StatusOr<ExecResult> Interpreter::Run(const Program& prog_in, uint64_t arg1,
                                       uint64_t arg2, bool args_are_packet) {

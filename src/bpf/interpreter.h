@@ -16,6 +16,8 @@
 
 namespace syrup::bpf {
 
+struct CompiledProgram;  // src/bpf/compiler.h
+
 // Environment services for helper calls. The simulation binds these to
 // simulated time and a deterministic RNG; standalone use binds wall clock.
 struct ExecEnv {
@@ -23,6 +25,10 @@ struct ExecEnv {
   std::function<uint64_t()> ktime_ns;
   // Resolves a tail-call target: program id -> program (nullptr = miss).
   std::function<const Program*(uint64_t prog_id)> resolve_program;
+  // Same, in pre-decoded form; used by CompiledExecutor. Syrupd binds this
+  // to its per-prog-id compile cache. Unset (or a miss) makes a compiled
+  // tail call behave like a prog-array miss (r0 = -1).
+  std::function<const CompiledProgram*(uint64_t prog_id)> resolve_compiled;
 };
 
 struct ExecResult {

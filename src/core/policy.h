@@ -1,14 +1,20 @@
 // Policy execution abstractions.
 //
 // A packet policy is the paper's `schedule(pkt_start, pkt_end)` matching
-// function. Two execution modes are supported and interchangeable:
+// function. Three execution modes are supported and interchangeable:
 //
-//   * BytecodePacketPolicy — untrusted policy-file programs, verified and
-//     interpreted by the src/bpf VM (the deployment path real applications
-//     use through syrupd).
+//   * BytecodePacketPolicy — untrusted policy-file programs, verified by
+//     the src/bpf VM and run either through the decode-per-instruction
+//     interpreter or (the default deployment tier) through the pre-decoded
+//     compiled form of src/bpf/compiler.h.
 //   * native C++ implementations of PacketPolicy — trusted mirrors used in
 //     simulation hot loops; tests assert decision-for-decision equivalence
 //     with their bytecode twins.
+//
+// BytecodeGhostPolicy is the same idea for the Thread Scheduler hook: a
+// verified `.ctx thread` program classifies threads (r1 = tid) into strict
+// priority classes, and the ghOSt shim turns those classes into
+// pick/preempt decisions.
 #ifndef SYRUP_SRC_CORE_POLICY_H_
 #define SYRUP_SRC_CORE_POLICY_H_
 
@@ -16,10 +22,12 @@
 #include <string>
 #include <string_view>
 
+#include "src/bpf/compiler.h"
 #include "src/bpf/interpreter.h"
 #include "src/bpf/program.h"
 #include "src/common/decision.h"
 #include "src/common/status.h"
+#include "src/ghost/ghost.h"
 #include "src/net/packet.h"
 #include "src/obs/metrics.h"
 
@@ -66,21 +74,29 @@ class PacketPolicy {
   virtual std::string_view name() const = 0;
 };
 
-// Runs a verified bytecode program as a packet policy.
+// Runs a verified bytecode program as a packet policy. When a compiled
+// artifact is supplied (syrupd's attach-time cache), every decision runs
+// through the direct-threaded executor; otherwise the interpreter.
 class BytecodePacketPolicy : public PacketPolicy {
  public:
-  BytecodePacketPolicy(std::shared_ptr<const bpf::Program> program,
-                       bpf::ExecEnv env,
-                       PolicyMetrics metrics = PolicyMetrics::Detached())
+  BytecodePacketPolicy(
+      std::shared_ptr<const bpf::Program> program, bpf::ExecEnv env,
+      PolicyMetrics metrics = PolicyMetrics::Detached(),
+      std::shared_ptr<const bpf::CompiledProgram> compiled = nullptr)
       : program_(std::move(program)),
-        interp_(std::move(env)),
+        compiled_(std::move(compiled)),
+        interp_(env),
+        exec_(std::move(env)),
         metrics_(std::move(metrics)) {}
 
   Decision Schedule(const PacketView& pkt) override {
-    auto result = interp_.Run(*program_,
-                              reinterpret_cast<uint64_t>(pkt.start),
-                              reinterpret_cast<uint64_t>(pkt.end),
-                              /*args_are_packet=*/true);
+    const auto arg1 = reinterpret_cast<uint64_t>(pkt.start);
+    const auto arg2 = reinterpret_cast<uint64_t>(pkt.end);
+    auto result = compiled_ != nullptr
+                      ? exec_.Run(*compiled_, arg1, arg2,
+                                  /*args_are_packet=*/true)
+                      : interp_.Run(*program_, arg1, arg2,
+                                    /*args_are_packet=*/true);
     if (!result.ok()) {
       // A verified program should never fault at runtime; treat a fault as
       // PASS so a buggy policy degrades to the system default rather than
@@ -96,13 +112,22 @@ class BytecodePacketPolicy : public PacketPolicy {
 
   std::string_view name() const override { return program_->name; }
 
+  bpf::ExecMode exec_mode() const {
+    if (compiled_ == nullptr) return bpf::ExecMode::kInterpret;
+    return compiled_->paranoid ? bpf::ExecMode::kCompiledParanoid
+                               : bpf::ExecMode::kCompiled;
+  }
+
   const bpf::Program& program() const { return *program_; }
+  const bpf::CompiledProgram* compiled() const { return compiled_.get(); }
   uint64_t invocations() const { return metrics_.invocations->value; }
   uint64_t insns_executed() const { return metrics_.insns->value; }
   uint64_t helper_calls() const { return metrics_.helper_calls->value; }
   uint64_t runtime_faults() const { return metrics_.runtime_faults->value; }
 
   // Mean VM instructions per decision (Table 2's "Instructions" column).
+  // Compiled runs count pre-decoded instructions, which folding makes
+  // fewer than the interpreter's count for the same decisions.
   double MeanInsnsPerDecision() const {
     const uint64_t n = invocations();
     return n == 0 ? 0.0
@@ -112,7 +137,87 @@ class BytecodePacketPolicy : public PacketPolicy {
 
  private:
   std::shared_ptr<const bpf::Program> program_;
+  std::shared_ptr<const bpf::CompiledProgram> compiled_;
   bpf::Interpreter interp_;
+  bpf::CompiledExecutor exec_;
+  PolicyMetrics metrics_;
+};
+
+// Runs a verified `.ctx thread` program as a ghOSt thread policy.
+//
+// Convention: the program is a classifier, r1 = tid, r2 = 0, returning the
+// thread's strict priority class (smaller = more urgent; ReqType values in
+// the paper's workloads: 1 = GET, 2 = SCAN). The shim picks the first
+// runnable thread of the smallest class and preempts whenever a runnable
+// thread's class is strictly smaller than the running thread's — with a
+// two-class map this is exactly GetPriorityGhostPolicy.
+class BytecodeGhostPolicy : public GhostPolicy {
+ public:
+  BytecodeGhostPolicy(
+      std::shared_ptr<const bpf::Program> program, bpf::ExecEnv env,
+      PolicyMetrics metrics = PolicyMetrics::Detached(),
+      std::shared_ptr<const bpf::CompiledProgram> compiled = nullptr)
+      : program_(std::move(program)),
+        compiled_(std::move(compiled)),
+        interp_(env),
+        exec_(std::move(env)),
+        metrics_(std::move(metrics)) {}
+
+  int PickThread(int /*core*/,
+                 const std::vector<GhostThreadInfo>& runnable) override {
+    if (runnable.empty()) {
+      return -1;
+    }
+    int best_tid = runnable.front().tid;
+    uint64_t best_class = ClassOf(best_tid);
+    for (size_t i = 1; i < runnable.size(); ++i) {
+      const uint64_t c = ClassOf(runnable[i].tid);
+      if (c < best_class) {
+        best_class = c;
+        best_tid = runnable[i].tid;
+      }
+    }
+    return best_tid;
+  }
+
+  bool ShouldPreempt(const GhostThreadInfo& candidate,
+                     int running_tid) override {
+    return ClassOf(candidate.tid) < ClassOf(running_tid);
+  }
+
+  std::string_view name() const { return program_->name; }
+
+  // Runs the classifier for one thread. Faults degrade to class 1 (the
+  // "urgent" default for unclassified threads), mirroring the native
+  // policy's missing-map-entry behavior.
+  uint64_t ClassOf(int tid) {
+    const auto arg1 = static_cast<uint64_t>(static_cast<uint32_t>(tid));
+    auto result = compiled_ != nullptr
+                      ? exec_.Run(*compiled_, arg1, 0,
+                                  /*args_are_packet=*/false)
+                      : interp_.Run(*program_, arg1, 0,
+                                    /*args_are_packet=*/false);
+    if (!result.ok()) {
+      metrics_.runtime_faults->Inc();
+      return 1;
+    }
+    metrics_.invocations->Inc();
+    metrics_.insns->Inc(result->insns_executed);
+    metrics_.helper_calls->Inc(result->helper_calls);
+    return result->r0;
+  }
+
+  bpf::ExecMode exec_mode() const {
+    if (compiled_ == nullptr) return bpf::ExecMode::kInterpret;
+    return compiled_->paranoid ? bpf::ExecMode::kCompiledParanoid
+                               : bpf::ExecMode::kCompiled;
+  }
+
+ private:
+  std::shared_ptr<const bpf::Program> program_;
+  std::shared_ptr<const bpf::CompiledProgram> compiled_;
+  bpf::Interpreter interp_;
+  bpf::CompiledExecutor exec_;
   PolicyMetrics metrics_;
 };
 

@@ -1,11 +1,23 @@
 #include "src/core/syrupd.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/logging.h"
 #include "src/common/trace.h"
 
 namespace syrup {
+
+namespace {
+
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 Syrupd::Syrupd(Simulator& sim, HostStack* stack, uint64_t seed)
     : sim_(sim), stack_(stack), rng_(seed) {
@@ -65,12 +77,50 @@ bpf::ExecEnv Syrupd::MakeExecEnv() {
   env.resolve_program = [this](uint64_t prog_id) {
     return ProgramById(prog_id);
   };
+  // Compiled tail calls resolve against the attach-time cache; a target
+  // loaded before the daemon switched to a compiled mode (so never
+  // compiled) is compiled on first use, keeping tail-call chains on one
+  // tier.
+  env.resolve_compiled = [this](uint64_t prog_id) {
+    const bpf::CompiledProgram* compiled = CompiledById(prog_id);
+    if (compiled != nullptr) {
+      return compiled;
+    }
+    auto it = programs_.find(prog_id);
+    if (it == programs_.end() || exec_mode_ == bpf::ExecMode::kInterpret) {
+      return static_cast<const bpf::CompiledProgram*>(nullptr);
+    }
+    auto entry = CompileForCurrentMode(*it->second, bpf::ProgramContext::kPacket);
+    if (!entry.ok()) {
+      return static_cast<const bpf::CompiledProgram*>(nullptr);
+    }
+    compiled_[prog_id] = std::move(entry).value();
+    return static_cast<const bpf::CompiledProgram*>(
+        compiled_[prog_id].get());
+  };
   return env;
+}
+
+StatusOr<std::shared_ptr<const bpf::CompiledProgram>>
+Syrupd::CompileForCurrentMode(const bpf::Program& program,
+                              bpf::ProgramContext context) {
+  bpf::CompileOptions options;
+  options.paranoid = exec_mode_ == bpf::ExecMode::kCompiledParanoid;
+  // The deploy pipeline verified the program right before this call.
+  options.assume_verified = true;
+  SYRUP_ASSIGN_OR_RETURN(bpf::CompiledProgram compiled,
+                         bpf::Compile(program, context, options));
+  return std::make_shared<const bpf::CompiledProgram>(std::move(compiled));
 }
 
 const bpf::Program* Syrupd::ProgramById(uint64_t prog_id) const {
   auto it = programs_.find(prog_id);
   return it == programs_.end() ? nullptr : it->second.get();
+}
+
+const bpf::CompiledProgram* Syrupd::CompiledById(uint64_t prog_id) const {
+  auto it = compiled_.find(prog_id);
+  return it == compiled_.end() ? nullptr : it->second.get();
 }
 
 StatusOr<std::vector<std::shared_ptr<Map>>> Syrupd::ResolveMapSlots(
@@ -131,13 +181,32 @@ StatusOr<int> Syrupd::DeployPolicyFile(AppId app,
   SYRUP_RETURN_IF_ERROR(
       bpf::Verify(*program, bpf::ProgramContext::kPacket));
 
+  // Compile once at attach time; every dispatch then runs the pre-decoded
+  // form. Interpret mode (ablation) skips this and keeps the artifact out
+  // of the tail-call cache.
+  const std::string& app_name = apps_.at(app).name;
+  std::shared_ptr<const bpf::CompiledProgram> compiled;
+  if (exec_mode_ != bpf::ExecMode::kInterpret) {
+    const uint64_t t0 = WallNowNs();
+    SYRUP_ASSIGN_OR_RETURN(
+        compiled,
+        CompileForCurrentMode(*program, bpf::ProgramContext::kPacket));
+    metrics_.GetGauge(app_name, HookName(hook), "policy.compile_ns")
+        ->Set(static_cast<int64_t>(WallNowNs() - t0));
+  }
+  metrics_.GetGauge(app_name, HookName(hook), "policy.exec_mode")
+      ->Set(static_cast<int64_t>(exec_mode_));
+
   const uint64_t prog_id = next_prog_id_++;
   programs_[prog_id] = program;
+  if (compiled != nullptr) {
+    compiled_[prog_id] = compiled;
+  }
 
   auto policy = std::make_shared<BytecodePacketPolicy>(
       program, MakeExecEnv(),
-      PolicyMetrics::InRegistry(metrics_, apps_.at(app).name,
-                                HookName(hook)));
+      PolicyMetrics::InRegistry(metrics_, app_name, HookName(hook)),
+      compiled);
   SYRUP_RETURN_IF_ERROR(
       AttachPolicy(app, std::move(policy), hook, static_cast<int>(prog_id)));
   return static_cast<int>(prog_id);
@@ -222,6 +291,58 @@ Status Syrupd::DeployThreadPolicy(AppId app, GhostPolicy* policy,
   ghost_owner_ = app;
   machine.SetScheduler(ghost_.get());
   return OkStatus();
+}
+
+StatusOr<int> Syrupd::DeployThreadPolicyFile(AppId app,
+                                             std::string_view policy_source,
+                                             Machine& machine,
+                                             GhostConfig config) {
+  if (apps_.find(app) == apps_.end()) {
+    return NotFoundError("unknown app");
+  }
+  SYRUP_ASSIGN_OR_RETURN(bpf::AssembledProgram assembled,
+                         bpf::Assemble(policy_source));
+  if (assembled.context != bpf::ProgramContext::kThread) {
+    return InvalidArgumentError("thread hook requires .ctx thread");
+  }
+  SYRUP_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<Map>> maps,
+                         ResolveMapSlots(app, assembled.map_slots));
+
+  auto program = std::make_shared<bpf::Program>();
+  program->name = assembled.name;
+  program->insns = std::move(assembled.insns);
+  program->maps = std::move(maps);
+
+  SYRUP_RETURN_IF_ERROR(
+      bpf::Verify(*program, bpf::ProgramContext::kThread));
+
+  const std::string& app_name = apps_.at(app).name;
+  const std::string_view hook_name = HookName(Hook::kThreadScheduler);
+  std::shared_ptr<const bpf::CompiledProgram> compiled;
+  if (exec_mode_ != bpf::ExecMode::kInterpret) {
+    const uint64_t t0 = WallNowNs();
+    SYRUP_ASSIGN_OR_RETURN(
+        compiled,
+        CompileForCurrentMode(*program, bpf::ProgramContext::kThread));
+    metrics_.GetGauge(app_name, hook_name, "policy.compile_ns")
+        ->Set(static_cast<int64_t>(WallNowNs() - t0));
+  }
+  metrics_.GetGauge(app_name, hook_name, "policy.exec_mode")
+      ->Set(static_cast<int64_t>(exec_mode_));
+
+  const uint64_t prog_id = next_prog_id_++;
+  programs_[prog_id] = program;
+  if (compiled != nullptr) {
+    compiled_[prog_id] = compiled;
+  }
+
+  auto policy = std::make_shared<BytecodeGhostPolicy>(
+      program, MakeExecEnv(),
+      PolicyMetrics::InRegistry(metrics_, app_name, hook_name), compiled);
+  SYRUP_RETURN_IF_ERROR(
+      DeployThreadPolicy(app, policy.get(), machine, config));
+  owned_thread_policy_ = std::move(policy);
+  return static_cast<int>(prog_id);
 }
 
 Status Syrupd::InstallStackHook(Hook hook) {

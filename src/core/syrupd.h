@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/bpf/assembler.h"
+#include "src/bpf/compiler.h"
 #include "src/bpf/program.h"
 #include "src/bpf/verifier.h"
 #include "src/common/rng.h"
@@ -87,6 +88,23 @@ class Syrupd {
   Status DeployThreadPolicy(AppId app, GhostPolicy* policy, Machine& machine,
                             GhostConfig config = {});
 
+  // Deploys an untrusted thread-scheduling policy file (`.ctx thread`
+  // assembly; the program classifies threads by priority class, see
+  // BytecodeGhostPolicy). Assembles, resolves maps, verifies, compiles per
+  // the active exec mode, then starts the ghOSt agent. Returns the prog id.
+  StatusOr<int> DeployThreadPolicyFile(AppId app,
+                                       std::string_view policy_source,
+                                       Machine& machine,
+                                       GhostConfig config = {});
+
+  // --- Execution tier ------------------------------------------------------
+
+  // How subsequent bytecode deployments execute (already-attached policies
+  // keep their tier). Default kCompiled: verified programs are translated
+  // to the pre-decoded form once at attach time.
+  void set_exec_mode(bpf::ExecMode mode) { exec_mode_ = mode; }
+  bpf::ExecMode exec_mode() const { return exec_mode_; }
+
   // Detaches the app's policy from `hook`; traffic reverts to the default.
   // With `only_prog_id` >= 0 the detach is conditional: it only removes
   // the deployment if it is still the one identified by that prog id, so a
@@ -139,6 +157,10 @@ class Syrupd {
   // resolution and by Table 2 instrumentation).
   const bpf::Program* ProgramById(uint64_t prog_id) const;
 
+  // The attach-time compiled artifact for a program id (nullptr when the
+  // program was deployed in interpret mode or the id is unknown).
+  const bpf::CompiledProgram* CompiledById(uint64_t prog_id) const;
+
   // Enumerates every attached packet policy (hook, port, owner, name).
   std::vector<DeploymentInfo> ListDeployments() const;
 
@@ -178,6 +200,9 @@ class Syrupd {
 
   Status AttachPolicy(AppId app, std::shared_ptr<PacketPolicy> policy,
                       Hook hook, int prog_id);
+  // Translates a just-verified program per the active exec mode.
+  StatusOr<std::shared_ptr<const bpf::CompiledProgram>> CompileForCurrentMode(
+      const bpf::Program& program, bpf::ProgramContext context);
   Status InstallStackHook(Hook hook);
   void MaybeUninstallStackHook(Hook hook);
   Decision Dispatch(Hook hook, const PacketView& pkt);
@@ -199,12 +224,20 @@ class Syrupd {
   HookCells hook_cells_[kNumHooks];
 
   std::map<uint64_t, std::shared_ptr<const bpf::Program>> programs_;
+  // Per-prog-id compiled cache: filled at attach time, consulted by every
+  // hook and by compiled tail calls (ExecEnv::resolve_compiled). Tail-call
+  // targets deployed before the mode switched get compiled on first use.
+  std::map<uint64_t, std::shared_ptr<const bpf::CompiledProgram>> compiled_;
   uint64_t next_prog_id_ = 1;
+  bpf::ExecMode exec_mode_ = bpf::ExecMode::kCompiled;
 
   std::map<int, FdEntry> fds_;
   int next_fd_ = 3;
 
   std::unique_ptr<GhostScheduler> ghost_;
+  // Keeps a DeployThreadPolicyFile bytecode policy alive for the agent,
+  // which holds it by reference.
+  std::shared_ptr<BytecodeGhostPolicy> owned_thread_policy_;
   AppId ghost_owner_ = 0;
 };
 

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/common/hash.h"
@@ -22,19 +23,22 @@ class HashMap : public Map {
  public:
   explicit HashMap(MapSpec spec)
       : Map(std::move(spec)),
-        bucket_count_(NextPow2(this->spec().max_entries * 2)),
+        bucket_count_(
+            NextPow2(2 * static_cast<uint64_t>(this->spec().max_entries))),
         buckets_(bucket_count_) {}
 
   void* DoLookup(const void* key) override {
     Bucket& bucket = BucketFor(key);
-    std::lock_guard<std::mutex> lock(bucket.mu);
+    // Read-mostly path: lookups only walk the chain, so they share the
+    // bucket; value mutation goes through Map::Atomic* after release.
+    std::shared_lock<std::shared_mutex> lock(bucket.mu);
     Node* node = FindLocked(bucket, key);
     return node != nullptr ? node->value.get() : nullptr;
   }
 
   Status DoUpdate(const void* key, const void* value, UpdateFlag flag) override {
     Bucket& bucket = BucketFor(key);
-    std::lock_guard<std::mutex> lock(bucket.mu);
+    std::unique_lock<std::shared_mutex> lock(bucket.mu);
     Node* node = FindLocked(bucket, key);
     if (node != nullptr) {
       if (flag == UpdateFlag::kNoExist) {
@@ -62,7 +66,7 @@ class HashMap : public Map {
 
   Status DoDelete(const void* key) override {
     Bucket& bucket = BucketFor(key);
-    std::lock_guard<std::mutex> lock(bucket.mu);
+    std::unique_lock<std::shared_mutex> lock(bucket.mu);
     std::unique_ptr<Node>* link = &bucket.head;
     while (*link != nullptr) {
       if (std::memcmp((*link)->key.data(), key, spec().key_size) == 0) {
@@ -79,9 +83,11 @@ class HashMap : public Map {
     return size_.load(std::memory_order_relaxed);
   }
 
+  uint32_t bucket_count() const { return bucket_count_; }
+
   void Visit(const VisitFn& fn) override {
     for (Bucket& bucket : buckets_) {
-      std::lock_guard<std::mutex> lock(bucket.mu);
+      std::unique_lock<std::shared_mutex> lock(bucket.mu);
       for (Node* node = bucket.head.get(); node != nullptr;
            node = node->next.get()) {
         fn(node->key.data(), node->value.get());
@@ -97,16 +103,20 @@ class HashMap : public Map {
   };
 
   struct Bucket {
-    std::mutex mu;
+    std::shared_mutex mu;
     std::unique_ptr<Node> head;
   };
 
-  static uint32_t NextPow2(uint32_t n) {
-    uint32_t p = 1;
+  // 64-bit on purpose: max_entries is a u32, so `2 * max_entries` computed
+  // in u32 wraps for specs of 2^31 entries and beyond, collapsing the
+  // table to a single bucket (every operation then contends on one lock
+  // and walks one chain). The cap bounds memory for absurd specs.
+  static uint32_t NextPow2(uint64_t n) {
+    uint64_t p = 1;
     while (p < n && p < (1u << 20)) {
       p <<= 1;
     }
-    return p;
+    return static_cast<uint32_t>(p);
   }
 
   Bucket& BucketFor(const void* key) {

@@ -252,6 +252,27 @@ std::string ConstIndexPolicyAsm(Decision index) {
   return WithN(kTemplate, index);
 }
 
+std::string GetPriorityThreadPolicyAsm(
+    const std::string& thread_type_map_path) {
+  constexpr char kTemplate[] = R"(
+.name get_priority
+.ctx thread
+.extern_map thread_types %PATH%
+  stxw [r10-4], r1       ; key = tid
+  ldmapfd r1, thread_types
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jne r0, 0, found
+  mov r0, 1              ; unclassified threads treated as GET
+  exit
+found:
+  ldxdw r0, [r0+0]
+  exit
+)";
+  return Substitute(kTemplate, "%PATH%", thread_type_map_path);
+}
+
 std::string MicaHomePolicyAsm(uint32_t num_executors) {
   constexpr char kTemplate[] = R"(
 .name mica_home

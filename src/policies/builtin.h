@@ -299,6 +299,17 @@ class MicaHomePolicy : public PacketPolicy {
 
 std::string MicaHomePolicyAsm(uint32_t num_executors);
 
+// --- GET-priority thread scheduling (§5.3) -----------------------------------
+
+// Bytecode twin of GetPriorityGhostPolicy for the Thread Scheduler hook
+// (deployed via Syrupd::DeployThreadPolicyFile, executed through the ghOSt
+// shim). The program classifies a thread: r1 = tid, returns its ReqType
+// (1 = GET, 2 = SCAN) from the application-populated map at
+// `thread_type_map_path`, defaulting unclassified threads to GET exactly
+// like the native policy.
+std::string GetPriorityThreadPolicyAsm(
+    const std::string& thread_type_map_path);
+
 }  // namespace syrup
 
 #endif  // SYRUP_SRC_POLICIES_BUILTIN_H_

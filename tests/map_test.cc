@@ -254,6 +254,52 @@ TEST(HashMap, ConcurrentInsertsAreSafe) {
   }
 }
 
+// Regression: the bucket count used to be computed as NextPow2 of the u32
+// product `max_entries * 2`, which wraps to 0 for max_entries >= 2^31 and
+// collapsed the table to a single bucket. Sizing must be monotonic in
+// max_entries up to the cap.
+TEST(HashMap, HugeMaxEntriesStillShardsBuckets) {
+  HashMap huge(HashSpec(1u << 31));
+  HashMap small(HashSpec(64));
+  EXPECT_GE(huge.bucket_count(), small.bucket_count());
+  EXPECT_EQ(huge.bucket_count(), 1u << 20);  // sizing cap, not 1
+  // And the degenerate pre-fix behavior — every key in one chain — stays
+  // gone: distinct keys land in distinct buckets at least once.
+  ASSERT_TRUE(huge.UpdateU64(1, 10).ok());
+  ASSERT_TRUE(huge.UpdateU64(2, 20).ok());
+  EXPECT_EQ(huge.LookupU64(1).value(), 10u);
+  EXPECT_EQ(huge.LookupU64(2).value(), 20u);
+}
+
+TEST(HashMap, ConcurrentReadersDontBlockEachOther) {
+  // Smoke for the shared_mutex read path: many threads hammering Lookup on
+  // the same key while one thread updates values in place via atomics.
+  HashMap map(HashSpec(16));
+  ASSERT_TRUE(map.UpdateU64(7, 0).ok());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&map, &stop]() {
+      uint32_t key = 7;
+      while (!stop.load(std::memory_order_relaxed)) {
+        void* v = map.Lookup(&key);
+        ASSERT_NE(v, nullptr);
+        (void)Map::AtomicLoad(v);
+      }
+    });
+  }
+  uint32_t key = 7;
+  void* v = map.Lookup(&key);
+  for (int i = 0; i < 10'000; ++i) {
+    Map::AtomicFetchAdd(v, 1);
+  }
+  stop.store(true);
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(map.LookupU64(7).value(), 10'000u);
+}
+
 // --- ProgArrayMap --------------------------------------------------------------
 
 TEST(ProgArray, EmptySlotsHoldNoProgram) {
