@@ -1,0 +1,23 @@
+; Variable-offset header parse (RackSched-style L4 steering).
+; Byte 5 carries an option length; the 4-byte steering key sits after the
+; options, at pkt[len + 4]. The offset is data-dependent, so a
+; constant-only verifier has to reject this program — the range-tracking
+; verifier proves it safe from the `and r4, 31` mask plus the 40-byte
+; bounds guard (max byte touched: 31 + 4 + 4 = 39).
+; Try it:  ./build/examples/syrupctl lint examples/policies/var_header.s
+.name var_header
+.ctx packet
+  mov r3, r1
+  add r3, 40
+  jgt r3, r2, pass       ; need the whole 40-byte header area
+  ldxb r4, [r1+5]        ; option length byte
+  and r4, 31             ; verifier: r4 in [0, 31]
+  mov r5, r1
+  add r5, r4             ; variable-offset cursor into the header
+  ldxw r6, [r5+4]        ; key at [len+4, len+8)
+  mod r6, 4
+  mov r0, r6
+  exit
+pass:
+  mov r0, PASS
+  exit

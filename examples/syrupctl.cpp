@@ -9,22 +9,97 @@
 // Build & run:
 //   ./build/examples/syrupctl            # human-readable inspection
 //   ./build/examples/syrupctl stats      # full StatsSnapshot() as JSON
+//   ./build/examples/syrupctl lint p.s   # verifier lint report for a policy
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "src/apps/loadgen.h"
 #include "src/apps/rocksdb_server.h"
+#include "src/bpf/assembler.h"
+#include "src/bpf/verifier.h"
 #include "src/sched/pinned_scheduler.h"
 #include "src/sim/simulator.h"
 #include "src/syrup.h"
 
+namespace {
+
+// `syrupctl lint <file.s>` (alias: `verify`): the offline face of the
+// deploy-time verifier gate. Runs the keep-going VerifyAll() pass and
+// prints every error plus the warning catalog, one formatted diagnostic
+// per line — the same strings Syrupd would put in a rejection Status.
+// Exit code: 0 clean (warnings allowed), 1 rejected, 2 usage/IO.
+int LintPolicyFile(const char* path) {
+  using namespace syrup;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lint: cannot read '%s'\n", path);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto assembled = bpf::Assemble(buffer.str());
+  if (!assembled.ok()) {
+    std::fprintf(stderr, "lint: %s\n",
+                 assembled.status().ToString().c_str());
+    return 1;
+  }
+
+  bpf::Program program;
+  program.name = assembled->name;
+  program.insns = assembled->insns;
+  for (const bpf::MapSlot& slot : assembled->map_slots) {
+    // Extern maps are bound at deploy time; lint substitutes a fresh map
+    // of a generic shape so map-relative bounds still get checked.
+    if (slot.is_extern) {
+      MapSpec spec;
+      spec.type = MapType::kHash;
+      spec.max_entries = 1024;
+      program.maps.push_back(CreateMap(spec).value());
+      continue;
+    }
+    program.maps.push_back(CreateMap(slot.spec).value());
+  }
+
+  const bpf::VerifyReport report =
+      bpf::VerifyAll(program, assembled->context);
+  size_t errors = 0;
+  for (const bpf::Diagnostic& d : report.diagnostics) {
+    if (d.severity == bpf::DiagSeverity::kError) ++errors;
+    std::printf("%s\n", bpf::FormatDiagnostic(d, report.program).c_str());
+  }
+  std::printf(
+      "%s: %zu error(s), %zu warning(s); visited %llu insns, "
+      "%llu branch states (%llu pruned), %llu ns\n",
+      report.ok() ? "OK" : "REJECTED", errors,
+      report.diagnostics.size() - errors,
+      static_cast<unsigned long long>(report.stats.visited_insns),
+      static_cast<unsigned long long>(report.stats.branch_states),
+      static_cast<unsigned long long>(report.stats.pruned_states),
+      static_cast<unsigned long long>(report.stats.verify_ns));
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace syrup;
   const std::string command = argc > 1 ? argv[1] : "inspect";
+  if (command == "lint" || command == "verify") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s %s <policy.s>\n", argv[0],
+                   command.c_str());
+      return 2;
+    }
+    return LintPolicyFile(argv[2]);
+  }
   if (command != "inspect" && command != "stats") {
-    std::fprintf(stderr, "usage: %s [inspect|stats]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [inspect|stats|lint <policy.s>]\n",
+                 argv[0]);
     return 2;
   }
 

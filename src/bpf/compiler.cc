@@ -182,13 +182,23 @@ std::string_view ExecModeName(ExecMode mode) {
 
 StatusOr<CompiledProgram> Compile(const Program& prog, ProgramContext context,
                                   const CompileOptions& options) {
+  AnalysisFacts own_facts;
   if (!options.assume_verified) {
-    SYRUP_RETURN_IF_ERROR(Verify(prog, context));
+    SYRUP_RETURN_IF_ERROR(Verify(prog, context, {}, nullptr, &own_facts));
   }
   const size_t n = prog.insns.size();
   if (n == 0) {
     return InvalidArgumentError("cannot compile an empty program");
   }
+
+  // Verifier facts: explicit ones win, else whatever the internal pass just
+  // produced. Size-checked so stale facts from a different program are
+  // silently ignored rather than miscompiling.
+  const AnalysisFacts* facts =
+      options.facts != nullptr ? options.facts : &own_facts;
+  const bool use_facts = options.optimize && !facts->empty() &&
+                         facts->visited.size() == n &&
+                         facts->edges.size() == n;
 
   CompileStats stats;
   stats.input_insns = n;
@@ -197,33 +207,56 @@ StatusOr<CompiledProgram> Compile(const Program& prog, ProgramContext context,
   // instructions, so a verified program may still carry arbitrary bytes in
   // dead slots — wild jump offsets, unknown helper ids. Those slots are
   // dropped here rather than translated (they could never execute).
+  //
+  // With verifier facts the walk is tighter than the static CFG: a pc the
+  // abstract interpretation never reached lies on no feasible path, and a
+  // conditional edge it never took cannot be taken at runtime, so neither
+  // is followed. (Abstract states over-approximate every concrete run, so
+  // "never explored" really does mean "never executed".)
   std::vector<bool> reachable(n, false);
-  {
+  const auto walk = [&](std::vector<bool>& seen,
+                        bool apply_facts) -> Status {
     std::vector<size_t> work;
-    reachable[0] = true;
+    seen[0] = true;
     work.push_back(0);
     while (!work.empty()) {
       const size_t pc = work.back();
       work.pop_back();
       const Insn& in = prog.insns[pc];
       if (in.op == Op::kExit) continue;
+      bool follow_taken = true;
+      bool follow_fall = true;
+      if (apply_facts && IsCondJumpOp(in.op)) {
+        const uint8_t e = facts->edges[pc];
+        follow_taken = (e & AnalysisFacts::kEdgeTaken) != 0;
+        follow_fall = (e & AnalysisFacts::kEdgeFall) != 0;
+      }
       if (IsJumpOp(in.op)) {
         const int64_t target = static_cast<int64_t>(pc) + 1 + in.off;
         if (target < 0 || target >= static_cast<int64_t>(n)) {
           return InvalidArgumentError("compile: jump target out of range");
         }
-        if (!reachable[target]) {
-          reachable[target] = true;
+        if (follow_taken && !seen[target]) {
+          seen[target] = true;
           work.push_back(static_cast<size_t>(target));
         }
-        if (in.op == Op::kJa) continue;
+        if (in.op == Op::kJa || !follow_fall) continue;
       }
       // Falling off the end is rejected by the verifier; should it happen
       // anyway (assume_verified misuse) the trailing sentinel catches it.
-      if (pc + 1 < n && !reachable[pc + 1]) {
-        reachable[pc + 1] = true;
+      if (pc + 1 < n && !seen[pc + 1]) {
+        seen[pc + 1] = true;
         work.push_back(pc + 1);
       }
+    }
+    return OkStatus();
+  };
+  SYRUP_RETURN_IF_ERROR(walk(reachable, use_facts));
+  if (use_facts) {
+    std::vector<bool> static_reachable(n, false);
+    SYRUP_RETURN_IF_ERROR(walk(static_reachable, false));
+    for (size_t pc = 0; pc < n; ++pc) {
+      if (static_reachable[pc] && !reachable[pc]) ++stats.facts_dead_insns;
     }
   }
 
@@ -375,6 +408,15 @@ StatusOr<CompiledProgram> Compile(const Program& prog, ProgramContext context,
       s.target = target;
       if (in.op == Op::kJa) {
         s.c.op = COp::kJa;
+      } else if (use_facts && facts->edges[pc] == AnalysisFacts::kEdgeTaken) {
+        // The range analysis proved this branch always taken.
+        s.c.op = COp::kJa;
+        ++stats.facts_decided_branches;
+      } else if (use_facts && facts->edges[pc] == AnalysisFacts::kEdgeFall) {
+        // ... or never taken: the instruction disappears.
+        s.emit = false;
+        s.is_jump = false;
+        ++stats.facts_decided_branches;
       } else {
         bool fold = false;
         bool taken = false;

@@ -61,6 +61,13 @@ struct CompileOptions {
   // run Verify() on the identical program (syrupd's deploy path does);
   // compiling an unverified program with checks elided is unsound.
   bool assume_verified = false;
+  // Per-instruction facts from the verifier's abstract interpretation.
+  // Instructions proven unreachable on every feasible path are dropped, and
+  // conditional branches whose edges only ever resolved one way become
+  // unconditional (or disappear). When null and the internal verification
+  // pass runs, its own facts are used; with assume_verified the deploy path
+  // should pass the facts it got from Verify(). Must outlive Compile().
+  const AnalysisFacts* facts = nullptr;
 };
 
 struct CompileStats {
@@ -70,6 +77,9 @@ struct CompileStats {
   size_t eliminated_insns = 0;   // dead moves + decided branches removed
   size_t strength_reduced = 0;   // mul/div/mod -> shift/mask rewrites
   size_t elided_checks = 0;      // runtime memory validations removed
+  // Analysis-driven eliminations (0 unless verifier facts were available):
+  size_t facts_dead_insns = 0;        // statically live, dynamically dead
+  size_t facts_decided_branches = 0;  // branches the range analysis decided
 };
 
 // Pre-decoded opcodes. Memory ops come in an unchecked (verifier-trusted)

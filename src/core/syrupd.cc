@@ -103,14 +103,29 @@ bpf::ExecEnv Syrupd::MakeExecEnv() {
 
 StatusOr<std::shared_ptr<const bpf::CompiledProgram>>
 Syrupd::CompileForCurrentMode(const bpf::Program& program,
-                              bpf::ProgramContext context) {
+                              bpf::ProgramContext context,
+                              const bpf::AnalysisFacts* facts) {
   bpf::CompileOptions options;
   options.paranoid = exec_mode_ == bpf::ExecMode::kCompiledParanoid;
   // The deploy pipeline verified the program right before this call.
   options.assume_verified = true;
+  options.facts = facts;
   SYRUP_ASSIGN_OR_RETURN(bpf::CompiledProgram compiled,
                          bpf::Compile(program, context, options));
   return std::make_shared<const bpf::CompiledProgram>(std::move(compiled));
+}
+
+void Syrupd::EmitVerifierMetrics(const std::string& app_name,
+                                 std::string_view hook_name,
+                                 const bpf::VerifierStats& stats) {
+  metrics_.GetGauge(app_name, hook_name, "verifier.visited_insns")
+      ->Set(static_cast<int64_t>(stats.visited_insns));
+  metrics_.GetGauge(app_name, hook_name, "verifier.branch_states")
+      ->Set(static_cast<int64_t>(stats.branch_states));
+  metrics_.GetGauge(app_name, hook_name, "verifier.pruned_states")
+      ->Set(static_cast<int64_t>(stats.pruned_states));
+  metrics_.GetGauge(app_name, hook_name, "verifier.verify_ns")
+      ->Set(static_cast<int64_t>(stats.verify_ns));
 }
 
 const bpf::Program* Syrupd::ProgramById(uint64_t prog_id) const {
@@ -177,20 +192,26 @@ StatusOr<int> Syrupd::DeployPolicyFile(AppId app,
   program->insns = std::move(assembled.insns);
   program->maps = std::move(maps);
 
-  // The verifier gate: unverifiable programs never reach a hook.
-  SYRUP_RETURN_IF_ERROR(
-      bpf::Verify(*program, bpf::ProgramContext::kPacket));
+  // The verifier gate: unverifiable programs never reach a hook. The
+  // exploration stats become per-program gauges and the analysis facts
+  // feed the compile below.
+  bpf::VerifierStats vstats;
+  bpf::AnalysisFacts vfacts;
+  SYRUP_RETURN_IF_ERROR(bpf::Verify(*program, bpf::ProgramContext::kPacket,
+                                    {}, &vstats, &vfacts));
 
   // Compile once at attach time; every dispatch then runs the pre-decoded
   // form. Interpret mode (ablation) skips this and keeps the artifact out
   // of the tail-call cache.
   const std::string& app_name = apps_.at(app).name;
+  EmitVerifierMetrics(app_name, HookName(hook), vstats);
   std::shared_ptr<const bpf::CompiledProgram> compiled;
   if (exec_mode_ != bpf::ExecMode::kInterpret) {
     const uint64_t t0 = WallNowNs();
     SYRUP_ASSIGN_OR_RETURN(
         compiled,
-        CompileForCurrentMode(*program, bpf::ProgramContext::kPacket));
+        CompileForCurrentMode(*program, bpf::ProgramContext::kPacket,
+                              &vfacts));
     metrics_.GetGauge(app_name, HookName(hook), "policy.compile_ns")
         ->Set(static_cast<int64_t>(WallNowNs() - t0));
   }
@@ -313,17 +334,21 @@ StatusOr<int> Syrupd::DeployThreadPolicyFile(AppId app,
   program->insns = std::move(assembled.insns);
   program->maps = std::move(maps);
 
-  SYRUP_RETURN_IF_ERROR(
-      bpf::Verify(*program, bpf::ProgramContext::kThread));
+  bpf::VerifierStats vstats;
+  bpf::AnalysisFacts vfacts;
+  SYRUP_RETURN_IF_ERROR(bpf::Verify(*program, bpf::ProgramContext::kThread,
+                                    {}, &vstats, &vfacts));
 
   const std::string& app_name = apps_.at(app).name;
   const std::string_view hook_name = HookName(Hook::kThreadScheduler);
+  EmitVerifierMetrics(app_name, hook_name, vstats);
   std::shared_ptr<const bpf::CompiledProgram> compiled;
   if (exec_mode_ != bpf::ExecMode::kInterpret) {
     const uint64_t t0 = WallNowNs();
     SYRUP_ASSIGN_OR_RETURN(
         compiled,
-        CompileForCurrentMode(*program, bpf::ProgramContext::kThread));
+        CompileForCurrentMode(*program, bpf::ProgramContext::kThread,
+                              &vfacts));
     metrics_.GetGauge(app_name, hook_name, "policy.compile_ns")
         ->Set(static_cast<int64_t>(WallNowNs() - t0));
   }

@@ -200,9 +200,17 @@ class Syrupd {
 
   Status AttachPolicy(AppId app, std::shared_ptr<PacketPolicy> policy,
                       Hook hook, int prog_id);
-  // Translates a just-verified program per the active exec mode.
+  // Translates a just-verified program per the active exec mode. `facts`
+  // (when the caller kept them from its Verify call) lets the compiler drop
+  // verifier-proven-dead code and decided branches.
   StatusOr<std::shared_ptr<const bpf::CompiledProgram>> CompileForCurrentMode(
-      const bpf::Program& program, bpf::ProgramContext context);
+      const bpf::Program& program, bpf::ProgramContext context,
+      const bpf::AnalysisFacts* facts = nullptr);
+  // Publishes the verifier's exploration cost for a deployed program as
+  // verifier.* gauges alongside the policy.* deployment gauges.
+  void EmitVerifierMetrics(const std::string& app_name,
+                           std::string_view hook_name,
+                           const bpf::VerifierStats& stats);
   Status InstallStackHook(Hook hook);
   void MaybeUninstallStackHook(Hook hook);
   Decision Dispatch(Hook hook, const PacketView& pkt);

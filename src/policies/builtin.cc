@@ -291,4 +291,26 @@ pass:
   return WithN(kTemplate, num_executors);
 }
 
+std::string VarHeaderPolicyAsm(uint32_t num_executors) {
+  constexpr char kTemplate[] = R"(
+.name var_header
+.ctx packet
+  mov r3, r1
+  add r3, 40
+  jgt r3, r2, pass       ; need the whole 40-byte header area
+  ldxb r4, [r1+5]        ; option length byte
+  and r4, 31             ; verifier: r4 in [0, 31]
+  mov r5, r1
+  add r5, r4             ; variable-offset cursor into the header
+  ldxw r6, [r5+4]        ; key at [len+4, len+8) -- max byte 39, proven
+  mod r6, %N%
+  mov r0, r6
+  exit
+pass:
+  mov r0, PASS
+  exit
+)";
+  return WithN(kTemplate, num_executors);
+}
+
 }  // namespace syrup

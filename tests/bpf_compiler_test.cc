@@ -188,6 +188,77 @@ TEST(Compiler, FoldsDecidedBranches) {
   EXPECT_GE(u.stats.eliminated_insns, 1u);
 }
 
+TEST(Compiler, FactsEliminateRangeDecidedBranches) {
+  // The constant lattice cannot see through the load, but the verifier's
+  // range analysis proves `jgt r4, 40, dead` never taken (r4 ≤ 15), so the
+  // branch and its arm vanish from the compiled form via AnalysisFacts.
+  Loaded l = Load(R"(
+    mov r3, r1
+    add r3, 8
+    jgt r3, r2, out
+    ldxb r4, [r1+0]
+    and r4, 15
+    jgt r4, 40, dead
+    mov r0, r4
+    exit
+  dead:
+    mov r0, 77
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )");
+  CompiledProgram c = CompileOrDie(l.prog, ProgramContext::kPacket);
+  EXPECT_GE(c.stats.facts_decided_branches, 1u);
+  EXPECT_GE(c.stats.facts_dead_insns, 2u);  // the `dead:` arm
+
+  // Same compile with facts suppressed keeps the branch.
+  bpf::AnalysisFacts no_facts;
+  CompileOptions options;
+  options.assume_verified = true;
+  options.facts = &no_facts;
+  CompiledProgram base = CompileOrDie(l.prog, ProgramContext::kPacket,
+                                      options);
+  EXPECT_EQ(base.stats.facts_decided_branches, 0u);
+  EXPECT_LT(c.stats.output_insns, base.stats.output_insns);
+
+  Packet pkt;
+  pkt.SetHeader(ReqType::kGet, 1, 0xabcdef01u, 7, 0);
+  const auto start = reinterpret_cast<uint64_t>(pkt.wire.data());
+  const auto end = start + pkt.wire.size();
+  Interpreter interp(TestEnv());
+  CompiledExecutor exec(TestEnv());
+  const uint64_t want = interp.Run(l.prog, start, end, true)->r0;
+  EXPECT_EQ(exec.Run(c, start, end, true)->r0, want);
+  EXPECT_EQ(exec.Run(base, start, end, true)->r0, want);
+}
+
+TEST(Compiler, VarHeaderElidesChecksAndMatchesInterpreter) {
+  // The acceptance-bar policy: variable-offset packet parse, compiled with
+  // its memory checks elided, same result in every tier.
+  Loaded l = Load(VarHeaderPolicyAsm(4));
+  CompiledProgram plain = CompileOrDie(l.prog, ProgramContext::kPacket);
+  EXPECT_GE(plain.stats.elided_checks, 2u);  // both loads unchecked
+  EXPECT_FALSE(HasOp(plain, COp::kLdxBChk));
+  EXPECT_FALSE(HasOp(plain, COp::kLdxWChk));
+
+  CompileOptions paranoid;
+  paranoid.paranoid = true;
+  CompiledProgram chk = CompileOrDie(l.prog, ProgramContext::kPacket,
+                                     paranoid);
+  Interpreter interp(TestEnv());
+  CompiledExecutor exec(TestEnv());
+  for (uint32_t hash : {0u, 3u, 0x1234u, 0xdeadbeefu}) {
+    Packet pkt;
+    pkt.SetHeader(ReqType::kGet, 1, hash, hash, 0);
+    const auto start = reinterpret_cast<uint64_t>(pkt.wire.data());
+    const auto end = start + pkt.wire.size();
+    const uint64_t want = interp.Run(l.prog, start, end, true)->r0;
+    EXPECT_EQ(exec.Run(plain, start, end, true)->r0, want) << hash;
+    EXPECT_EQ(exec.Run(chk, start, end, true)->r0, want) << hash;
+  }
+}
+
 TEST(Compiler, EliminatesDeadConstantMoves) {
   Loaded l = Load(R"(
     mov r3, 99
@@ -470,6 +541,7 @@ TEST_P(BuiltinDifferentialTest, AllModesAgreeOnDecisionsAndSideEffects) {
       {"sita", SitaPolicyAsm(4)},
       {"token", TokenPolicyAsm()},
       {"mica_home", MicaHomePolicyAsm(4)},
+      {"var_header", VarHeaderPolicyAsm(4)},
       {"least_loaded", LeastLoadedPolicyAsm(4, "/pins/load")},
       {"power_of_two", PowerOfTwoPolicyAsm(4, "/pins/load")},
       {"get_priority", GetPriorityThreadPolicyAsm("/pins/thread_types")},

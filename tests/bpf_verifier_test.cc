@@ -12,6 +12,7 @@ namespace syrup::bpf {
 namespace {
 
 // Assembles `source`, resolving declared maps with freshly created ones.
+// Extern maps (tests have no registry) become u32 -> u64 arrays of 8 slots.
 Program Load(std::string_view source) {
   auto assembled = Assemble(source);
   EXPECT_TRUE(assembled.ok()) << assembled.status();
@@ -19,8 +20,14 @@ Program Load(std::string_view source) {
   prog.name = assembled->name;
   prog.insns = assembled->insns;
   for (const MapSlot& slot : assembled->map_slots) {
-    EXPECT_FALSE(slot.is_extern);
-    prog.maps.push_back(CreateMap(slot.spec).value());
+    MapSpec spec = slot.spec;
+    if (slot.is_extern) {
+      spec = MapSpec{};
+      spec.type = MapType::kArray;
+      spec.max_entries = 8;
+      spec.name = slot.name;
+    }
+    prog.maps.push_back(CreateMap(spec).value());
   }
   return prog;
 }
@@ -112,7 +119,7 @@ TEST(Verifier, AcceptsAllShippedPolicies) {
   for (const std::string& source :
        {RoundRobinPolicyAsm(6), HashPolicyAsm(6), ScanAvoidPolicyAsm(6),
         SitaPolicyAsm(6), TokenPolicyAsm(), MicaHomePolicyAsm(8),
-        ConstIndexPolicyAsm(0)}) {
+        ConstIndexPolicyAsm(0), VarHeaderPolicyAsm(4)}) {
     EXPECT_TRUE(VerifyPacket(source).ok())
         << "policy failed verification:\n" << source
         << "\n" << VerifyPacket(source).ToString();
@@ -432,13 +439,13 @@ TEST(Verifier, RejectsPointerAddUnknownScalar) {
     add r3, 4
     jgt r3, r2, out
     ldxw r4, [r1+0]
-    add r1, r4          ; unknown scalar offset: range would be lost
+    add r1, r4          ; full-u32 range exceeds the offset cap
     mov r0, 0
     exit
   out:
     mov r0, PASS
     exit
-  )", "pointer arithmetic with unknown"));
+  )", "pointer arithmetic with unbounded"));
 }
 
 TEST(Verifier, RejectsAtomicOnStackIsAllowedButPacketIsNot) {
@@ -497,6 +504,442 @@ TEST(Verifier, ErrorsNameTheProgramAndInstruction) {
   EXPECT_NE(status.message().find("culprit"), std::string::npos);
   EXPECT_NE(status.message().find("insn 0"), std::string::npos);
   EXPECT_NE(status.message().find("ldxw"), std::string::npos);
+}
+
+// --- range tracking ---------------------------------------------------------------
+//
+// The abstract domains: a masked or branch-narrowed scalar carries a real
+// interval, so adding it to a packet pointer yields a *ranged* access the
+// verifier can prove against the bounds check — the constant-only engine
+// had to reject every one of these.
+
+TEST(VerifierRanges, AcceptsMaskedVariablePacketOffset) {
+  // offset = pkt[5] & 31, read 4B at [offset+4, offset+8) ⊆ [4, 39] < 40.
+  EXPECT_TRUE(VerifyPacket(R"(
+    mov r3, r1
+    add r3, 40
+    jgt r3, r2, out
+    ldxb r4, [r1+5]
+    and r4, 31
+    mov r5, r1
+    add r5, r4
+    ldxw r0, [r5+4]
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )").ok());
+}
+
+TEST(VerifierRanges, RejectsVariableOffsetWithoutMask) {
+  // Same shape, but the byte is unmasked: offset may be up to 255, and
+  // [4, 263) is not covered by the 40-byte guard.
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, r1
+    add r3, 40
+    jgt r3, r2, out
+    ldxb r4, [r1+5]
+    mov r5, r1
+    add r5, r4
+    ldxw r0, [r5+4]
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )", "outside verified range"));
+}
+
+TEST(VerifierRanges, RejectsMaskWiderThanGuard) {
+  // Mask proves [0, 63], but only 40 bytes are guarded: max byte 63+7.
+  EXPECT_TRUE(Rejects(R"(
+    mov r3, r1
+    add r3, 40
+    jgt r3, r2, out
+    ldxb r4, [r1+5]
+    and r4, 63
+    mov r5, r1
+    add r5, r4
+    ldxdw r0, [r5+0]
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )", "outside verified range"));
+}
+
+TEST(VerifierRanges, BranchNarrowingProvesOffsetOnFallEdge) {
+  // No mask at all: the `jgt r4, 36, out` guard alone narrows the loaded
+  // byte to [0, 36] on the fall-through edge.
+  EXPECT_TRUE(VerifyPacket(R"(
+    mov r3, r1
+    add r3, 40
+    jgt r3, r2, out
+    ldxb r4, [r1+5]
+    jgt r4, 36, out
+    mov r5, r1
+    add r5, r4
+    ldxb r0, [r5+0]
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )").ok());
+}
+
+TEST(VerifierRanges, BranchNarrowingProvesOffsetOnTakenEdge) {
+  // Dual guard: `jlt r4, 32, read` narrows on the *taken* edge.
+  EXPECT_TRUE(VerifyPacket(R"(
+    mov r3, r1
+    add r3, 40
+    jgt r3, r2, out
+    ldxb r4, [r1+5]
+    jlt r4, 32, read
+  out:
+    mov r0, PASS
+    exit
+  read:
+    mov r5, r1
+    add r5, r4
+    ldxdw r0, [r5+0]
+    exit
+  )").ok());
+}
+
+TEST(VerifierRanges, ModNarrowsScalarForMapValueAccess) {
+  // `mod r0, 8` proves [0, 7]; with an 8-byte map value the 1-byte read at
+  // a variable offset is in bounds — variable offsets work on map values
+  // too, not just packets.
+  EXPECT_TRUE(VerifyPacket(R"(
+    .map m array 4 8 4
+    mov r6, 0
+    stxw [r10-4], r6
+    ldmapfd r1, m
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    jeq r0, 0, out
+    mov r7, r0
+    call get_prandom_u32
+    mod r0, 8
+    add r7, r0
+    ldxb r0, [r7+0]
+    exit
+  out:
+    mov r0, 0
+    exit
+  )").ok());
+}
+
+TEST(VerifierRanges, ArithmeticPropagatesThroughAluChains) {
+  // Ranges survive add/lsh: offset = (pkt[5] & 3) * 8 + 2 ∈ [2, 26]; a
+  // 8-byte read at +0 touches at most byte 33 < 40.
+  EXPECT_TRUE(VerifyPacket(R"(
+    mov r3, r1
+    add r3, 40
+    jgt r3, r2, out
+    ldxb r4, [r1+5]
+    and r4, 3
+    lsh r4, 3
+    add r4, 2
+    mov r5, r1
+    add r5, r4
+    ldxdw r0, [r5+0]
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )").ok());
+}
+
+TEST(VerifierRanges, AcceptsVarHeaderBuiltin) {
+  // The shipped variable-offset header-parse policy: the whole point of
+  // the range engine (the constant-only verifier rejects it).
+  VerifierStats stats;
+  Program prog = Load(VarHeaderPolicyAsm(4));
+  EXPECT_TRUE(Verify(prog, ProgramContext::kPacket, {}, &stats).ok());
+  EXPECT_GT(stats.visited_insns, 0u);
+}
+
+// --- pruning ----------------------------------------------------------------------
+
+// A dense diamond chain, each fork on a *fresh* unknown (helper result),
+// so branch narrowing cannot decide later diamonds from earlier ones and
+// the unpruned exploration is truly exponential. Each arm only writes a
+// register that is dead at the join, so liveness-aware subsumption lets
+// one completed state per join cover every later arrival.
+std::string DiamondChain(int diamonds) {
+  std::string src = ".ctx thread\n";
+  for (int i = 0; i < diamonds; ++i) {
+    const std::string skip = "skip" + std::to_string(i);
+    src += "  call get_prandom_u32\n";
+    src += "  jset r0, 1, " + skip + "\n";
+    src += "  mov r6, " + std::to_string(i) + "\n";
+    src += skip + ":\n";
+  }
+  src += "  mov r0, 0\n  exit\n";
+  return src;
+}
+
+TEST(VerifierPruning, SubsumptionCollapsesDeadStateDiamonds) {
+  Program prog = Load(DiamondChain(10));
+  VerifierOptions pruned_opts;
+  VerifierOptions exhaustive_opts;
+  exhaustive_opts.prune = false;
+  VerifierStats pruned, exhaustive;
+  ASSERT_TRUE(
+      Verify(prog, ProgramContext::kThread, pruned_opts, &pruned).ok());
+  ASSERT_TRUE(
+      Verify(prog, ProgramContext::kThread, exhaustive_opts, &exhaustive)
+          .ok());
+  // Exhaustive: ~2^10 paths. Pruned: each join re-explored once.
+  EXPECT_GT(pruned.pruned_states, 0u);
+  EXPECT_LT(pruned.visited_insns, exhaustive.visited_insns / 10);
+  EXPECT_EQ(exhaustive.pruned_states, 0u);
+}
+
+TEST(VerifierPruning, RaisesEffectiveComplexityBudget) {
+  // 24 diamonds ≈ 16M paths: hopeless for the exhaustive engine at the
+  // default one-million-step budget, trivial with subsumption.
+  Program prog = Load(DiamondChain(24));
+  EXPECT_TRUE(Verify(prog, ProgramContext::kThread).ok());
+  VerifierOptions exhaustive;
+  exhaustive.prune = false;
+  const Status status = Verify(prog, ProgramContext::kThread, exhaustive);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("too complex"), std::string::npos);
+}
+
+TEST(VerifierPruning, DoesNotPruneStatesWithLiveDifferences) {
+  // Here the per-path value is *live* at the join (it becomes r0), so
+  // subsumption must not collapse the paths into one verdict.
+  Program prog = Load(R"(
+    .ctx thread
+    mov r0, 1
+    jeq r1, 7, done
+    mov r0, 2
+  done:
+    exit
+  )");
+  VerifierStats stats;
+  ASSERT_TRUE(Verify(prog, ProgramContext::kThread, {}, &stats).ok());
+  EXPECT_EQ(stats.pruned_states, 0u);
+}
+
+TEST(VerifierPruning, CutsVisitedInsnsOnBranchiestBuiltin) {
+  // The acceptance bar from the issue: a measurable visited_insns drop on
+  // the branchiest shipped policy (least-loaded scans every executor with
+  // two branches per probe).
+  Program prog = Load(LeastLoadedPolicyAsm(4, "/syrup/t/load"));
+  VerifierOptions exhaustive_opts;
+  exhaustive_opts.prune = false;
+  VerifierStats pruned, exhaustive;
+  ASSERT_TRUE(Verify(prog, ProgramContext::kPacket, {}, &pruned).ok());
+  ASSERT_TRUE(
+      Verify(prog, ProgramContext::kPacket, exhaustive_opts, &exhaustive)
+          .ok());
+  EXPECT_GT(pruned.pruned_states, 0u);
+  EXPECT_LT(pruned.visited_insns, exhaustive.visited_insns);
+}
+
+// --- lint: multi-error collection and the warning catalog -------------------------
+
+VerifyReport LintPacket(std::string_view source) {
+  return VerifyAll(Load(source), ProgramContext::kPacket);
+}
+
+size_t CountSeverity(const VerifyReport& report, DiagSeverity severity) {
+  size_t count = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == severity) ++count;
+  }
+  return count;
+}
+
+testing::AssertionResult HasWarning(const VerifyReport& report,
+                                    std::string_view substr) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == DiagSeverity::kWarning &&
+        d.message.find(substr) != std::string::npos) {
+      return testing::AssertionSuccess();
+    }
+  }
+  return testing::AssertionFailure()
+         << "no warning containing '" << substr << "' in report of "
+         << report.diagnostics.size() << " diagnostic(s)";
+}
+
+TEST(VerifierLint, CollectsErrorsFromSiblingPaths) {
+  // One error per branch arm; Verify() stops at the first, VerifyAll()
+  // keeps exploring and reports both.
+  const std::string_view source = R"(
+    .ctx thread
+    jeq r1, 0, other
+    mov r0, r8
+    exit
+  other:
+    ldxw r0, [r10-200]
+    exit
+  )";
+  Program prog = Load(source);
+  VerifyReport report = VerifyAll(prog, ProgramContext::kThread);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(CountSeverity(report, DiagSeverity::kError), 2u);
+  EXPECT_FALSE(report.status().ok());
+}
+
+TEST(VerifierLint, WarnsOnDeadCode) {
+  VerifyReport report = LintPacket(R"(
+    mov r0, 0
+    exit
+    mov r0, 1
+    exit
+  )");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasWarning(report, "dead code"));
+}
+
+TEST(VerifierLint, WarnsOnAlwaysTakenBranch) {
+  VerifyReport report = LintPacket(R"(
+    mov r4, 5
+    jeq r4, 5, yes
+    mov r0, 1
+    exit
+  yes:
+    mov r0, 2
+    exit
+  )");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasWarning(report, "always taken"));
+}
+
+TEST(VerifierLint, WarnsOnNeverTakenBranch) {
+  // Range-decided, not constant-decided: the masked byte can never exceed
+  // 31, so the guard is provably dead.
+  VerifyReport report = LintPacket(R"(
+    mov r3, r1
+    add r3, 8
+    jgt r3, r2, out
+    ldxb r4, [r1+0]
+    and r4, 31
+    jgt r4, 200, out
+    mov r0, r4
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasWarning(report, "never taken"));
+}
+
+TEST(VerifierLint, WarnsOnUncheckedMapLookup) {
+  VerifyReport report = LintPacket(R"(
+    .map m array 4 8 4
+    mov r6, 0
+    stxw [r10-4], r6
+    ldmapfd r1, m
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    mov r0, 0
+    exit
+  )");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasWarning(report, "NULL-checked"));
+}
+
+TEST(VerifierLint, WarnsOnWriteOnlyStackBytes) {
+  VerifyReport report = LintPacket(R"(
+    mov r6, 42
+    stxdw [r10-8], r6
+    mov r0, 0
+    exit
+  )");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasWarning(report, "never read"));
+}
+
+TEST(VerifierLint, CleanProgramHasNoDiagnostics) {
+  VerifyReport report = LintPacket(R"(
+    mov r3, r1
+    add r3, 4
+    jgt r3, r2, out
+    ldxw r0, [r1+0]
+    exit
+  out:
+    mov r0, PASS
+    exit
+  )");
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.status().ok());
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(VerifierLint, DiagnosticsCarryDisassemblyAndSortWarningsByPc) {
+  VerifyReport report = LintPacket(R"(
+    mov r6, 42
+    stxdw [r10-8], r6
+    mov r0, 0
+    exit
+    mov r0, 9
+    exit
+  )");
+  EXPECT_TRUE(report.ok());
+  ASSERT_GE(report.diagnostics.size(), 2u);
+  size_t last_pc = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    EXPECT_FALSE(d.insn.empty()) << "diagnostic at pc " << d.pc;
+    EXPECT_GE(d.pc, last_pc);
+    last_pc = d.pc;
+    const std::string formatted = FormatDiagnostic(d, report.program);
+    EXPECT_NE(formatted.find("verifier warning: "), std::string::npos);
+    EXPECT_NE(formatted.find("at insn "), std::string::npos);
+    EXPECT_NE(formatted.find("(" + d.insn + ")"), std::string::npos);
+  }
+}
+
+TEST(VerifierLint, ErrorsComeBeforeWarnings) {
+  VerifyReport report = LintPacket(R"(
+    mov r6, 1
+    stxdw [r10-8], r6
+    ldxw r0, [r1+0]
+    exit
+  )");
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.diagnostics.empty());
+  EXPECT_EQ(report.diagnostics.front().severity, DiagSeverity::kError);
+}
+
+// --- analysis facts ---------------------------------------------------------------
+
+TEST(VerifierFacts, RecordsVisitedInsnsAndDecidedEdges) {
+  Program prog = Load(R"(
+    mov r4, 5
+    jeq r4, 5, yes
+    mov r0, 1
+    exit
+  yes:
+    mov r0, 2
+    exit
+  )");
+  AnalysisFacts facts;
+  ASSERT_TRUE(
+      Verify(prog, ProgramContext::kPacket, {}, nullptr, &facts).ok());
+  ASSERT_EQ(facts.visited.size(), prog.insns.size());
+  ASSERT_EQ(facts.edges.size(), prog.insns.size());
+  EXPECT_TRUE(facts.visited[0]);
+  EXPECT_TRUE(facts.visited[1]);
+  EXPECT_FALSE(facts.visited[2]);  // fall-through arm proven dead
+  EXPECT_TRUE(facts.visited[4]);
+  EXPECT_EQ(facts.edges[1], AnalysisFacts::kEdgeTaken);
+}
+
+TEST(VerifierFacts, NotPopulatedOnRejection) {
+  Program prog = Load("ldxw r0, [r1+0]\nexit\n");
+  AnalysisFacts facts;
+  EXPECT_FALSE(
+      Verify(prog, ProgramContext::kPacket, {}, nullptr, &facts).ok());
+  EXPECT_TRUE(facts.empty());
 }
 
 }  // namespace

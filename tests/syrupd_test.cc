@@ -496,6 +496,25 @@ TEST_F(SyrupdTest, StatsSnapshotTracksBytecodePolicyCounters) {
   EXPECT_NE(json.find("\"policy.invocations\""), std::string::npos);
 }
 
+TEST_F(SyrupdTest, DeploymentPublishesVerifierStatsGauges) {
+  auto app = syrupd_.RegisterApp("vf", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  PolicyHandle deployed =
+      client.DeployPolicy(ScanAvoidPolicyAsm(4), Hook::kSocketSelect)
+          .value();
+
+  const obs::Snapshot snap = syrupd_.StatsSnapshot();
+  // Every visited instruction costs at least one abstract step, and the
+  // scan-avoid policy branches (probe loop), so states were forked.
+  EXPECT_GT(snap.GaugeValue("vf", "socket_select", "verifier.visited_insns"),
+            0);
+  EXPECT_GT(snap.GaugeValue("vf", "socket_select", "verifier.branch_states"),
+            0);
+  EXPECT_GE(snap.GaugeValue("vf", "socket_select", "verifier.pruned_states"),
+            0);
+  EXPECT_GT(snap.GaugeValue("vf", "socket_select", "verifier.verify_ns"), 0);
+}
+
 // --- typed RAII handles -------------------------------------------------------------------
 
 TEST_F(SyrupdTest, DroppedMapHandleClosesFd) {
