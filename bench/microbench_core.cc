@@ -181,10 +181,13 @@ void BM_HistogramRecord(benchmark::State& state) {
 BENCHMARK(BM_HistogramRecord);
 
 void BM_SimulatorEventDispatch(benchmark::State& state) {
-  // Self-rescheduling event: steady-state queue of depth 1.
+  // Self-rescheduling event: steady-state queue of depth 1. Arg selects the
+  // engine so the wheel/reference columns sit side by side in the report.
+  const SimEngine engine =
+      state.range(0) == 0 ? SimEngine::kTimingWheel : SimEngine::kReference;
   for (auto _ : state) {
     state.PauseTiming();
-    Simulator sim;
+    Simulator sim(engine);
     uint64_t count = 0;
     std::function<void()> tick = [&]() {
       if (++count < 10'000) {
@@ -197,7 +200,38 @@ void BM_SimulatorEventDispatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
-BENCHMARK(BM_SimulatorEventDispatch);
+// engine:0 = timing wheel, engine:1 = reference heap.
+BENCHMARK(BM_SimulatorEventDispatch)->Arg(0)->Arg(1)->ArgName("engine");
+
+void BM_SimulatorSteadyState(benchmark::State& state) {
+  // 1024 events in flight, each rescheduling itself at a varied delay: the
+  // wheel's intended steady state (deep pending set, zero allocations).
+  const SimEngine engine =
+      state.range(0) == 0 ? SimEngine::kTimingWheel : SimEngine::kReference;
+  constexpr uint64_t kPending = 1024;
+  constexpr uint64_t kDispatches = 64 * 1024;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim(engine);
+    uint64_t remaining = kDispatches;
+    uint64_t lcg = 0x9e3779b97f4a7c15ull;
+    std::function<void()> tick = [&]() {
+      if (remaining > 0) {
+        --remaining;
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        sim.ScheduleAfter(100 + (lcg >> 33) % 10'000, tick);
+      }
+    };
+    for (uint64_t i = 0; i < kPending; ++i) {
+      sim.ScheduleAfter(100 + i, tick);
+    }
+    state.ResumeTiming();
+    sim.RunToCompletion();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDispatches + kPending));
+}
+BENCHMARK(BM_SimulatorSteadyState)->Arg(0)->Arg(1)->ArgName("engine");
 
 void BM_ObsCounterInc(benchmark::State& state) {
   // The per-event cost of the always-on metrics layer: a pointer chase and

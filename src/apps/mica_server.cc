@@ -167,10 +167,12 @@ void MicaServer::OnWake(Worker& worker) {
 void MicaServer::ForwardToHome(const Packet& pkt) {
   const uint32_t home =
       pkt.key_hash() % static_cast<uint32_t>(config_.num_threads);
-  Worker* target = &workers_[home];
-  sim_.ScheduleAfter(config_.forward_latency, [this, target, pkt]() {
-    target->forward_queue.push_back(pkt);
-    OnWake(*target);
+  forward_fifo_.push_back(pkt);
+  sim_.ScheduleAfter(config_.forward_latency, [this, home]() {
+    Worker& target = workers_[home];
+    target.forward_queue.push_back(std::move(forward_fifo_.front()));
+    forward_fifo_.pop_front();
+    OnWake(target);
   });
 }
 

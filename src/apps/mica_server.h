@@ -79,10 +79,6 @@ class MicaServer {
   int num_threads() const { return config_.num_threads; }
 
  private:
-  struct Forwarded {
-    Packet pkt;
-  };
-
   struct Worker {
     Thread* thread = nullptr;
     std::vector<Socket*> sockets;  // own AF_XDP or regular sockets
@@ -107,6 +103,11 @@ class MicaServer {
   MicaVariant variant_;
   Rng rng_;
   std::vector<Worker> workers_;
+  // Packets in transit on the inter-core queue. Every forward waits the
+  // same forward_latency, so in-order dispatch drains this FIFO front-first
+  // and the transit event captures only {this, home} — no Packet copy into
+  // the closure.
+  std::deque<Packet> forward_fifo_;
 
   Histogram latency_;
   uint64_t completed_ = 0;

@@ -28,18 +28,20 @@ class HashMap : public Map {
         buckets_(bucket_count_) {}
 
   void* DoLookup(const void* key) override {
-    Bucket& bucket = BucketFor(key);
+    const uint64_t hash = HashKey(key);
+    Bucket& bucket = BucketFor(hash);
     // Read-mostly path: lookups only walk the chain, so they share the
     // bucket; value mutation goes through Map::Atomic* after release.
     std::shared_lock<std::shared_mutex> lock(bucket.mu);
-    Node* node = FindLocked(bucket, key);
+    Node* node = FindLocked(bucket, key, hash);
     return node != nullptr ? node->value.get() : nullptr;
   }
 
   Status DoUpdate(const void* key, const void* value, UpdateFlag flag) override {
-    Bucket& bucket = BucketFor(key);
+    const uint64_t hash = HashKey(key);
+    Bucket& bucket = BucketFor(hash);
     std::unique_lock<std::shared_mutex> lock(bucket.mu);
-    Node* node = FindLocked(bucket, key);
+    Node* node = FindLocked(bucket, key, hash);
     if (node != nullptr) {
       if (flag == UpdateFlag::kNoExist) {
         return AlreadyExistsError("key already present");
@@ -54,6 +56,7 @@ class HashMap : public Map {
       return ResourceExhaustedError("map full");
     }
     auto fresh = std::make_unique<Node>();
+    fresh->hash = hash;
     fresh->key.assign(static_cast<const uint8_t*>(key),
                       static_cast<const uint8_t*>(key) + spec().key_size);
     fresh->value = std::make_unique<uint8_t[]>(spec().value_size);
@@ -65,11 +68,13 @@ class HashMap : public Map {
   }
 
   Status DoDelete(const void* key) override {
-    Bucket& bucket = BucketFor(key);
+    const uint64_t hash = HashKey(key);
+    Bucket& bucket = BucketFor(hash);
     std::unique_lock<std::shared_mutex> lock(bucket.mu);
     std::unique_ptr<Node>* link = &bucket.head;
     while (*link != nullptr) {
-      if (std::memcmp((*link)->key.data(), key, spec().key_size) == 0) {
+      if ((*link)->hash == hash &&
+          std::memcmp((*link)->key.data(), key, spec().key_size) == 0) {
         *link = std::move((*link)->next);
         size_.fetch_sub(1, std::memory_order_relaxed);
         return OkStatus();
@@ -97,6 +102,11 @@ class HashMap : public Map {
 
  private:
   struct Node {
+    // Full FNV-1a hash of `key`, computed once at insert. Chain walks
+    // compare it before touching key bytes: a 64-bit mismatch rejects
+    // non-matching nodes without a memcmp, so collision chains cost one
+    // integer compare per wrong node for keys of any size.
+    uint64_t hash = 0;
     std::vector<uint8_t> key;
     std::unique_ptr<uint8_t[]> value;
     std::unique_ptr<Node> next;
@@ -119,15 +129,19 @@ class HashMap : public Map {
     return static_cast<uint32_t>(p);
   }
 
-  Bucket& BucketFor(const void* key) {
-    const uint64_t h = Fnv1a64(key, spec().key_size);
-    return buckets_[h & (bucket_count_ - 1)];
+  uint64_t HashKey(const void* key) const {
+    return Fnv1a64(key, spec().key_size);
   }
 
-  Node* FindLocked(Bucket& bucket, const void* key) {
+  Bucket& BucketFor(uint64_t hash) {
+    return buckets_[hash & (bucket_count_ - 1)];
+  }
+
+  Node* FindLocked(Bucket& bucket, const void* key, uint64_t hash) {
     for (Node* node = bucket.head.get(); node != nullptr;
          node = node->next.get()) {
-      if (std::memcmp(node->key.data(), key, spec().key_size) == 0) {
+      if (node->hash == hash &&
+          std::memcmp(node->key.data(), key, spec().key_size) == 0) {
         return node;
       }
     }

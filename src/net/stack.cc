@@ -136,52 +136,67 @@ void HostStack::StartNext(int core) {
     return;
   }
   sc.busy = true;
-  Job job = std::move(sc.ring.front());
+  // The packet lives in the core's inflight slot until the completion event
+  // fires: the event itself captures only {this, core}, so it fits the
+  // simulator's inline callback storage and copies no packet bytes.
+  sc.inflight = std::move(sc.ring.front());
   sc.ring.pop_front();
+  sc.action = DeliverAction{};
+  sc.requeue_core = -1;
 
-  std::function<void()> deliver;
-  int requeue_core = -1;
-  const Duration cost = ProcessJob(core, job, deliver, requeue_core);
+  const Duration cost = ProcessJob(core, sc.inflight, sc.action,
+                                   sc.requeue_core);
   sc.busy_time += cost;
 
-  // Capture by value what the completion event needs.
-  Packet pkt = job.pkt;
-  sim_.ScheduleAfter(cost, [this, core, deliver = std::move(deliver),
-                            requeue_core, pkt = std::move(pkt)]() mutable {
-    if (requeue_core >= 0) {
-      m_.cpu_redirects->value += 1;
-      EnqueueJob(requeue_core, Job{std::move(pkt), Stage::kProtocol});
-    } else if (deliver) {
-      deliver();
+  sim_.ScheduleAfter(cost, [this, core]() { CompleteJob(core); });
+}
+
+void HostStack::CompleteJob(int core) {
+  SoftirqCore& sc = cores_[static_cast<size_t>(core)];
+  if (sc.requeue_core >= 0) {
+    m_.cpu_redirects->value += 1;
+    // Requeue is always to a *different* core (ProcessJob treats the same
+    // core as inline), so EnqueueJob never touches this core's state.
+    EnqueueJob(sc.requeue_core,
+               Job{std::move(sc.inflight.pkt), Stage::kProtocol});
+  } else {
+    switch (sc.action.kind) {
+      case DeliverAction::Kind::kNone:
+        break;
+      case DeliverAction::Kind::kPolicyDrop:
+        m_.policy_drops->value += 1;
+        break;
+      case DeliverAction::Kind::kAfxdp:
+        if (sc.action.socket->Enqueue(sc.inflight.pkt)) {
+          m_.delivered_afxdp->value += 1;
+        } else {
+          m_.socket_drops->value += 1;
+        }
+        break;
+      case DeliverAction::Kind::kGroup:
+        DeliverToGroupSocket(sc.inflight.pkt);
+        break;
     }
-    StartNext(core);
-  });
+  }
+  StartNext(core);
 }
 
 Duration HostStack::ProcessJob(int core, const Job& job,
-                               std::function<void()>& deliver,
-                               int& requeue_core) {
+                               DeliverAction& action, int& requeue_core) {
   const Packet& pkt = job.pkt;
   const PacketView view = PacketView::Of(pkt);
   Duration cost = 0;
 
-  auto drop = [this, &deliver]() {
-    deliver = [this]() { m_.policy_drops->value += 1; };
+  auto drop = [&action]() {
+    action = DeliverAction{DeliverAction::Kind::kPolicyDrop, nullptr};
   };
-  auto deliver_afxdp = [this, core, &deliver, &pkt](Decision d) -> bool {
+  auto deliver_afxdp = [this, core, &action](Decision d) -> bool {
     const auto& per_queue = af_xdp_sockets_[static_cast<size_t>(core)];
     if (d >= per_queue.size()) {
       m_.invalid_decisions->value += 1;
       return false;
     }
-    Socket* sock = per_queue[d].get();
-    deliver = [this, sock, pkt]() {
-      if (sock->Enqueue(pkt)) {
-        m_.delivered_afxdp->value += 1;
-      } else {
-        m_.socket_drops->value += 1;
-      }
-    };
+    action = DeliverAction{DeliverAction::Kind::kAfxdp, per_queue[d].get()};
     return true;
   };
 
@@ -249,8 +264,7 @@ Duration HostStack::ProcessJob(int core, const Job& job,
   if (hooks_.socket_select) {
     cost += config_.socket_policy_cost;
   }
-  Packet to_deliver = pkt;
-  deliver = [this, to_deliver]() { DeliverToGroupSocket(to_deliver); };
+  action = DeliverAction{DeliverAction::Kind::kGroup, nullptr};
   return cost;
 }
 
@@ -283,8 +297,9 @@ void HostStack::NotifySocketIdle(uint16_t port, Socket* socket) {
   }
   LateBindState& state = it->second;
   if (!state.buffer.empty()) {
-    // An input was waiting for exactly this moment: bind it now.
-    Packet pkt = state.buffer.front();
+    // An input was waiting for exactly this moment: bind it now (move the
+    // front out instead of copying it before the pop).
+    Packet pkt = std::move(state.buffer.front());
     state.buffer.pop_front();
     m_.late_bound->value += 1;
     if (socket->Enqueue(pkt)) {

@@ -148,13 +148,33 @@ class HostStack {
 
   struct Job {
     Packet pkt;
-    Stage stage;
+    Stage stage = Stage::kDriver;
+  };
+
+  // Where a processed packet goes when its softirq work completes. Kept as
+  // plain data (not a closure) so the completion event captures only
+  // {this, core}: the packet stays in the core's `inflight` slot and is
+  // never copied into per-event callback storage.
+  struct DeliverAction {
+    enum class Kind : uint8_t {
+      kNone,        // consumed earlier (e.g. ring drop)
+      kPolicyDrop,  // a policy returned DROP; count at completion time
+      kAfxdp,       // hand off to the AF_XDP socket in `socket`
+      kGroup,       // deliver through the dst-port reuseport group
+    };
+    Kind kind = Kind::kNone;
+    Socket* socket = nullptr;
   };
 
   struct SoftirqCore {
     std::deque<Job> ring;
     bool busy = false;
     Duration busy_time = 0;
+    // The job currently being processed on this core plus its completion
+    // plan; one per core since softirq processing is serialized.
+    Job inflight;
+    DeliverAction action;
+    int requeue_core = -1;
     // Flow-affinity cache: flow hash -> last time protocol state for the
     // flow was touched on this core.
     std::map<uint64_t, Time> flow_last_seen;
@@ -166,10 +186,14 @@ class HostStack {
 
   void EnqueueJob(int core, Job job);
   void StartNext(int core);
+  // Applies the core's recorded DeliverAction / requeue when the softirq
+  // cost event fires, then starts the next queued job.
+  void CompleteJob(int core);
   // Runs the post-driver / post-redirect part of the pipeline; returns the
-  // total processing cost and stashes the delivery action in `deliver`.
-  Duration ProcessJob(int core, const Job& job,
-                      std::function<void()>& deliver, int& requeue_core);
+  // total processing cost and stashes the delivery plan in `action` /
+  // `requeue_core`.
+  Duration ProcessJob(int core, const Job& job, DeliverAction& action,
+                      int& requeue_core);
   void DeliverToGroupSocket(const Packet& pkt);
 
   struct LateBindState {

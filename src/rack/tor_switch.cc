@@ -64,8 +64,14 @@ void TorSwitch::RxFromUplink(Packet pkt) {
   Map::AtomicFetchAdd(counter, 1);
 
   ++stats_.requests_forwarded;
+  tx_fifo_.emplace_back(port, std::move(pkt));
   sim_.ScheduleAfter(config_.pipeline_latency + config_.wire_latency,
-                     [this, port, pkt]() { tx_(port, pkt); });
+                     [this]() {
+                       const auto [out_port, out_pkt] =
+                           std::move(tx_fifo_.front());
+                       tx_fifo_.pop_front();
+                       tx_(out_port, out_pkt);
+                     });
 }
 
 void TorSwitch::RxFromServer(int port, const Packet& /*pkt*/) {

@@ -22,9 +22,11 @@
 #ifndef SYRUP_SRC_RACK_TOR_SWITCH_H_
 #define SYRUP_SRC_RACK_TOR_SWITCH_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/common/decision.h"
@@ -92,6 +94,12 @@ class TorSwitch {
   Simulator& sim_;
   TorSwitchConfig config_;
   TxFn tx_;
+  // Packets in flight between the match-action stage and the server link.
+  // Every forwarded packet waits the same pipeline+wire latency, so the
+  // in-order event dispatch drains this FIFO front-first; keeping packets
+  // here (instead of inside per-event closures) keeps the tx event capture
+  // at {this} and avoids a 64-byte packet copy per forward.
+  std::deque<std::pair<int, Packet>> tx_fifo_;
   std::map<uint16_t, std::shared_ptr<PacketPolicy>> tenant_programs_;
   std::shared_ptr<Map> outstanding_;
   TorSwitchStats stats_;

@@ -40,14 +40,14 @@ void NvmeDevice::StartNext(int queue) {
     return;
   }
   q.busy = true;
-  IoRequest request = q.pending.front();
+  q.inflight = q.pending.front();
   q.pending.pop_front();
-  const Duration service = ServiceTime(request);
+  const Duration service = ServiceTime(q.inflight);
   q.busy_time += service;
-  sim_.ScheduleAfter(service, [this, queue, request]() {
+  sim_.ScheduleAfter(service, [this, queue]() {
     ++stats_.completed;
     if (on_complete_) {
-      on_complete_(request, sim_.Now());
+      on_complete_(queues_[static_cast<size_t>(queue)].inflight, sim_.Now());
     }
     StartNext(queue);
   });

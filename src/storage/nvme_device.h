@@ -62,6 +62,10 @@ class NvmeDevice {
     std::deque<IoRequest> pending;
     bool busy = false;
     Duration busy_time = 0;
+    // The request currently on the flash channel. Service is serialized per
+    // queue, so one slot suffices; the completion event then captures only
+    // {this, queue} instead of copying the request into the closure.
+    IoRequest inflight;
   };
 
   void StartNext(int queue);

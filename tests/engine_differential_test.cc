@@ -1,0 +1,107 @@
+// Differential test: the pooled timing-wheel engine must reproduce the
+// reference heap engine bit-for-bit on the paper's experiment pipelines.
+// Determinism is contractual (same seed => same execution), so every numeric
+// result — throughputs, latency percentiles, drop fractions — must be
+// exactly equal, not approximately. `stats_json` is deliberately excluded:
+// it embeds wall-clock compile-time gauges that differ between any two runs.
+#include <gtest/gtest.h>
+
+#include "src/apps/experiments.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+// Scoped process-wide engine selection for the experiment harness, which
+// constructs its own Simulator internally.
+class ScopedEngine {
+ public:
+  explicit ScopedEngine(SimEngine engine) {
+    Simulator::SetDefaultEngine(engine);
+  }
+  ~ScopedEngine() { Simulator::ResetDefaultEngine(); }
+};
+
+RocksDbExperimentConfig SmallRocksDbConfig() {
+  RocksDbExperimentConfig config;
+  config.socket_policy = SocketPolicyKind::kScanAvoid;
+  config.load_rps = 60'000;
+  config.get_fraction = 0.995;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  config.seed = 7;
+  return config;
+}
+
+TEST(EngineDifferential, Fig2RocksDbBitExact) {
+  const RocksDbExperimentConfig config = SmallRocksDbConfig();
+  RocksDbResult wheel;
+  RocksDbResult reference;
+  {
+    ScopedEngine scope(SimEngine::kTimingWheel);
+    wheel = RunRocksDbExperiment(config);
+  }
+  {
+    ScopedEngine scope(SimEngine::kReference);
+    reference = RunRocksDbExperiment(config);
+  }
+  EXPECT_EQ(wheel.throughput_rps, reference.throughput_rps);
+  EXPECT_EQ(wheel.p50_us, reference.p50_us);
+  EXPECT_EQ(wheel.p99_us, reference.p99_us);
+  EXPECT_EQ(wheel.p99_get_us, reference.p99_get_us);
+  EXPECT_EQ(wheel.p99_scan_us, reference.p99_scan_us);
+  EXPECT_EQ(wheel.drop_fraction, reference.drop_fraction);
+  EXPECT_EQ(wheel.get_throughput_rps, reference.get_throughput_rps);
+  EXPECT_EQ(wheel.scan_throughput_rps, reference.scan_throughput_rps);
+}
+
+TEST(EngineDifferential, Fig9MicaBitExact) {
+  MicaExperimentConfig config;
+  config.variant = MicaVariant::kSwRedirect;  // exercises ForwardToHome
+  config.load_rps = 400'000;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  config.seed = 7;
+  MicaResult wheel;
+  MicaResult reference;
+  {
+    ScopedEngine scope(SimEngine::kTimingWheel);
+    wheel = RunMicaExperiment(config);
+  }
+  {
+    ScopedEngine scope(SimEngine::kReference);
+    reference = RunMicaExperiment(config);
+  }
+  EXPECT_EQ(wheel.throughput_rps, reference.throughput_rps);
+  EXPECT_EQ(wheel.p50_us, reference.p50_us);
+  EXPECT_EQ(wheel.p999_us, reference.p999_us);
+  EXPECT_EQ(wheel.drop_fraction, reference.drop_fraction);
+  EXPECT_EQ(wheel.redirected, reference.redirected);
+}
+
+TEST(EngineDifferential, Fig9MicaSyrupSwBitExact) {
+  MicaExperimentConfig config;
+  config.variant = MicaVariant::kSyrupSw;  // AF_XDP delivery path
+  config.load_rps = 400'000;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  config.seed = 7;
+  MicaResult wheel;
+  MicaResult reference;
+  {
+    ScopedEngine scope(SimEngine::kTimingWheel);
+    wheel = RunMicaExperiment(config);
+  }
+  {
+    ScopedEngine scope(SimEngine::kReference);
+    reference = RunMicaExperiment(config);
+  }
+  EXPECT_EQ(wheel.throughput_rps, reference.throughput_rps);
+  EXPECT_EQ(wheel.p50_us, reference.p50_us);
+  EXPECT_EQ(wheel.p999_us, reference.p999_us);
+  EXPECT_EQ(wheel.drop_fraction, reference.drop_fraction);
+  EXPECT_EQ(wheel.redirected, reference.redirected);
+}
+
+}  // namespace
+}  // namespace syrup

@@ -1,11 +1,57 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "src/sim/simulator.h"
 
+// Global allocation counter for the zero-allocation assertions. Sanitizer
+// builds interpose their own allocator, so counting is compiled out there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SYRUP_COUNT_GLOBAL_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define SYRUP_COUNT_GLOBAL_ALLOCS 0
+#else
+#define SYRUP_COUNT_GLOBAL_ALLOCS 1
+#endif
+#else
+#define SYRUP_COUNT_GLOBAL_ALLOCS 1
+#endif
+
+#if SYRUP_COUNT_GLOBAL_ALLOCS
+namespace {
+std::atomic<uint64_t> g_global_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_global_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size > 0 ? size : 1)) {
+    return ptr;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+#endif
+
 namespace syrup {
 namespace {
+
+uint64_t GlobalAllocs() {
+#if SYRUP_COUNT_GLOBAL_ALLOCS
+  return g_global_allocs.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
 
 TEST(Simulator, StartsAtZero) {
   Simulator sim;
@@ -126,6 +172,183 @@ TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
   sim.ScheduleAt(100, []() {});
   sim.RunToCompletion();
   EXPECT_DEATH(sim.ScheduleAt(50, []() {}), "scheduled in the past");
+}
+
+// --- pooled-engine specifics ------------------------------------------------
+
+TEST(SimulatorPool, StaleHandleCannotTouchRecycledSlot) {
+  Simulator sim(SimEngine::kTimingWheel);
+  bool a_fired = false;
+  bool b_fired = false;
+  EventHandle a = sim.ScheduleAt(10, [&]() { a_fired = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(a_fired);
+  EXPECT_FALSE(a.valid());
+  // B recycles A's pool slot (single free slot, LIFO freelist); A's stale
+  // handle must neither see nor cancel it.
+  EventHandle b = sim.ScheduleAt(20, [&]() { b_fired = true; });
+  a.Cancel();
+  EXPECT_TRUE(b.valid());
+  sim.RunToCompletion();
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(SimulatorPool, SelfCancelDuringDispatchIsInert) {
+  Simulator sim(SimEngine::kTimingWheel);
+  EventHandle handle;
+  bool chained_fired = false;
+  handle = sim.ScheduleAt(10, [&]() {
+    // The event is already running: cancelling it (or any stale alias of
+    // its slot) must not damage the slot or the event scheduled next, which
+    // will recycle it.
+    handle.Cancel();
+    sim.ScheduleAt(20, [&]() { chained_fired = true; });
+  });
+  sim.RunToCompletion();
+  EXPECT_TRUE(chained_fired);
+  EXPECT_EQ(sim.Now(), 20u);
+}
+
+TEST(SimulatorPool, StopMidDispatchPreservesWheelState) {
+  Simulator sim(SimEngine::kTimingWheel);
+  std::vector<int> order;
+  // Spread across many level-0 ticks and into level 1.
+  for (int i = 0; i < 50; ++i) {
+    sim.ScheduleAt(100 + static_cast<Time>(i) * 1000,
+                   [&order, i]() { order.push_back(i); });
+  }
+  sim.ScheduleAt(100 + 25 * 1000 + 1, [&]() { sim.Stop(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order.size(), 26u);  // 0..25 ran, then the stop event
+  // Resume: the remaining events dispatch in order with nothing lost.
+  sim.RunToCompletion();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorPool, FarFutureTimersCrossWheelLevelsAndOverflow) {
+  Simulator sim(SimEngine::kTimingWheel);
+  // Exponentially spread timers: levels 0..3 and, beyond ~4.3 s, the
+  // overflow heap (2^32 ns exceeds the wheel span of 2^24 ticks * 256 ns).
+  std::vector<Time> times;
+  for (int k = 0; k < 40; ++k) {
+    times.push_back((Time{1} << k) + static_cast<Time>(k) * 7);
+  }
+  std::vector<Time> fired;
+  // Schedule in reverse so arrival order disagrees with time order.
+  for (auto it = times.rbegin(); it != times.rend(); ++it) {
+    const Time when = *it;
+    sim.ScheduleAt(when, [&fired, &sim]() { fired.push_back(sim.Now()); });
+  }
+  sim.RunToCompletion();
+  EXPECT_GT(sim.engine_stats().overflow_inserts, 0u);
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(fired, times);
+}
+
+struct SteadyTick {
+  Simulator* sim;
+  uint64_t* remaining;
+  uint64_t* lcg;
+  void operator()() const {
+    if (*remaining > 0) {
+      --*remaining;
+      *lcg = *lcg * 6364136223846793005ull + 1442695040888963407ull;
+      sim->ScheduleAfter(100 + (*lcg >> 33) % 5'000,
+                         SteadyTick{sim, remaining, lcg});
+    }
+  }
+};
+
+TEST(SimulatorPool, SteadyStateDispatchDoesNotAllocate) {
+  Simulator sim(SimEngine::kTimingWheel);
+  uint64_t remaining = 20'000;
+  uint64_t lcg = 999;
+  for (uint64_t i = 0; i < 64; ++i) {
+    sim.ScheduleAfter(100 + i, SteadyTick{&sim, &remaining, &lcg});
+  }
+  // Warmup: grow the pool, ready heap, and wheel to their high-water marks.
+  while (remaining > 10'000) {
+    sim.RunUntil(sim.Now() + 100 * kMicrosecond);
+  }
+  const uint64_t internal_before = sim.engine_stats().internal_allocs();
+  const uint64_t global_before = GlobalAllocs();
+  sim.RunToCompletion();
+  EXPECT_GT(sim.engine_stats().dispatched, 19'000u);
+  // The engine's own accounting and the process-wide operator new both
+  // agree: a steady-state schedule/dispatch window allocates nothing.
+  EXPECT_EQ(sim.engine_stats().internal_allocs(), internal_before);
+  EXPECT_EQ(GlobalAllocs(), global_before);
+}
+
+TEST(SimulatorPool, LargeCallbacksSpillToHeapAndStillRun) {
+  Simulator sim(SimEngine::kTimingWheel);
+  // 64 bytes of captured payload: over the inline budget, so the engine
+  // heap-boxes the callback and counts it.
+  uint64_t payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint64_t sum = 0;
+  sim.ScheduleAt(10, [payload, &sum]() {
+    for (uint64_t v : payload) {
+      sum += v;
+    }
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(sum, 36u);
+  EXPECT_EQ(sim.engine_stats().large_callbacks, 1u);
+}
+
+// Randomized schedule/cancel program dispatched on both engines: traces
+// (event identity and final clock) must match exactly. The program mixes
+// same-time ties, nested scheduling from callbacks, cancellations, a
+// partial RunUntil, and far-future times that exercise the overflow heap.
+std::vector<uint64_t> DifferentialTrace(SimEngine engine) {
+  Simulator sim(engine);
+  std::vector<uint64_t> trace;
+  uint64_t lcg = 0xabcdef12345ull;
+  auto rnd = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  std::vector<EventHandle> handles;
+  for (uint64_t id = 0; id < 400; ++id) {
+    const Time when = (rnd() % 64) == 0
+                          ? 4'500'000'000ull + rnd() % 1'000'000'000ull
+                          : rnd() % 50'000'000ull;
+    handles.push_back(sim.ScheduleAt(when, [&trace, &sim, id]() {
+      trace.push_back(id);
+      if (id % 3 == 0) {
+        sim.ScheduleAfter(1 + id % 1'000, [&trace, id]() {
+          trace.push_back(10'000 + id);
+        });
+      }
+    }));
+  }
+  for (size_t i = 0; i < handles.size(); i += 7) {
+    handles[i].Cancel();
+  }
+  sim.RunUntil(20'000'000);
+  trace.push_back(sim.engine_stats().dispatched);
+  sim.RunToCompletion();
+  trace.push_back(sim.Now());
+  trace.push_back(sim.engine_stats().dispatched);
+  return trace;
+}
+
+TEST(SimulatorDifferential, WheelMatchesReferenceOnRandomProgram) {
+  EXPECT_EQ(DifferentialTrace(SimEngine::kTimingWheel),
+            DifferentialTrace(SimEngine::kReference));
+}
+
+TEST(Simulator, DefaultEngineOverrideIsHonored) {
+  Simulator::SetDefaultEngine(SimEngine::kReference);
+  Simulator ref_sim;
+  EXPECT_EQ(ref_sim.engine(), SimEngine::kReference);
+  Simulator::SetDefaultEngine(SimEngine::kTimingWheel);
+  Simulator wheel_sim;
+  EXPECT_EQ(wheel_sim.engine(), SimEngine::kTimingWheel);
+  Simulator::ResetDefaultEngine();
 }
 
 }  // namespace
