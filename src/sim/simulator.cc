@@ -112,20 +112,38 @@ void Simulator::PushOverflow(HeapEntry entry) {
   std::push_heap(overflow_.begin(), overflow_.end(), HeapAfter{});
 }
 
+bool Simulator::FitsWheel(uint64_t tick) const {
+  // The wheel addresses exactly the aligned span window containing
+  // cur_tick_: outside it the top level's bucket for `tick` coincides with
+  // the bucket covering cur_tick_, which must stay empty.
+  return (tick >> (kLevelBits * kLevels)) ==
+         (cur_tick_ >> (kLevelBits * kLevels));
+}
+
 void Simulator::InsertPending(uint32_t idx) {
   EventSlot& slot = SlotAt(idx);
   const uint64_t tick = slot.when >> kTickShift;
-  const uint64_t distance = tick - cur_tick_;  // when >= now_ => tick >= cur
-  if (distance == 0) {
+  // tick < cur_tick_ is reachable: a partial RunUntil advances the wheel to
+  // the next occupied tick even when its events sit past the horizon, and a
+  // later ScheduleAt may target the gap that was skipped. Such events (and
+  // current-tick ones) go straight into the ready heap, which keeps the
+  // global (when, seq) order because every wheel/overflow event has
+  // tick > cur_tick_ and therefore a strictly later time.
+  if (tick <= cur_tick_) {
     PushReady(HeapEntry{slot.when, slot.seq, idx});
     return;
   }
-  if (distance >= kWheelSpanTicks) {
+  if (!FitsWheel(tick)) {
     ++stats_.overflow_inserts;
     PushOverflow(HeapEntry{slot.when, slot.seq, idx});
     return;
   }
-  const int level = (std::bit_width(distance) - 1) / kLevelBits;
+  // The highest bit where tick and cur_tick_ differ picks the level; that
+  // guarantees the target bucket differs from the one covering cur_tick_.
+  // (A distance-based level underestimates when the window delta wraps a
+  // full revolution: cur_tick_=63, tick=4158 has distance 4095 => level 1,
+  // but both ticks share level-1 bucket 0 and the event would be lost.)
+  const int level = (std::bit_width(tick ^ cur_tick_) - 1) / kLevelBits;
   const uint32_t pos =
       static_cast<uint32_t>(tick >> (kLevelBits * level)) & (kSlotsPerLevel - 1);
   slot.next = buckets_[level][pos];
@@ -169,9 +187,16 @@ void Simulator::AdvanceTo(uint64_t tick) {
   // ready_ is empty here (RefillReady only advances an exhausted window), so
   // appending raw and heapifying once beats per-element push_heap.
   splicing_ready_ = true;
-  // Far-future events that fell inside the wheel span re-file normally.
-  while (!overflow_.empty() &&
-         (overflow_.front().when >> kTickShift) - cur_tick_ < kWheelSpanTicks) {
+  // Far-future events that fell inside the wheel's window re-file normally.
+  // The drain condition mirrors InsertPending's overflow criterion exactly,
+  // so a popped event can never bounce back into overflow (which would make
+  // it the front again and loop forever). Overflow is a min-heap on when, so
+  // once the front is out of the window every later entry is too.
+  while (!overflow_.empty()) {
+    const uint64_t otick = overflow_.front().when >> kTickShift;
+    if (otick > cur_tick_ && !FitsWheel(otick)) {
+      break;
+    }
     const uint32_t idx = overflow_.front().slot;
     std::pop_heap(overflow_.begin(), overflow_.end(), HeapAfter{});
     overflow_.pop_back();
@@ -319,6 +344,10 @@ uint64_t Simulator::RunReference(Time horizon, bool advance_clock_on_idle) {
       continue;
     }
     now_ = event.when;
+    // Dispatch invalidates handles, matching the pooled engine's generation
+    // bump before the callback runs (valid() -> false, Cancel() -> no-op,
+    // including from inside the callback itself).
+    *event.cancelled = true;
     event.fn();
     ++dispatched;
   }

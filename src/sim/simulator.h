@@ -11,11 +11,12 @@
 //    slab-allocated pool with intrusive freelist/bucket links, callbacks are
 //    stored inline (up to kInlineCallbackBytes of captures; larger closures
 //    fall back to the heap and are counted), and pending events sit in a
-//    4-level x 64-slot hierarchical timing wheel (256 ns level-0 ticks,
-//    ~4.3 s span, min-heap overflow beyond that). Events whose tick equals
-//    the current wheel position sit in a tiny (time, seq) binary heap, so
-//    the dispatch order is bit-identical to a single global heap while
-//    schedule/dispatch cost stays O(1) amortized.
+//    4-level x 64-slot hierarchical timing wheel (256 ns level-0 ticks; the
+//    wheel addresses the aligned ~4.3 s window containing the current tick,
+//    with a min-heap overflow beyond it). Events at or before the current
+//    wheel position sit in a tiny (time, seq) binary heap, so the dispatch
+//    order is bit-identical to a single global heap while schedule/dispatch
+//    cost stays O(1) amortized.
 //
 //  * kReference: the original std::function + shared_ptr<bool> +
 //    std::priority_queue engine, kept verbatim as a differential oracle.
@@ -53,10 +54,12 @@ enum class SimEngine {
 };
 
 // Handle used to cancel a pending event. Cancellation is O(1): the event is
-// marked dead and skipped at dispatch time. Handles are generation-checked:
-// once the event fires (or its pool slot is recycled), stale handles become
-// inert — Cancel() on them is a no-op and valid() returns false. Handles
-// must not outlive their Simulator.
+// marked dead and skipped at dispatch time. Once the event fires (or its
+// pool slot is recycled), stale handles become inert — Cancel() on them is a
+// no-op and valid() returns false — and both engines agree on this: the
+// pooled engine bumps the slot generation and the reference engine sets the
+// shared cancellation cell at dispatch. Handles must not outlive their
+// Simulator.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -171,8 +174,6 @@ class Simulator {
   static constexpr int kLevelBits = 6;   // 64 slots per level
   static constexpr int kLevels = 4;      // span: 2^(8+6*4) ns ~= 4.3 s
   static constexpr uint32_t kSlotsPerLevel = 1u << kLevelBits;
-  static constexpr uint64_t kWheelSpanTicks = uint64_t{1}
-                                              << (kLevelBits * kLevels);
 
   // One pooled event. `next` threads the slot through the freelist or a
   // wheel bucket; `gen` increments on every recycle so stale EventHandles
@@ -244,8 +245,11 @@ class Simulator {
   void ReleaseSlot(uint32_t idx);
   void DestroyCallback(EventSlot& slot);
 
-  // Files a live slot into the ready heap / wheel / overflow by its
-  // distance from the current wheel position.
+  // True when `tick` lies in the aligned span window the wheel currently
+  // addresses; events outside it wait in the overflow heap.
+  bool FitsWheel(uint64_t tick) const;
+  // Files a live slot into the ready heap (tick <= cur_tick_), the wheel, or
+  // the overflow heap.
   void InsertPending(uint32_t idx);
   void PushReady(HeapEntry entry);
   void PushOverflow(HeapEntry entry);
@@ -301,8 +305,8 @@ class Simulator {
   size_t pending_ = 0;
   uint64_t cur_tick_ = 0;  // wheel position: the tick the ready heap covers
   bool splicing_ready_ = false;  // AdvanceTo defers heapification to its end
-  std::vector<HeapEntry> ready_;     // events with tick == cur_tick_
-  std::vector<HeapEntry> overflow_;  // min-heap of events beyond the span
+  std::vector<HeapEntry> ready_;     // events with tick <= cur_tick_
+  std::vector<HeapEntry> overflow_;  // min-heap of events beyond the window
   uint64_t occupied_[kLevels] = {};  // per-level bucket occupancy bitmap
   uint32_t buckets_[kLevels][kSlotsPerLevel];  // slot-index list heads
 
@@ -312,7 +316,9 @@ class Simulator {
 
 inline bool EventHandle::valid() const {
   if (cancelled_ != nullptr) {
-    return true;
+    // Reference engine: dispatch sets the shared cell, so fired events read
+    // as invalid here exactly like recycled pooled slots do.
+    return !*cancelled_;
   }
   return sim_ != nullptr && sim_->PooledValid(slot_, gen_);
 }

@@ -248,6 +248,77 @@ TEST(SimulatorPool, FarFutureTimersCrossWheelLevelsAndOverflow) {
   EXPECT_EQ(fired, times);
 }
 
+TEST(SimulatorPool, FullLevelRevolutionDistanceIsNotLost) {
+  // Regression: a delta whose window delta wraps a full level revolution
+  // (dispatch at tick 63, then +4095 ticks => level-1 window delta of
+  // exactly 64) used to be filed into the bucket covering cur_tick_, which
+  // NextOccupiedTick treats as always empty — the event never fired.
+  Simulator sim(SimEngine::kTimingWheel);
+  bool fired = false;
+  sim.ScheduleAt(63 * 256, [&]() {
+    sim.ScheduleAfter(4095 * 256, [&]() { fired = true; });
+  });
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.Now(), Time{63 * 256} + 4095 * 256);
+}
+
+TEST(SimulatorPool, RevolutionBoundariesFireFromEveryAnchor) {
+  // Anchors sit just below each level's rollover; deltas straddle every
+  // level's full revolution (64^k - 1, 64^k, 64^k + 1 ticks) so the window
+  // delta wraps at each level and crosses the overflow boundary. Each pair
+  // runs in its own simulator: with no unrelated event advancing the wheel,
+  // a misfiled bucket can never be rescued by a coincidental cascade.
+  for (const Time anchor :
+       {Time{63} * 256, Time{4095} * 256, ((Time{1} << 18) - 1) * 256,
+        ((Time{1} << 24) - 1) * 256}) {
+    for (int level = 1; level <= 4; ++level) {
+      const uint64_t revolution = uint64_t{1} << (6 * level);
+      for (const uint64_t delta : {revolution - 1, revolution, revolution + 1}) {
+        Simulator sim(SimEngine::kTimingWheel);
+        Time fired = 0;
+        sim.ScheduleAt(anchor, [&sim, &fired, delta]() {
+          sim.ScheduleAfter(delta * 256, [&sim, &fired]() { fired = sim.Now(); });
+        });
+        sim.RunToCompletion();
+        EXPECT_EQ(fired, anchor + delta * 256)
+            << "anchor " << anchor << " delta " << delta;
+        EXPECT_EQ(sim.pending_events(), 0u);
+      }
+    }
+  }
+}
+
+TEST(SimulatorPool, EarlierEventScheduledAfterPartialRunDispatchesFirst) {
+  // Regression: RefillReady advances the wheel to the next occupied tick
+  // even when that tick's events turn out to be past the horizon. An event
+  // then scheduled into the skipped gap underflowed the insertion distance,
+  // landed in overflow, and dispatched after the later event — with Now()
+  // running backward.
+  Simulator sim(SimEngine::kTimingWheel);
+  std::vector<Time> fired;
+  auto record = [&fired, &sim]() { fired.push_back(sim.Now()); };
+  sim.ScheduleAt(1124, record);
+  EXPECT_EQ(sim.RunUntil(1074), 0u);
+  sim.ScheduleAt(500, record);
+  sim.RunUntil(2000);
+  EXPECT_EQ(fired, (std::vector<Time>{500, 1124}));
+}
+
+TEST(Simulator, FiredHandleIsInvalidOnBothEngines) {
+  for (const SimEngine engine :
+       {SimEngine::kTimingWheel, SimEngine::kReference}) {
+    Simulator sim(engine);
+    EventHandle handle = sim.ScheduleAt(10, []() {});
+    EXPECT_TRUE(handle.valid());
+    sim.RunToCompletion();
+    EXPECT_FALSE(handle.valid());
+    handle.Cancel();  // inert on a fired event
+    EXPECT_EQ(sim.engine_stats().cancelled, 0u);
+  }
+}
+
 struct SteadyTick {
   Simulator* sim;
   uint64_t* remaining;
