@@ -288,6 +288,31 @@ void BM_SyrupdDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SyrupdDispatch);
 
+// Dispatch with a verifier-cacheable bytecode policy: arg 1 = flow cache
+// on (steady-state hits, the policy VM never runs), arg 0 = off (the
+// compiled policy executes per packet). The gap is the flow-decision
+// cache's per-packet win; the cache-on number also guards the hit path
+// (MakeKey + probe) against regressions, and the raw-pointer dispatch
+// refactor (PortEntry::policy_raw) keeps shared_ptr refcount traffic off
+// both variants.
+void BM_SyrupdDispatchCacheable(benchmark::State& state) {
+  Simulator sim;
+  HostStack stack(sim, StackConfig{});
+  Syrupd syrupd(sim, &stack);
+  syrupd.set_flow_cache_enabled(state.range(0) != 0);
+  const AppId app = syrupd.RegisterApp("bench", /*uid=*/1000, 9000).value();
+  (void)syrupd.DeployPolicyFile(app, MicaHomePolicyAsm(6), Hook::kSocketSelect)
+      .value();
+  const Packet pkt = BenchPacket();
+  const PacketView view = PacketView::Of(pkt);
+  SteerHook& dispatch = stack.hooks().socket_select;
+  (void)dispatch(view);  // warm: populate the flow's cache entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatch(view));
+  }
+}
+BENCHMARK(BM_SyrupdDispatchCacheable)->Arg(0)->Arg(1)->ArgName("cache");
+
 void BM_FiveTupleHash(benchmark::State& state) {
   FiveTuple tuple{0x0a000001, 0x0a0000ff, 20'000, 9000, 17};
   for (auto _ : state) {

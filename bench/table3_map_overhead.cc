@@ -35,12 +35,13 @@ constexpr std::chrono::nanoseconds kPcieRoundTrip{23'500};
 
 enum class OpKind { kGet, kUpdate };
 
-double MeasureNs(Map& map, OpKind op, int iters) {
+double MeasureNs(Map& map, OpKind op, int iters,
+                 uint32_t elements = kElements) {
   Rng rng(9);
   volatile uint64_t sink = 0;
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < iters; ++i) {
-    const uint32_t key = static_cast<uint32_t>(rng.NextBounded(kElements));
+    const uint32_t key = static_cast<uint32_t>(rng.NextBounded(elements));
     if (op == OpKind::kGet) {
       void* value = map.Lookup(&key);
       if (value != nullptr) {
@@ -59,17 +60,26 @@ double MeasureNs(Map& map, OpKind op, int iters) {
 // Antagonist mix matters since the hash map's buckets moved to reader/
 // writer locks: a read-only antagonist shares every bucket lock with the
 // measured thread, a mixed one still takes them exclusive half the time.
-enum class Antagonist { kNone, kReadOnly, kMixed };
+// kBump models the datapath: per-packet atomic counter increments through
+// the value pointer, dirtying the counters' cache lines continuously.
+enum class Antagonist { kNone, kReadOnly, kMixed, kBump };
 
 double MeasureContendedNs(Map& map, OpKind op, int iters,
-                          Antagonist antagonist_kind) {
+                          Antagonist antagonist_kind,
+                          uint32_t elements = kElements) {
   std::atomic<bool> stop_flag{false};
-  std::thread antagonist([&map, &stop_flag, antagonist_kind]() {
+  std::thread antagonist([&map, &stop_flag, antagonist_kind, elements]() {
     Rng rng(77);
     uint64_t value = 0;
     while (!stop_flag.load(std::memory_order_relaxed)) {
-      const uint32_t key = static_cast<uint32_t>(rng.NextBounded(kElements));
-      if (antagonist_kind == Antagonist::kReadOnly || (key & 1) != 0) {
+      const uint32_t key = static_cast<uint32_t>(rng.NextBounded(elements));
+      if (antagonist_kind == Antagonist::kBump) {
+        void* cell = map.Lookup(&key);
+        if (cell != nullptr) {
+          Map::AtomicFetchAdd(cell, 1);
+        }
+      } else if (antagonist_kind == Antagonist::kReadOnly ||
+                 (key & 1) != 0) {
         (void)map.Lookup(&key);
       } else {
         (void)map.Update(&key, &value, UpdateFlag::kAny);
@@ -77,7 +87,7 @@ double MeasureContendedNs(Map& map, OpKind op, int iters,
       ++value;
     }
   });
-  const double ns = MeasureNs(map, op, iters);
+  const double ns = MeasureNs(map, op, iters, elements);
   stop_flag.store(true);
   antagonist.join();
   return ns;
@@ -110,6 +120,28 @@ void Run() {
   offload.BindCounters(
       MapOpCounters::InRegistry(syrupd.metrics(), "t3", "offload"));
 
+  // Counter-map pair for the read-contended comparison: a flat shared
+  // array vs the per-CPU variant (each thread reads/writes its own shard,
+  // so the antagonist never touches the measured thread's cache lines).
+  // Counter maps are small — one slot per executor/user — so on the flat
+  // array the antagonist's traffic lands on the same few cache lines the
+  // measured thread is using; that false sharing is exactly what the
+  // per-CPU variant removes.
+  constexpr uint32_t kCounterElements = 64;
+  MapSpec array_spec;
+  array_spec.type = MapType::kArray;
+  array_spec.max_entries = kCounterElements;
+  array_spec.name = "flat_counters";
+  MapHandle array_handle =
+      client.MapCreate(array_spec, "/syrup/t3/flat_counters").value();
+  std::shared_ptr<Map> flat = array_handle.map();
+  MapSpec percpu_spec = array_spec;
+  percpu_spec.type = MapType::kPerCpuArray;
+  percpu_spec.name = "percpu_counters";
+  MapHandle percpu_handle =
+      client.MapCreate(percpu_spec, "/syrup/t3/percpu_counters").value();
+  std::shared_ptr<Map> percpu = percpu_handle.map();
+
   constexpr int kHostIters = 2'000'000;
   constexpr int kOffloadIters = 4'000;
 
@@ -121,6 +153,7 @@ void Run() {
     Map& map;
     int iters;
     Antagonist antagonist;
+    uint32_t elements = kElements;
   };
   Row rows[] = {
       {"Host", "host", *host, kHostIters, Antagonist::kNone},
@@ -131,6 +164,15 @@ void Run() {
        Antagonist::kReadOnly},
       {"Host Contended", "host_contended", *host, kHostIters,
        Antagonist::kMixed},
+      // The counter-map comparison: reads contended by a datapath thread
+      // bumping the same counters. On the flat array every bump dirties
+      // the line the measured thread is about to read; the per-CPU
+      // variant's bumps land in the antagonist's own shard, so the
+      // measured thread's lines stay clean.
+      {"Array Rd-Contended", "array_read_contended", *flat, kHostIters,
+       Antagonist::kBump, kCounterElements},
+      {"PerCPU Rd-Contended", "percpu_read_contended", *percpu, kHostIters,
+       Antagonist::kBump, kCounterElements},
       {"Offload", "offload", offload, kOffloadIters, Antagonist::kNone},
       {"Offload Contended", "offload_contended", offload, kOffloadIters,
        Antagonist::kMixed},
@@ -140,13 +182,13 @@ void Run() {
     const double get_ns =
         row.antagonist != Antagonist::kNone
             ? MeasureContendedNs(row.map, OpKind::kGet, row.iters,
-                                 row.antagonist)
-            : MeasureNs(row.map, OpKind::kGet, row.iters);
+                                 row.antagonist, row.elements)
+            : MeasureNs(row.map, OpKind::kGet, row.iters, row.elements);
     const double update_ns =
         row.antagonist != Antagonist::kNone
             ? MeasureContendedNs(row.map, OpKind::kUpdate, row.iters,
-                                 row.antagonist)
-            : MeasureNs(row.map, OpKind::kUpdate, row.iters);
+                                 row.antagonist, row.elements)
+            : MeasureNs(row.map, OpKind::kUpdate, row.iters, row.elements);
     metrics.GetGauge("t3", "latency", std::string(row.key) + ".get_ns")
         ->Set(static_cast<int64_t>(get_ns));
     metrics.GetGauge("t3", "latency", std::string(row.key) + ".update_ns")
@@ -180,7 +222,13 @@ void Run() {
       "crossing.\n"
       "# Rd-Contended (reader-only antagonist) tracks the uncontended row: "
       "bucket locks are\n"
-      "# shared_mutex, so concurrent lookups do not serialize.\n");
+      "# shared_mutex, so concurrent lookups do not serialize.\n"
+      "# Array vs PerCPU Rd-Contended: reads against a datapath thread "
+      "bumping the same 64\n"
+      "# counters. The per-CPU array shards values per thread, so the "
+      "measured thread never\n"
+      "# shares a cache line with the bumper (the paper's fix for contended "
+      "counter maps).\n");
   if (std::thread::hardware_concurrency() < 2) {
     std::printf(
         "# NOTE: this machine exposes a single CPU; 'Contended' rows are "

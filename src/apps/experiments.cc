@@ -42,6 +42,7 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack, config.seed);
   syrupd.set_exec_mode(config.exec_mode);
+  syrupd.set_flow_cache_enabled(config.flow_cache);
   const AppId app =
       syrupd.RegisterApp("rocksdb", kAppUid, kRocksDbPort).value();
 
@@ -360,6 +361,7 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack, config.seed);
   syrupd.set_exec_mode(config.exec_mode);
+  syrupd.set_flow_cache_enabled(config.flow_cache);
   const AppId app = syrupd.RegisterApp("mica", kAppUid, kMicaPort).value();
 
   Machine machine(sim, config.num_threads);

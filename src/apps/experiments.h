@@ -41,6 +41,10 @@ struct RocksDbExperimentConfig {
   bool use_bytecode = false;
   // Execution tier for bytecode deployments (ignored without use_bytecode).
   bpf::ExecMode exec_mode = bpf::ExecMode::kCompiled;
+  // Flow-decision cache (src/core/flow_cache.h). Cacheable policies are
+  // pure, so results are bit-identical either way (asserted by
+  // tests/flow_cache_differential_test.cc); off is the ablation.
+  bool flow_cache = true;
   // Late binding at the socket layer (paper §6.3 extension): buffer
   // datagrams centrally and match them to sockets whose worker is idle.
   bool late_binding = false;
@@ -114,6 +118,8 @@ struct MicaExperimentConfig {
   bool use_bytecode = false;
   // Execution tier for bytecode deployments (ignored without use_bytecode).
   bpf::ExecMode exec_mode = bpf::ExecMode::kCompiled;
+  // Flow-decision cache toggle (see RocksDbExperimentConfig::flow_cache).
+  bool flow_cache = true;
   Duration warmup = 100 * kMillisecond;
   Duration measure = 500 * kMillisecond;
   uint64_t seed = 1;

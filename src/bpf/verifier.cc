@@ -738,6 +738,13 @@ class Verifier {
     if (report_->ok()) {
       report_->facts.visited = visited_pc_;
       report_->facts.edges = edges_;
+      // Purity summary: only packet programs have a flow key to memoize
+      // under; thread classifiers are invoked per scheduling event, not
+      // per packet, and stay uncacheable.
+      report_->facts.cacheable =
+          cacheable_ && context_ == ProgramContext::kPacket;
+      report_->facts.pkt_read_mask = pkt_read_mask_;
+      report_->facts.read_maps.assign(read_maps_.begin(), read_maps_.end());
       EmitWarnings();
     }
   }
@@ -1038,6 +1045,20 @@ class Verifier {
     }
   }
 
+  // Folds a proven-in-bounds packet read span [lo, last) into the read-set
+  // mask. A variable-offset read contributes its whole interval (any byte
+  // in it may influence the decision). Spans past the mask's 64-byte reach
+  // cannot be keyed, so they make the program uncacheable instead.
+  void NotePacketRead(int64_t lo, int64_t last) {
+    if (last > AnalysisFacts::kMaxTrackedPktBytes) {
+      cacheable_ = false;
+      return;
+    }
+    for (int64_t i = lo; i < last; ++i) {
+      pkt_read_mask_ |= uint64_t{1} << i;
+    }
+  }
+
   // Validates a memory access through `ptr` whose offset may span
   // [off_min, off_max]: every offset in the interval must be in bounds.
   // For stack reads also checks initialization; stack writes at a constant
@@ -1061,6 +1082,7 @@ class Verifier {
                           std::to_string(st.pkt_range) +
                           " (missing bounds check against pkt_end?)");
         }
+        NotePacketRead(lo, hi + size);
         return OkStatus();
       }
       case RegKind::kStackPtr: {
@@ -1097,6 +1119,12 @@ class Verifier {
         const auto& spec = prog_.maps[ptr.map_index]->spec();
         if (lo < 0 || hi + size > static_cast<int64_t>(spec.value_size)) {
           return Fail(pc, "map value access out of bounds");
+        }
+        if (is_write) {
+          // In-place map mutation (stores or atomics through the value
+          // pointer) makes the program observable-state-changing: the
+          // flow-decision cache must never skip running it.
+          cacheable_ = false;
         }
         return OkStatus();
       }
@@ -1422,6 +1450,7 @@ class Verifier {
         lookup_map = st.regs[1].map_index;
         const auto& spec = prog_.maps[lookup_map]->spec();
         SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(st, pc, 2, spec.key_size));
+        read_maps_.insert(lookup_map);
         break;
       }
       case HelperId::kMapUpdateElem: {
@@ -1451,6 +1480,13 @@ class Verifier {
       }
       default:
         return Fail(pc, "unknown helper " + std::to_string(insn.imm));
+    }
+
+    // Purity: map mutations have side effects; randomness and the clock
+    // make the decision depend on more than (packet bytes, map contents);
+    // a tail call's target program is outside this analysis.
+    if (helper != HelperId::kMapLookupElem) {
+      cacheable_ = false;
     }
 
     // r0 holds the result; argument registers are clobbered.
@@ -1636,6 +1672,13 @@ class Verifier {
 
   std::unordered_map<size_t, std::vector<Stored>> prune_states_;
   std::vector<UndoneRef> undone_;
+
+  // Purity / read-set summary accumulated across every explored path
+  // (soundness wants the union over all paths, so plain member state that
+  // only ever grows is exactly right).
+  bool cacheable_ = true;
+  uint64_t pkt_read_mask_ = 0;
+  std::set<int32_t> read_maps_;
 
   std::set<std::pair<size_t, std::string>> seen_;  // diagnostic dedup
   std::set<size_t> lookup_sites_;

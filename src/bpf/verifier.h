@@ -76,12 +76,30 @@ struct VerifierStats {
 // a conditional branch whose edges were only ever resolved one way can be
 // rewritten to an unconditional jump (or dropped). Both vectors are sized
 // to the program; `edges` is meaningful for conditional jumps only.
+//
+// The purity summary feeds the flow-decision cache (docs/DESIGN.md): a
+// packet program is `cacheable` iff its result is a pure function of the
+// packet bytes it reads plus the current contents of the maps it reads —
+// no map writes/deletes, no randomness, no clock reads, no tail calls,
+// and every packet read at a statically bounded offset below 64 bytes.
+// `pkt_read_mask` (bit i set = packet byte i may be read on some path)
+// plus the packet length then form an exact memoization key, and
+// `read_maps` names the program map indices whose version stamps must be
+// folded into each cached entry's invalidation signature.
 struct AnalysisFacts {
   static constexpr uint8_t kEdgeFall = 1;   // fall-through edge feasible
   static constexpr uint8_t kEdgeTaken = 2;  // taken edge feasible
+  // Packet offsets the read-set summary can express. Programs touching
+  // bytes at or past this offset are conservatively uncacheable.
+  static constexpr int64_t kMaxTrackedPktBytes = 64;
 
   std::vector<uint8_t> visited;  // reached on some verified path
   std::vector<uint8_t> edges;    // OR of feasible edges per cond jump
+
+  // --- purity / read-set summary (flow-decision cache) -------------------
+  bool cacheable = false;          // decision memoizable per flow key
+  uint64_t pkt_read_mask = 0;      // bit i: packet byte i may be read
+  std::vector<int32_t> read_maps;  // program map indices read via lookup
 
   bool empty() const { return visited.empty(); }
 };

@@ -1,0 +1,142 @@
+#include "src/core/flow_cache.h"
+
+#include "src/common/hash.h"
+
+namespace syrup {
+
+FlowCacheBinding FlowCacheBinding::ForProgram(
+    const bpf::AnalysisFacts& facts, const bpf::Program& program) {
+  FlowCacheBinding binding;
+  if (!facts.cacheable) {
+    return binding;
+  }
+  binding.cacheable = true;
+  binding.pkt_read_mask = facts.pkt_read_mask;
+  binding.read_maps.reserve(facts.read_maps.size());
+  for (int32_t index : facts.read_maps) {
+    if (index < 0 || static_cast<size_t>(index) >= program.maps.size()) {
+      // A read-set index the program cannot resolve means the facts do not
+      // describe this program; refuse to cache rather than mis-key.
+      return FlowCacheBinding{};
+    }
+    binding.read_maps.push_back(program.maps[static_cast<size_t>(index)].get());
+  }
+  return binding;
+}
+
+FlowCacheCounters FlowCacheCounters::Detached() {
+  FlowCacheCounters c;
+  c.hits = std::make_shared<obs::Counter>();
+  c.misses = std::make_shared<obs::Counter>();
+  c.invalidations = std::make_shared<obs::Counter>();
+  c.uncacheable = std::make_shared<obs::Counter>();
+  return c;
+}
+
+FlowCacheCounters FlowCacheCounters::InRegistry(
+    obs::MetricsRegistry& registry, std::string_view hook) {
+  FlowCacheCounters c;
+  c.hits = registry.GetCounter("syrupd", hook, "flow_cache.hits");
+  c.misses = registry.GetCounter("syrupd", hook, "flow_cache.misses");
+  c.invalidations =
+      registry.GetCounter("syrupd", hook, "flow_cache.invalidations");
+  c.uncacheable =
+      registry.GetCounter("syrupd", hook, "flow_cache.uncacheable");
+  return c;
+}
+
+FlowDecisionCache::Key FlowDecisionCache::MakeKey(const PacketView& pkt,
+                                                  uint64_t mask) {
+  Key key;
+  const uint16_t port = pkt.DstPort();
+  const uint16_t len = static_cast<uint16_t>(pkt.size());
+  std::memcpy(key.bytes, &port, sizeof(port));
+  std::memcpy(key.bytes + 2, &len, sizeof(len));
+  uint32_t pos = 4;
+  uint64_t m = mask;
+  while (m != 0) {
+    const unsigned i = static_cast<unsigned>(__builtin_ctzll(m));
+    m &= m - 1;
+    if (i < pkt.size()) {
+      key.bytes[pos++] = pkt.start[i];
+    }
+  }
+  key.len = pos;
+  // FNV-1a over the key bytes, finished with Mix64 for slot spread. The
+  // mask itself needn't be hashed: one cache serves one hook, and every
+  // entry behind a port was produced under that port's single deployment.
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t i = 0; i < pos; ++i) {
+    h = (h ^ key.bytes[i]) * 1099511628211ull;
+  }
+  key.hash = Mix64(h);
+  return key;
+}
+
+bool FlowDecisionCache::Lookup(const Key& key, uint64_t epoch,
+                               uint64_t version_sum, Decision* out,
+                               bool* stale) {
+  *stale = false;
+  const size_t base = static_cast<size_t>(key.hash) & (kNumSlots - 1);
+  for (size_t probe = 0; probe < kProbeWindow; ++probe) {
+    Entry& entry = slots_[(base + probe) & (kNumSlots - 1)];
+    if (!entry.valid || entry.hash != key.hash ||
+        entry.key_len != key.len ||
+        std::memcmp(entry.key, key.bytes, key.len) != 0) {
+      continue;
+    }
+    if (entry.epoch != epoch || entry.version_sum != version_sum) {
+      // The flow is known but a read-set map changed (or the hook was
+      // redeployed) since the decision was computed: self-invalidate.
+      entry.valid = false;
+      *stale = true;
+      return false;
+    }
+    *out = entry.decision;
+    return true;
+  }
+  return false;
+}
+
+void FlowDecisionCache::Insert(const Key& key, Decision decision,
+                               uint64_t epoch, uint64_t version_sum) {
+  const size_t base = static_cast<size_t>(key.hash) & (kNumSlots - 1);
+  size_t victim = base;
+  for (size_t probe = 0; probe < kProbeWindow; ++probe) {
+    const size_t slot = (base + probe) & (kNumSlots - 1);
+    Entry& entry = slots_[slot];
+    if (!entry.valid) {
+      victim = slot;
+      break;
+    }
+    if (entry.hash == key.hash && entry.key_len == key.len &&
+        std::memcmp(entry.key, key.bytes, key.len) == 0) {
+      victim = slot;  // refresh the existing entry for this flow
+      break;
+    }
+  }
+  Entry& entry = slots_[victim];
+  entry.hash = key.hash;
+  entry.version_sum = version_sum;
+  entry.epoch = epoch;
+  entry.key_len = key.len;
+  entry.decision = decision;
+  std::memcpy(entry.key, key.bytes, key.len);
+  entry.valid = true;
+}
+
+void FlowDecisionCache::Clear() {
+  for (Entry& entry : slots_) {
+    entry.valid = false;
+  }
+}
+
+size_t FlowDecisionCache::OccupiedSlots() const {
+  size_t n = 0;
+  for (const Entry& entry : slots_) {
+    n += entry.valid ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace syrup

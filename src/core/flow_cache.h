@@ -1,0 +1,149 @@
+// Flow-decision cache: per-hook memoization of verified matching functions.
+//
+// Syrup's NIC offload is fast because the matching function's *decision*
+// is installed into the hardware flow table — subsequent packets of a flow
+// skip policy execution entirely. This is the same idea for the software
+// hooks: a fixed-size open-addressed table in front of Syrupd::Dispatch
+// that maps a flow key to the Decision the policy last produced.
+//
+// Correctness is static analysis + versioning, never heuristics:
+//
+//   * The verifier proves which programs are cacheable at all
+//     (AnalysisFacts::cacheable: output depends only on packet bytes and
+//     map reads) and which exact packet bytes feed the decision
+//     (pkt_read_mask). The cache key is (dst port, packet length, those
+//     masked bytes) — packet length participates because bounds checks
+//     against pkt_end branch on it. Full-key memcmp on lookup: hash
+//     collisions can evict, never produce a false hit.
+//   * Every Map carries a monotonic version stamp bumped on Update/Delete.
+//     Each cached entry stores the *sum* of the versions of the program's
+//     read-set maps, captured before the policy ran; monotonicity makes
+//     the sum strictly increase on any change, so a lookup whose current
+//     sum differs sees a guaranteed miss (counted as an invalidation).
+//   * Deploy/remove at a hook bumps the hook's epoch; entries stamped
+//     with an older epoch never hit, which flushes the whole hook in O(1).
+//
+// The cache is deliberately not internally synchronized: in the simulator
+// each hook's dispatch runs serialized (softirq model), and this mirrors a
+// real per-core megaflow cache which is also core-private. Map versions
+// and values, however, are read concurrently with userspace updaters —
+// those races are exactly what the version capture-before-execute protocol
+// makes safe (tests/flow_cache_race_test.cc hammers it under TSan/ASan).
+#ifndef SYRUP_SRC_CORE_FLOW_CACHE_H_
+#define SYRUP_SRC_CORE_FLOW_CACHE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/bpf/program.h"
+#include "src/bpf/verifier.h"
+#include "src/common/decision.h"
+#include "src/map/map.h"
+#include "src/net/packet.h"
+#include "src/obs/metrics.h"
+
+namespace syrup {
+
+// What a deployment needs to consult the cache, derived once at attach
+// time from the verifier's facts. Maps are raw observers: the deployment's
+// policy owns the program which owns the map shared_ptrs, and the cache
+// binding dies with the PortEntry.
+struct FlowCacheBinding {
+  bool cacheable = false;
+  uint64_t pkt_read_mask = 0;
+  std::vector<const Map*> read_maps;
+
+  // Invalidation signature: the read-set maps' version sum. Captured
+  // before the policy executes on a miss; compared on every hit attempt.
+  uint64_t VersionSum() const {
+    uint64_t sum = 0;
+    for (const Map* map : read_maps) {
+      sum += map->version();
+    }
+    return sum;
+  }
+
+  // Builds the binding for a verified program. Cacheable only when the
+  // facts say so; read-set indices resolve against the program's map table.
+  static FlowCacheBinding ForProgram(const bpf::AnalysisFacts& facts,
+                                     const bpf::Program& program);
+};
+
+// Per-hook cache counters, resolved from the daemon's registry under
+// {"syrupd", <hook>, "flow_cache.*"} so syrupctl stats surfaces them.
+struct FlowCacheCounters {
+  std::shared_ptr<obs::Counter> hits;
+  std::shared_ptr<obs::Counter> misses;
+  std::shared_ptr<obs::Counter> invalidations;
+  std::shared_ptr<obs::Counter> uncacheable;
+
+  static FlowCacheCounters Detached();
+  static FlowCacheCounters InRegistry(obs::MetricsRegistry& registry,
+                                      std::string_view hook);
+};
+
+// The table. Fixed-size, open-addressed with a short linear probe window,
+// overwrite-on-collision (a megaflow cache, not an LRU).
+class FlowDecisionCache {
+ public:
+  // Key capacity: dst port (2) + packet length (2) + up to 64 masked
+  // packet bytes (AnalysisFacts::kMaxTrackedPktBytes).
+  static constexpr size_t kMaxKeyBytes =
+      4 + static_cast<size_t>(bpf::AnalysisFacts::kMaxTrackedPktBytes);
+  static constexpr size_t kNumSlots = 4096;  // power of two
+  static constexpr size_t kProbeWindow = 4;
+
+  FlowDecisionCache() : slots_(kNumSlots) {}
+
+  // A materialized flow key plus its hash.
+  struct Key {
+    uint8_t bytes[kMaxKeyBytes];
+    uint32_t len = 0;
+    uint64_t hash = 0;
+  };
+
+  // Derives the flow key for `pkt` under `mask` (the verifier's
+  // pkt_read_mask): dst port, wire length, then every masked byte that is
+  // inside the packet. Bytes the mask names beyond the packet's end are
+  // simply absent — which is fine, because the length is part of the key.
+  static Key MakeKey(const PacketView& pkt, uint64_t mask);
+
+  // Probes for `key` stamped with the current `epoch` and `version_sum`.
+  // Returns true and sets `*out` on a hit. A key match whose stamp is
+  // stale reports false and counts as an invalidation in `*stale` (the
+  // caller bumps metrics; the entry will be overwritten by the insert that
+  // follows the re-execution).
+  bool Lookup(const Key& key, uint64_t epoch, uint64_t version_sum,
+              Decision* out, bool* stale);
+
+  // Installs (or refreshes) the decision for `key`. `version_sum` must
+  // have been captured *before* the policy executed, so a concurrent map
+  // update during execution leaves the entry already-stale.
+  void Insert(const Key& key, Decision decision, uint64_t epoch,
+              uint64_t version_sum);
+
+  // Drops every entry regardless of stamps (tests; epoch bumps make this
+  // unnecessary in the daemon).
+  void Clear();
+
+  size_t OccupiedSlots() const;
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;
+    uint64_t version_sum = 0;
+    uint64_t epoch = 0;
+    uint32_t key_len = 0;
+    Decision decision = 0;
+    bool valid = false;
+    uint8_t key[kMaxKeyBytes];
+  };
+
+  std::vector<Entry> slots_;
+};
+
+}  // namespace syrup
+
+#endif  // SYRUP_SRC_CORE_FLOW_CACHE_H_

@@ -35,6 +35,8 @@ Syrupd::Syrupd(Simulator& sim, HostStack* stack, uint64_t seed)
         metrics_.GetCounter("syrupd", hook, "decision_pass");
     hook_cells_[i].decision_drop =
         metrics_.GetCounter("syrupd", hook, "decision_drop");
+    hook_cells_[i].flow_cache =
+        FlowCacheCounters::InRegistry(metrics_, hook);
   }
   if (stack_ != nullptr) {
     stack_->BindMetrics(metrics_);
@@ -228,8 +230,15 @@ StatusOr<int> Syrupd::DeployPolicyFile(AppId app,
       program, MakeExecEnv(),
       PolicyMetrics::InRegistry(metrics_, app_name, HookName(hook)),
       compiled);
-  SYRUP_RETURN_IF_ERROR(
-      AttachPolicy(app, std::move(policy), hook, static_cast<int>(prog_id)));
+  // The verifier's purity summary decides whether this deployment may be
+  // memoized per flow; the binding resolves its read-set map observers.
+  FlowCacheBinding cache_binding =
+      FlowCacheBinding::ForProgram(vfacts, *program);
+  metrics_.GetGauge(app_name, HookName(hook), "policy.cacheable")
+      ->Set(cache_binding.cacheable ? 1 : 0);
+  SYRUP_RETURN_IF_ERROR(AttachPolicy(app, std::move(policy), hook,
+                                     static_cast<int>(prog_id),
+                                     std::move(cache_binding)));
   return static_cast<int>(prog_id);
 }
 
@@ -242,7 +251,8 @@ StatusOr<int> Syrupd::DeployNativePolicy(AppId app,
 }
 
 Status Syrupd::AttachPolicy(AppId app, std::shared_ptr<PacketPolicy> policy,
-                            Hook hook, int prog_id) {
+                            Hook hook, int prog_id,
+                            FlowCacheBinding cache_binding) {
   auto it = apps_.find(app);
   if (it == apps_.end()) {
     return NotFoundError("unknown app");
@@ -259,13 +269,21 @@ Status Syrupd::AttachPolicy(AppId app, std::shared_ptr<PacketPolicy> policy,
   std::shared_ptr<obs::Counter> app_dispatched =
       metrics_.GetCounter(it->second.name, HookName(hook), "dispatched");
   for (uint16_t port : it->second.ports) {
-    dispatch_[HookIndex(hook)][port] =
-        PortEntry{policy, prog_id, app_dispatched};
+    PortEntry entry;
+    entry.policy = policy;
+    entry.policy_raw = policy.get();
+    entry.prog_id = prog_id;
+    entry.app_dispatched = app_dispatched;
+    entry.cache = cache_binding;
+    dispatch_[HookIndex(hook)][port] = std::move(entry);
     SYRUP_TRACE(sim_.Now(), "syrupd",
                 "deploy app=" << it->second.name << " policy="
                               << policy->name() << " hook="
                               << HookName(hook) << " port=" << port);
   }
+  // New deployment epoch: cached decisions from the replaced policy (and
+  // raw policy observers readers may have derived) are dead from here on.
+  ++hook_epoch_[HookIndex(hook)];
   SYRUP_RETURN_IF_ERROR(InstallStackHook(hook));
   return OkStatus();
 }
@@ -291,6 +309,7 @@ Status Syrupd::RemovePolicy(AppId app, Hook hook, int only_prog_id) {
   if (!removed) {
     return NotFoundError("no policy deployed at hook");
   }
+  ++hook_epoch_[HookIndex(hook)];  // flush this hook's cached decisions
   MaybeUninstallStackHook(hook);
   return OkStatus();
 }
@@ -407,16 +426,45 @@ void Syrupd::MaybeUninstallStackHook(Hook hook) {
 
 Decision Syrupd::Dispatch(Hook hook, const PacketView& pkt) {
   const uint16_t port = pkt.DstPort();
-  HookCells& cells = hook_cells_[HookIndex(hook)];
-  auto& table = dispatch_[HookIndex(hook)];
+  const size_t hook_index = HookIndex(hook);
+  HookCells& cells = hook_cells_[hook_index];
+  auto& table = dispatch_[hook_index];
   auto it = table.find(port);
   if (it == table.end()) {
     cells.no_policy->value += 1;
     return kPass;
   }
   cells.dispatched->value += 1;
-  it->second.app_dispatched->value += 1;
-  const Decision d = it->second.policy->Schedule(pkt);
+  PortEntry& entry = it->second;
+  entry.app_dispatched->value += 1;
+
+  Decision d;
+  if (flow_cache_enabled_ && entry.cache.cacheable) {
+    const FlowDecisionCache::Key key =
+        FlowDecisionCache::MakeKey(pkt, entry.cache.pkt_read_mask);
+    // Version sum captured before the policy may run: a map update racing
+    // the execution leaves the entry we insert below already stale, so it
+    // can never validate later (see flow_cache.h).
+    const uint64_t version_sum = entry.cache.VersionSum();
+    const uint64_t epoch = hook_epoch_[hook_index];
+    bool stale = false;
+    if (flow_cache_[hook_index].Lookup(key, epoch, version_sum, &d,
+                                       &stale)) {
+      cells.flow_cache.hits->value += 1;
+    } else {
+      if (stale) {
+        cells.flow_cache.invalidations->value += 1;
+      }
+      cells.flow_cache.misses->value += 1;
+      d = entry.policy_raw->Schedule(pkt);
+      flow_cache_[hook_index].Insert(key, d, epoch, version_sum);
+    }
+  } else {
+    if (flow_cache_enabled_) {
+      cells.flow_cache.uncacheable->value += 1;
+    }
+    d = entry.policy_raw->Schedule(pkt);
+  }
   if (d == kPass) {
     cells.decision_pass->value += 1;
   } else if (d == kDrop) {

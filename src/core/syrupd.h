@@ -26,6 +26,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/obs/metrics.h"
+#include "src/core/flow_cache.h"
 #include "src/core/hook.h"
 #include "src/core/policy.h"
 #include "src/ghost/ghost.h"
@@ -105,6 +106,20 @@ class Syrupd {
   void set_exec_mode(bpf::ExecMode mode) { exec_mode_ = mode; }
   bpf::ExecMode exec_mode() const { return exec_mode_; }
 
+  // --- Flow-decision cache -------------------------------------------------
+
+  // Per-hook memoization of verifier-proven-cacheable policies (see
+  // src/core/flow_cache.h). On by default; disabling is an ablation knob —
+  // cacheable programs are pure, so results are bit-identical either way.
+  void set_flow_cache_enabled(bool enabled) { flow_cache_enabled_ = enabled; }
+  bool flow_cache_enabled() const { return flow_cache_enabled_; }
+
+  // The hook's deployment epoch: bumped on every attach/remove, which
+  // flushes that hook's cached decisions in O(1).
+  uint64_t hook_epoch(Hook hook) const {
+    return hook_epoch_[HookIndex(hook)];
+  }
+
   // Detaches the app's policy from `hook`; traffic reverts to the default.
   // With `only_prog_id` >= 0 the detach is conditional: it only removes
   // the deployment if it is still the one identified by that prog id, so a
@@ -183,10 +198,15 @@ class Syrupd {
 
   // One deployed policy behind a port: the per-app dispatched cell is
   // resolved once at attach time so the packet path bumps a pointer.
+  // `policy_raw` is the hot-path observer into `policy` — dispatch never
+  // touches the shared_ptr control block; the entry's lifetime (guarded by
+  // the hook epoch, which also flushes cached decisions) keeps it alive.
   struct PortEntry {
     std::shared_ptr<PacketPolicy> policy;
+    PacketPolicy* policy_raw = nullptr;
     int prog_id = -1;
     std::shared_ptr<obs::Counter> app_dispatched;
+    FlowCacheBinding cache;  // empty (uncacheable) for native policies
   };
 
   // Per-hook dispatcher counters under {"syrupd", <hook>, ...}.
@@ -196,10 +216,12 @@ class Syrupd {
     std::shared_ptr<obs::Counter> decision_steer;
     std::shared_ptr<obs::Counter> decision_pass;
     std::shared_ptr<obs::Counter> decision_drop;
+    FlowCacheCounters flow_cache;
   };
 
   Status AttachPolicy(AppId app, std::shared_ptr<PacketPolicy> policy,
-                      Hook hook, int prog_id);
+                      Hook hook, int prog_id,
+                      FlowCacheBinding cache_binding = {});
   // Translates a just-verified program per the active exec mode. `facts`
   // (when the caller kept them from its Verify call) lets the compiler drop
   // verifier-proven-dead code and decided branches.
@@ -230,6 +252,14 @@ class Syrupd {
   // in flight can't outlive its policy on removal.
   std::map<uint16_t, PortEntry> dispatch_[kNumHooks];
   HookCells hook_cells_[kNumHooks];
+
+  // Flow-decision caches, one per hook (the simulator serializes each
+  // hook's dispatch, mirroring a per-core megaflow table). The epoch is
+  // bumped on every attach/remove at the hook: stale-epoch entries never
+  // hit, so redeploys flush without touching the table.
+  FlowDecisionCache flow_cache_[kNumHooks];
+  uint64_t hook_epoch_[kNumHooks] = {};
+  bool flow_cache_enabled_ = true;
 
   std::map<uint64_t, std::shared_ptr<const bpf::Program>> programs_;
   // Per-prog-id compiled cache: filled at attach time, consulted by every

@@ -14,6 +14,8 @@ std::string_view MapTypeName(MapType type) {
       return "hash";
     case MapType::kProgArray:
       return "prog_array";
+    case MapType::kPerCpuArray:
+      return "percpu_array";
   }
   return "?";
 }
@@ -39,6 +41,11 @@ StatusOr<std::shared_ptr<Map>> CreateMap(const MapSpec& spec) {
         return InvalidArgumentError("prog array maps must be u32->u64");
       }
       return std::shared_ptr<Map>(std::make_shared<ProgArrayMap>(spec));
+    case MapType::kPerCpuArray:
+      if (spec.key_size != sizeof(uint32_t)) {
+        return InvalidArgumentError("percpu array map keys must be u32");
+      }
+      return std::shared_ptr<Map>(std::make_shared<PerCpuArrayMap>(spec));
   }
   return InvalidArgumentError("unknown map type");
 }

@@ -57,6 +57,10 @@ enum class MapType {
   kArray,
   kHash,
   kProgArray,
+  // Array map sharded per CPU: writes land in the calling core's shard,
+  // LookupU64 aggregates across shards (the paper's recommended fix for
+  // contended counter maps).
+  kPerCpuArray,
 };
 
 std::string_view MapTypeName(MapType type);
@@ -107,13 +111,35 @@ class Map {
 
   Status Update(const void* key, const void* value, UpdateFlag flag) {
     counters_.updates->IncAtomic();
-    return DoUpdate(key, value, flag);
+    Status status = DoUpdate(key, value, flag);
+    if (status.ok()) {
+      BumpVersion();
+    }
+    return status;
   }
 
   Status Delete(const void* key) {
     counters_.deletes->IncAtomic();
-    return DoDelete(key);
+    Status status = DoDelete(key);
+    if (status.ok()) {
+      BumpVersion();
+    }
+    return status;
   }
+
+  // Monotonic content-version stamp, bumped after every successful Update
+  // or Delete. The flow-decision cache folds the versions of a program's
+  // read-set maps into each cached entry; any change strictly increases
+  // the sum, so a stale entry can never validate. The bump is a release
+  // and the read an acquire: a reader that observes version N also
+  // observes the value writes of every update numbered <= N. Note that
+  // direct in-place value mutation (AtomicFetchAdd through a Lookup
+  // pointer) bypasses this stamp — but every program doing that is marked
+  // uncacheable by the verifier, so no cached decision can depend on it.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_release); }
 
   // Re-homes this map's accounting into registry-owned cells (called by
   // syrupd when the map is created or pinned). First binding wins so two
@@ -144,7 +170,8 @@ class Map {
 
   // --- Typed conveniences for the common u32 -> u64 shape -----------------
 
-  StatusOr<uint64_t> LookupU64(uint32_t key) {
+  // Virtual so sharded maps (PerCpuArrayMap) can aggregate across shards.
+  virtual StatusOr<uint64_t> LookupU64(uint32_t key) {
     if (spec_.key_size != sizeof(uint32_t) ||
         spec_.value_size != sizeof(uint64_t)) {
       return InvalidArgumentError("map is not u32->u64");
@@ -194,6 +221,7 @@ class Map {
  private:
   MapSpec spec_;
   MapOpCounters counters_;
+  std::atomic<uint64_t> version_{0};
   bool bound_ = false;
 };
 

@@ -1,0 +1,113 @@
+// Differential test: the flow-decision cache must be invisible in results.
+// Every experiment pipeline run with the cache on must reproduce the
+// cache-off run bit-for-bit — cacheable policies are pure functions of
+// (flow key, read-set map versions), so memoizing them may change only
+// *when* a policy executes, never what the packet's decision is.
+// `stats_json` is deliberately excluded: flow_cache.{hits,misses} and
+// policy.invocations legitimately differ between the two runs.
+#include <gtest/gtest.h>
+
+#include "src/apps/experiments.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+RocksDbExperimentConfig SmallRocksDbConfig() {
+  RocksDbExperimentConfig config;
+  config.socket_policy = SocketPolicyKind::kScanAvoid;
+  config.load_rps = 60'000;
+  config.get_fraction = 0.995;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  config.seed = 7;
+  return config;
+}
+
+void ExpectBitIdentical(const RocksDbResult& on, const RocksDbResult& off) {
+  EXPECT_EQ(on.throughput_rps, off.throughput_rps);
+  EXPECT_EQ(on.p50_us, off.p50_us);
+  EXPECT_EQ(on.p99_us, off.p99_us);
+  EXPECT_EQ(on.p99_get_us, off.p99_get_us);
+  EXPECT_EQ(on.p99_scan_us, off.p99_scan_us);
+  EXPECT_EQ(on.drop_fraction, off.drop_fraction);
+  EXPECT_EQ(on.get_throughput_rps, off.get_throughput_rps);
+  EXPECT_EQ(on.scan_throughput_rps, off.scan_throughput_rps);
+}
+
+void ExpectBitIdentical(const MicaResult& on, const MicaResult& off) {
+  EXPECT_EQ(on.throughput_rps, off.throughput_rps);
+  EXPECT_EQ(on.p50_us, off.p50_us);
+  EXPECT_EQ(on.p999_us, off.p999_us);
+  EXPECT_EQ(on.drop_fraction, off.drop_fraction);
+  EXPECT_EQ(on.redirected, off.redirected);
+}
+
+// Fig. 2 pipeline. scan_avoid is *uncacheable* (random probing), so this
+// asserts the transparent-fallback half of the contract: an uncacheable
+// deployment behaves as if the cache did not exist.
+TEST(FlowCacheDifferential, Fig2RocksDbBitExact) {
+  RocksDbExperimentConfig config = SmallRocksDbConfig();
+  config.use_bytecode = true;
+  config.flow_cache = true;
+  const RocksDbResult on = RunRocksDbExperiment(config);
+  config.flow_cache = false;
+  const RocksDbResult off = RunRocksDbExperiment(config);
+  ExpectBitIdentical(on, off);
+}
+
+// Fig. 8 pipeline: packet hooks plus the ghOSt thread scheduler. Thread
+// policies are never cacheable (no packet to key on); the packet side
+// runs round robin, also uncacheable. The cache must stay out of the way
+// of the cross-layer pipeline entirely.
+TEST(FlowCacheDifferential, Fig8ThreadSchedBitExact) {
+  RocksDbExperimentConfig config = SmallRocksDbConfig();
+  config.socket_policy = SocketPolicyKind::kRoundRobin;
+  config.thread_sched = ThreadSchedKind::kGhostGetPriority;
+  config.num_threads = 4;
+  config.num_cores = 2;
+  config.flow_cache = true;
+  const RocksDbResult on = RunRocksDbExperiment(config);
+  config.flow_cache = false;
+  const RocksDbResult off = RunRocksDbExperiment(config);
+  ExpectBitIdentical(on, off);
+}
+
+// Fig. 9 pipeline with the bytecode MICA home policy — this one is
+// cacheable (pure key-hash steering), so the cache-on run genuinely
+// serves most packets from the cache while the cache-off run executes
+// the policy every time. Decisions, and therefore every result number,
+// must still be bit-identical.
+TEST(FlowCacheDifferential, Fig9MicaCacheableBytecodeBitExact) {
+  MicaExperimentConfig config;
+  config.variant = MicaVariant::kSwRedirect;
+  config.use_bytecode = true;
+  config.load_rps = 400'000;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  config.seed = 7;
+  config.flow_cache = true;
+  const MicaResult on = RunMicaExperiment(config);
+  config.flow_cache = false;
+  const MicaResult off = RunMicaExperiment(config);
+  ExpectBitIdentical(on, off);
+}
+
+// Same, through the AF_XDP delivery variant (different hook wiring).
+TEST(FlowCacheDifferential, Fig9MicaSyrupSwBitExact) {
+  MicaExperimentConfig config;
+  config.variant = MicaVariant::kSyrupSw;
+  config.use_bytecode = true;
+  config.load_rps = 400'000;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  config.seed = 7;
+  config.flow_cache = true;
+  const MicaResult on = RunMicaExperiment(config);
+  config.flow_cache = false;
+  const MicaResult off = RunMicaExperiment(config);
+  ExpectBitIdentical(on, off);
+}
+
+}  // namespace
+}  // namespace syrup

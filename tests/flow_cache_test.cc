@@ -1,0 +1,377 @@
+// Flow-decision cache tests: the verifier's purity/read-set facts, the
+// cache table itself, and the syrupd dispatch integration (hits, misses,
+// map-version invalidation, epoch flush on redeploy, transparency).
+#include <gtest/gtest.h>
+
+#include "src/bpf/assembler.h"
+#include "src/bpf/verifier.h"
+#include "src/core/flow_cache.h"
+#include "src/core/syrup_api.h"
+#include "src/core/syrupd.h"
+#include "src/net/stack.h"
+#include "src/policies/builtin.h"
+#include "src/sim/simulator.h"
+
+namespace syrup {
+namespace {
+
+Packet MakePacket(uint16_t dst_port, uint32_t key_hash,
+                  uint16_t src_port = 20'000) {
+  Packet pkt;
+  pkt.tuple.src_ip = 0x0a000001;
+  pkt.tuple.dst_ip = 0x0a0000ff;
+  pkt.tuple.src_port = src_port;
+  pkt.tuple.dst_port = dst_port;
+  pkt.SetHeader(ReqType::kGet, 1, key_hash, 1, 0);
+  return pkt;
+}
+
+bpf::AnalysisFacts FactsFor(const std::string& source) {
+  auto assembled = bpf::Assemble(source).value();
+  bpf::Program prog;
+  prog.name = assembled.name;
+  prog.insns = assembled.insns;
+  for (const bpf::MapSlot& slot : assembled.map_slots) {
+    if (slot.is_extern) {
+      MapSpec spec;  // externs resolve at deploy; a stand-in map is fine
+      spec.max_entries = 16;
+      prog.maps.push_back(CreateMap(spec).value());
+    } else {
+      prog.maps.push_back(CreateMap(slot.spec).value());
+    }
+  }
+  bpf::AnalysisFacts facts;
+  EXPECT_TRUE(
+      bpf::Verify(prog, assembled.context, {}, nullptr, &facts).ok());
+  return facts;
+}
+
+// --- verifier purity summary ------------------------------------------------
+
+TEST(FlowCacheFacts, MicaHomeIsPureAndReadsKeyHashBytes) {
+  const bpf::AnalysisFacts facts = FactsFor(MicaHomePolicyAsm(6));
+  EXPECT_TRUE(facts.cacheable);
+  // The program reads exactly the 4 key-hash bytes at offset 20.
+  EXPECT_EQ(facts.pkt_read_mask, 0xF00000u);
+  EXPECT_TRUE(facts.read_maps.empty());
+}
+
+TEST(FlowCacheFacts, HashPolicyReadsPortBytes) {
+  const bpf::AnalysisFacts facts = FactsFor(HashPolicyAsm(6));
+  EXPECT_TRUE(facts.cacheable);
+  EXPECT_EQ(facts.pkt_read_mask, 0xFu);  // src/dst port bytes [0, 4)
+  EXPECT_TRUE(facts.read_maps.empty());
+}
+
+TEST(FlowCacheFacts, VarHeaderVariableOffsetReadIsCacheable) {
+  const bpf::AnalysisFacts facts = FactsFor(VarHeaderPolicyAsm(6));
+  EXPECT_TRUE(facts.cacheable);
+  // Byte 5 (the length) plus the whole provable span of the variable read.
+  EXPECT_NE(facts.pkt_read_mask & (uint64_t{1} << 5), 0u);
+  EXPECT_NE(facts.pkt_read_mask & (uint64_t{1} << 35), 0u);
+}
+
+TEST(FlowCacheFacts, LeastLoadedIsCacheableWithMapReadSet) {
+  const bpf::AnalysisFacts facts =
+      FactsFor(LeastLoadedPolicyAsm(4, "/syrup/t/load"));
+  EXPECT_TRUE(facts.cacheable);
+  ASSERT_EQ(facts.read_maps.size(), 1u);
+  EXPECT_EQ(facts.read_maps[0], 0);
+}
+
+TEST(FlowCacheFacts, MapValueWriteIsUncacheable) {
+  // Round robin stores the bumped index back through the value pointer.
+  EXPECT_FALSE(FactsFor(RoundRobinPolicyAsm(6)).cacheable);
+}
+
+TEST(FlowCacheFacts, AtomicMapMutationIsUncacheable) {
+  // Token consumes a token with xadddw on the map value.
+  EXPECT_FALSE(FactsFor(TokenPolicyAsm()).cacheable);
+}
+
+TEST(FlowCacheFacts, RandomHelperIsUncacheable) {
+  EXPECT_FALSE(
+      FactsFor(PowerOfTwoPolicyAsm(4, "/syrup/t/load")).cacheable);
+}
+
+TEST(FlowCacheFacts, ThreadContextIsUncacheable) {
+  // Thread classifiers have no packet to key on.
+  EXPECT_FALSE(
+      FactsFor(GetPriorityThreadPolicyAsm("/syrup/t/types")).cacheable);
+}
+
+TEST(FlowCacheFacts, ScanAvoidRandomProbeIsUncacheable) {
+  // scan_avoid probes random sockets via get_prandom_u32; two identical
+  // packets legitimately get different decisions.
+  EXPECT_FALSE(FactsFor(ScanAvoidPolicyAsm(6)).cacheable);
+}
+
+// --- the table itself -------------------------------------------------------
+
+TEST(FlowDecisionCache, KeyIncludesPortLengthAndMaskedBytes) {
+  const Packet pkt = MakePacket(9000, 0xdeadbeef);
+  const PacketView view = PacketView::Of(pkt);
+  const FlowDecisionCache::Key key =
+      FlowDecisionCache::MakeKey(view, 0xF00000u);
+  EXPECT_EQ(key.len, 4u + 4u);  // port + length + 4 masked bytes
+  uint16_t port;
+  std::memcpy(&port, key.bytes, sizeof(port));
+  EXPECT_EQ(port, 9000);
+  uint32_t key_hash;
+  std::memcpy(&key_hash, key.bytes + 4, sizeof(key_hash));
+  EXPECT_EQ(key_hash, 0xdeadbeefu);
+}
+
+TEST(FlowDecisionCache, MaskedBytesBeyondPacketEndAreAbsent) {
+  const Packet pkt = MakePacket(9000, 7);
+  PacketView view = PacketView::Of(pkt);
+  view.end = view.start + 10;  // short packet
+  const FlowDecisionCache::Key key =
+      FlowDecisionCache::MakeKey(view, 0xF00000u);  // bytes 20-23: past end
+  EXPECT_EQ(key.len, 4u);  // port + length only
+}
+
+TEST(FlowDecisionCache, HitRequiresExactKeyEpochAndVersion) {
+  FlowDecisionCache cache;
+  const Packet pkt = MakePacket(9000, 42);
+  const FlowDecisionCache::Key key =
+      FlowDecisionCache::MakeKey(PacketView::Of(pkt), 0xF00000u);
+  cache.Insert(key, Decision{3}, /*epoch=*/1, /*version_sum=*/10);
+
+  Decision d = 0;
+  bool stale = false;
+  EXPECT_TRUE(cache.Lookup(key, 1, 10, &d, &stale));
+  EXPECT_EQ(d, 3u);
+
+  // A read-set map changed: stale, entry self-invalidates.
+  EXPECT_FALSE(cache.Lookup(key, 1, 11, &d, &stale));
+  EXPECT_TRUE(stale);
+  // And it stays gone (no longer even a stale match).
+  EXPECT_FALSE(cache.Lookup(key, 1, 10, &d, &stale));
+  EXPECT_FALSE(stale);
+
+  // Epoch flush behaves the same way.
+  cache.Insert(key, Decision{4}, /*epoch=*/1, /*version_sum=*/10);
+  EXPECT_FALSE(cache.Lookup(key, 2, 10, &d, &stale));
+  EXPECT_TRUE(stale);
+}
+
+TEST(FlowDecisionCache, DistinctFlowsDoNotFalselyHit) {
+  FlowDecisionCache cache;
+  for (uint32_t flow = 0; flow < 512; ++flow) {
+    const Packet pkt = MakePacket(9000, flow);
+    const auto key =
+        FlowDecisionCache::MakeKey(PacketView::Of(pkt), 0xF00000u);
+    cache.Insert(key, Decision{flow % 6}, 1, 0);
+  }
+  // Whatever eviction happened, a surviving entry must carry its own
+  // flow's decision, never a colliding flow's.
+  size_t hits = 0;
+  for (uint32_t flow = 0; flow < 512; ++flow) {
+    const Packet pkt = MakePacket(9000, flow);
+    const auto key =
+        FlowDecisionCache::MakeKey(PacketView::Of(pkt), 0xF00000u);
+    Decision d = 0;
+    bool stale = false;
+    if (cache.Lookup(key, 1, 0, &d, &stale)) {
+      EXPECT_EQ(d, flow % 6) << "false hit for flow " << flow;
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 400u);  // 512 flows in 4096 slots: most survive
+}
+
+TEST(FlowDecisionCache, ClearDropsEverything) {
+  FlowDecisionCache cache;
+  const Packet pkt = MakePacket(9000, 1);
+  const auto key =
+      FlowDecisionCache::MakeKey(PacketView::Of(pkt), 0xF00000u);
+  cache.Insert(key, Decision{2}, 1, 0);
+  EXPECT_EQ(cache.OccupiedSlots(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.OccupiedSlots(), 0u);
+  Decision d = 0;
+  bool stale = false;
+  EXPECT_FALSE(cache.Lookup(key, 1, 0, &d, &stale));
+}
+
+// --- syrupd dispatch integration --------------------------------------------
+
+class FlowCacheDispatchTest : public testing::Test {
+ protected:
+  FlowCacheDispatchTest() : stack_(sim_, StackConfig{}),
+                            syrupd_(sim_, &stack_) {}
+
+  uint64_t CacheCounter(std::string_view name) {
+    return syrupd_.StatsSnapshot().CounterValue(
+        "syrupd", "socket_select", std::string("flow_cache.") + name.data());
+  }
+
+  Simulator sim_;
+  HostStack stack_;
+  Syrupd syrupd_;
+};
+
+TEST_F(FlowCacheDispatchTest, RepeatFlowServedFromCache) {
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(6),
+                                       Hook::kSocketSelect)
+                  .ok());
+  const Packet pkt = MakePacket(9000, 123);
+  const PacketView view = PacketView::Of(pkt);
+  const Decision first = stack_.hooks().socket_select(view);
+  const Decision second = stack_.hooks().socket_select(view);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, 123u % 6u);
+  EXPECT_EQ(CacheCounter("misses"), 1u);
+  EXPECT_EQ(CacheCounter("hits"), 1u);
+  // The policy itself only ran once: the second decision skipped the VM.
+  EXPECT_EQ(syrupd_.StatsSnapshot().CounterValue("a", "socket_select",
+                                                 "policy.invocations"),
+            1u);
+  // Dispatch accounting stays consistent regardless of the serving tier.
+  EXPECT_EQ(syrupd_.dispatch_stats(Hook::kSocketSelect).dispatched, 2u);
+}
+
+TEST_F(FlowCacheDispatchTest, DistinctFlowsEachMissThenHit) {
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(6),
+                                       Hook::kSocketSelect)
+                  .ok());
+  for (uint32_t flow = 0; flow < 32; ++flow) {
+    const Packet pkt = MakePacket(9000, flow);
+    EXPECT_EQ(stack_.hooks().socket_select(PacketView::Of(pkt)), flow % 6);
+  }
+  EXPECT_EQ(CacheCounter("misses"), 32u);
+  for (uint32_t flow = 0; flow < 32; ++flow) {
+    const Packet pkt = MakePacket(9000, flow);
+    EXPECT_EQ(stack_.hooks().socket_select(PacketView::Of(pkt)), flow % 6);
+  }
+  EXPECT_EQ(CacheCounter("hits"), 32u);
+}
+
+TEST_F(FlowCacheDispatchTest, MapUpdateInvalidatesCachedDecision) {
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  // Seed the load map before deploying: index 1 is least loaded.
+  MapSpec spec;
+  spec.max_entries = 2;
+  spec.name = "load";
+  MapHandle load = client.MapCreate(spec, "/syrup/a/load").value();
+  ASSERT_TRUE(load.Update(0, 10).ok());
+  ASSERT_TRUE(load.Update(1, 5).ok());
+  ASSERT_TRUE(
+      syrupd_
+          .DeployPolicyFile(app, LeastLoadedPolicyAsm(2, "/syrup/a/load"),
+                            Hook::kSocketSelect)
+          .ok());
+
+  const Packet pkt = MakePacket(9000, 7);
+  const PacketView view = PacketView::Of(pkt);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 1u);  // miss, cached
+  EXPECT_EQ(stack_.hooks().socket_select(view), 1u);  // hit
+  EXPECT_EQ(CacheCounter("hits"), 1u);
+
+  // Shift the load: index 0 becomes least loaded. The version stamp makes
+  // the cached decision self-invalidate; the re-executed policy sees the
+  // new map contents.
+  ASSERT_TRUE(load.Update(1, 50).ok());
+  EXPECT_EQ(stack_.hooks().socket_select(view), 0u);
+  EXPECT_EQ(CacheCounter("invalidations"), 1u);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 0u);  // cached again
+  EXPECT_EQ(CacheCounter("hits"), 2u);
+}
+
+TEST_F(FlowCacheDispatchTest, RedeployFlushesViaEpoch) {
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(6),
+                                       Hook::kSocketSelect)
+                  .ok());
+  const uint64_t epoch0 = syrupd_.hook_epoch(Hook::kSocketSelect);
+  const Packet pkt = MakePacket(9000, 9);
+  const PacketView view = PacketView::Of(pkt);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 3u);  // 9 % 6
+  EXPECT_EQ(stack_.hooks().socket_select(view), 3u);
+  EXPECT_EQ(CacheCounter("hits"), 1u);
+
+  // Redeploy with a different executor count: stale decisions from the
+  // old program must not survive.
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(2),
+                                       Hook::kSocketSelect)
+                  .ok());
+  EXPECT_GT(syrupd_.hook_epoch(Hook::kSocketSelect), epoch0);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 1u);  // 9 % 2, re-executed
+  EXPECT_EQ(CacheCounter("hits"), 1u);  // no new hit for the old entry
+}
+
+TEST_F(FlowCacheDispatchTest, UncacheablePolicyFallsBackTransparently) {
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, RoundRobinPolicyAsm(4),
+                                       Hook::kSocketSelect)
+                  .ok());
+  const Packet pkt = MakePacket(9000, 1);
+  const PacketView view = PacketView::Of(pkt);
+  // Round robin must advance on every dispatch — memoizing it would break
+  // its semantics, which is exactly why the verifier rejects caching it.
+  EXPECT_EQ(stack_.hooks().socket_select(view), 1u);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 2u);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 3u);
+  EXPECT_EQ(CacheCounter("uncacheable"), 3u);
+  EXPECT_EQ(CacheCounter("hits"), 0u);
+  EXPECT_EQ(CacheCounter("misses"), 0u);
+}
+
+TEST_F(FlowCacheDispatchTest, NativePoliciesAreNeverCached) {
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_
+                  .DeployNativePolicy(app, std::make_shared<MicaHomePolicy>(6),
+                                      Hook::kSocketSelect)
+                  .ok());
+  const Packet pkt = MakePacket(9000, 5);
+  const PacketView view = PacketView::Of(pkt);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 5u);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 5u);
+  EXPECT_EQ(CacheCounter("uncacheable"), 2u);
+  EXPECT_EQ(CacheCounter("hits"), 0u);
+}
+
+TEST_F(FlowCacheDispatchTest, DisabledCacheExecutesEveryPacket) {
+  syrupd_.set_flow_cache_enabled(false);
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(6),
+                                       Hook::kSocketSelect)
+                  .ok());
+  const Packet pkt = MakePacket(9000, 123);
+  const PacketView view = PacketView::Of(pkt);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 3u);
+  EXPECT_EQ(stack_.hooks().socket_select(view), 3u);
+  EXPECT_EQ(CacheCounter("hits"), 0u);
+  EXPECT_EQ(CacheCounter("misses"), 0u);
+  EXPECT_EQ(CacheCounter("uncacheable"), 0u);
+  EXPECT_EQ(syrupd_.StatsSnapshot().CounterValue("a", "socket_select",
+                                                 "policy.invocations"),
+            2u);
+}
+
+TEST_F(FlowCacheDispatchTest, ShortPacketKeyedByLength) {
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(6),
+                                       Hook::kSocketSelect)
+                  .ok());
+  Packet pkt = MakePacket(9000, 123);
+  const PacketView full = PacketView::Of(pkt);
+  PacketView truncated = full;
+  truncated.end = truncated.start + 20;  // fails the program's bounds check
+
+  EXPECT_EQ(stack_.hooks().socket_select(full), 3u);
+  // Same masked bytes would be absent; the length in the key separates
+  // the two flows, so the short packet gets its own (PASS) decision.
+  EXPECT_EQ(stack_.hooks().socket_select(truncated), kPass);
+  EXPECT_EQ(stack_.hooks().socket_select(truncated), kPass);
+  EXPECT_EQ(stack_.hooks().socket_select(full), 3u);
+  EXPECT_EQ(CacheCounter("misses"), 2u);
+  EXPECT_EQ(CacheCounter("hits"), 2u);
+}
+
+}  // namespace
+}  // namespace syrup

@@ -133,6 +133,115 @@ TEST(ArrayMap, StructValues) {
   EXPECT_EQ(out.b, 2u);
 }
 
+// --- Map versioning (flow-decision cache invalidation) ------------------------
+
+TEST(MapVersion, UpdateAndDeleteBumpTheStamp) {
+  ArrayMap array(ArraySpec(4));
+  EXPECT_EQ(array.version(), 0u);
+  EXPECT_TRUE(array.UpdateU64(0, 1).ok());
+  EXPECT_EQ(array.version(), 1u);
+  EXPECT_TRUE(array.UpdateU64(0, 2).ok());
+  EXPECT_EQ(array.version(), 2u);
+
+  HashMap hash(HashSpec(16));
+  EXPECT_TRUE(hash.UpdateU64(5, 7).ok());
+  const uint64_t after_insert = hash.version();
+  EXPECT_EQ(after_insert, 1u);
+  uint32_t key = 5;
+  EXPECT_TRUE(hash.Delete(&key).ok());
+  EXPECT_EQ(hash.version(), after_insert + 1);
+}
+
+TEST(MapVersion, FailedOpsDontBump) {
+  ArrayMap map(ArraySpec(4));
+  EXPECT_FALSE(map.UpdateU64(9, 1).ok());  // out of bounds
+  uint32_t key = 0;
+  EXPECT_FALSE(map.Delete(&key).ok());  // arrays never delete
+  EXPECT_EQ(map.version(), 0u);
+}
+
+TEST(MapVersion, LookupsDontBump) {
+  ArrayMap map(ArraySpec(4));
+  (void)map.LookupU64(0);
+  uint32_t key = 1;
+  (void)map.Lookup(&key);
+  EXPECT_EQ(map.version(), 0u);
+}
+
+// --- PerCpuArrayMap -----------------------------------------------------------
+
+MapSpec PerCpuSpec(uint32_t entries) {
+  MapSpec spec;
+  spec.type = MapType::kPerCpuArray;
+  spec.max_entries = entries;
+  return spec;
+}
+
+TEST(PerCpuArrayMap, FactoryBuildsAndNamesIt) {
+  auto map = CreateMap(PerCpuSpec(4));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(MapTypeName((*map)->spec().type), "percpu_array");
+  MapSpec bad = PerCpuSpec(4);
+  bad.key_size = 8;  // per-CPU arrays require u32 keys, like arrays
+  EXPECT_FALSE(CreateMap(bad).ok());
+}
+
+TEST(PerCpuArrayMap, ShardsAreIsolatedPerThread) {
+  PerCpuArrayMap map(PerCpuSpec(4), /*num_shards=*/4);
+  ASSERT_TRUE(map.UpdateU64(2, 100).ok());  // this thread's shard
+  std::thread other([&map] {
+    // A different thread lands in a different shard: it does not see the
+    // first thread's in-shard value, and its own write stays local.
+    EXPECT_TRUE(map.UpdateU64(2, 11).ok());
+  });
+  other.join();
+  // The calling thread still reads its own shard through Lookup...
+  uint32_t key = 2;
+  EXPECT_EQ(Map::AtomicLoad(map.Lookup(&key)), 100u);
+  // ...while the aggregating read side sums every shard.
+  EXPECT_EQ(map.LookupU64(2).value(), 111u);
+}
+
+TEST(PerCpuArrayMap, LookupU64SumsAllShards) {
+  PerCpuArrayMap map(PerCpuSpec(2), /*num_shards=*/3);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    // 6 threads over 3 shards: slots wrap, every write still lands in
+    // exactly one shard via an atomic add.
+    threads.emplace_back([&map] {
+      uint32_t key = 1;
+      Map::AtomicFetchAdd(map.Lookup(&key), 5);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(map.LookupU64(1).value(), 30u);
+  EXPECT_EQ(map.LookupU64(0).value(), 0u);
+  // Per-shard introspection covers the same total.
+  uint64_t sum = 0;
+  for (uint32_t shard = 0; shard < map.num_shards(); ++shard) {
+    sum += map.ShardValueU64(shard, 1).value();
+  }
+  EXPECT_EQ(sum, 30u);
+  EXPECT_FALSE(map.ShardValueU64(3, 0).ok());
+}
+
+TEST(PerCpuArrayMap, ArraySemanticsPreserved) {
+  PerCpuArrayMap map(PerCpuSpec(4), /*num_shards=*/2);
+  EXPECT_EQ(map.Size(), 4u);
+  uint32_t key = 4;
+  EXPECT_EQ(map.Lookup(&key), nullptr);  // out of bounds
+  key = 1;
+  EXPECT_FALSE(map.Delete(&key).ok());
+  uint64_t value = 1;
+  EXPECT_EQ(map.Update(&key, &value, UpdateFlag::kNoExist).code(),
+            StatusCode::kAlreadyExists);
+  // Updates bump the shared version stamp exactly like flat arrays.
+  EXPECT_TRUE(map.UpdateU64(1, 9).ok());
+  EXPECT_EQ(map.version(), 1u);
+}
+
 // --- HashMap ------------------------------------------------------------------
 
 TEST(HashMap, InsertLookupDelete) {
