@@ -5,28 +5,36 @@
 // the same dispatch path the simulator exercises, minus simulated time —
 // with a verifier-cacheable bytecode policy deployed through syrupd. Each
 // scenario measures ns/packet with the cache enabled (steady state, table
-// warmed) and disabled (every packet executes the policy), and reads the
-// hit rate from the flow_cache.{hits,misses} counters. Writes
-// `BENCH_flow_cache.json` so the perf trajectory is tracked across PRs.
+// warmed) and disabled (every packet executes the policy), plus the
+// batched entry point (Syrupd::DispatchBatch in bursts of 32 — the shape
+// RxBurst produces), and reads the hit rate from the
+// flow_cache.{hits,misses} counters. Writes `BENCH_flow_cache.json` so
+// the perf trajectory is tracked across PRs.
 //
-// The acceptance bar from the PR that introduced the cache: >= 3x
-// improvement at >= 90% hit rate for a cacheable builtin policy. The
-// binary enforces it (exit 1) so CI catches the cache silently degrading
-// into a slower path.
+// Gates (exit 1 on violation) so CI catches the cache silently degrading
+// into a slower path:
+//   - >= 3x improvement at >= 90% hit rate for a map-consulting builtin
+//     (least_loaded_f256; the bar from the PR that introduced the cache).
+//   - cached dispatch never slower than uncached at ANY flow count —
+//     including the oversubscribed 8192- and 100k-flow scenarios, which
+//     adaptive sizing must absorb rather than thrash on.
 //
 // Flags:
 //   --quick            ~10x fewer packets per scenario (CI smoke mode)
 //   --baseline <file>  compare cached ns/packet against the checked-in
 //                      baseline; exit 1 on a >25% regression
 //   --out <file>       JSON output path (default BENCH_flow_cache.json)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/core/syrup_api.h"
 #include "src/core/syrupd.h"
 #include "src/net/stack.h"
@@ -63,6 +71,7 @@ std::vector<Packet> MakeFlows(uint32_t num_flows) {
 struct ScenarioResult {
   double cached_ns = 0;
   double uncached_ns = 0;
+  double batch_ns = 0;  // DispatchBatch bursts of 32, cache enabled
   double hit_rate = 0;  // of the cached measured window
   uint64_t packets = 0;
 };
@@ -111,8 +120,97 @@ double MeasureNs(SteerHook& fn, const std::vector<PacketView>& views,
   return elapsed / static_cast<double>(iters);
 }
 
-// Pre-pins the extern load map the least_loaded policy resolves at deploy,
-// seeded so the decision is stable. Returns the handle to keep it alive.
+// Measures ns/packet for the batched entry point: bursts of up to 32
+// packets through Syrupd::DispatchBatch — key computation and slot
+// prefetch hoisted across the burst, the shape HostStack::RxBurst feeds.
+double MeasureBatchNs(Syrupd& syrupd, Hook hook,
+                      const std::vector<PacketView>& views, uint64_t iters) {
+  constexpr size_t kBurst = 32;
+  Decision out[kBurst];
+  uint64_t sink = 0;
+  uint64_t done = 0;
+  size_t pos = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (done < iters) {
+    const size_t n = std::min({kBurst, views.size() - pos,
+                               static_cast<size_t>(iters - done)});
+    syrupd.DispatchBatch(hook, std::span<const PacketView>(&views[pos], n),
+                         std::span<Decision>(out, n));
+    sink += out[n - 1];
+    done += n;
+    pos += n;
+    if (pos == views.size()) {
+      pos = 0;
+    }
+  }
+  const double elapsed = ElapsedNs(start);
+  if (sink == 0xFFFFFFFFFFFFFFFFull) {
+    std::printf("# sink %llu\n", static_cast<unsigned long long>(sink));
+  }
+  return elapsed / static_cast<double>(iters);
+}
+
+// Which verified policy a scenario deploys. All three are cacheable; they
+// differ in what the cache can save:
+//   kMicaHome        pure packet arithmetic (~tens of ns) — cheap enough
+//                    that re-execution beats a DRAM-resident table, so it
+//                    covers the small/medium flow counts only.
+//   kLeastLoaded     map-consulting but reads no packet bytes: its cache
+//                    key collapses to (port, len), one entry total. The
+//                    headline 3x gate.
+//   kHashedTwoChoice flow-hash home + deterministic two-choice over the
+//                    load map: packet-keyed (per-flow entries) AND
+//                    map-consulting (real recompute cost). The
+//                    representative shape for memoization at scale, so the
+//                    oversubscribed scenarios (f8192, f100k) gate on it.
+enum class BenchPolicy { kMicaHome, kLeastLoaded, kHashedTwoChoice };
+
+// Deterministic d=2 choices keyed by the packet's flow hash: look up the
+// flow's home executor and its neighbor in the load map, steer to the less
+// loaded. No randomness (get_prandom_u32 would make it uncacheable) — the
+// flow hash supplies the spread, the map supplies the load signal.
+std::string HashedTwoChoicePolicyAsm() {
+  return R"(
+.name hashed_two_choice
+.ctx packet
+.extern_map load /syrup/bench/load
+  mov r3, r1
+  add r3, 24
+  jgt r3, r2, pass
+  ldxw r6, [r1+20]
+  mod r6, 6            ; home = flow_hash % 6
+  mov r7, r6
+  add r7, 1
+  mod r7, 6            ; neighbor
+  stxw [r10-4], r6
+  ldmapfd r1, load
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jeq r0, 0, pass
+  ldxdw r8, [r0+0]     ; load[home]
+  stxw [r10-4], r7
+  ldmapfd r1, load
+  mov r2, r10
+  add r2, -4
+  call map_lookup_elem
+  jeq r0, 0, pass
+  ldxdw r9, [r0+0]     ; load[neighbor]
+  jlt r9, r8, pick_b
+  mov r0, r6
+  exit
+pick_b:
+  mov r0, r7
+  exit
+pass:
+  mov r0, PASS
+  exit
+)";
+}
+
+// Pre-pins the extern load map the map-consulting policies resolve at
+// deploy, seeded so the decision is stable. Returns the handle to keep it
+// alive.
 MapHandle PinLoadMap(Harness& h) {
   SyrupClient client(h.syrupd, h.app);
   MapSpec spec;
@@ -128,8 +226,8 @@ MapHandle PinLoadMap(Harness& h) {
 }
 
 ScenarioResult RunScenario(Hook hook, const std::string& policy_asm,
-                           bool least_loaded, uint32_t num_flows,
-                           uint64_t iters) {
+                           bool needs_load_map, uint32_t num_flows,
+                           bool skewed, uint64_t iters) {
   const std::vector<Packet> flows = MakeFlows(num_flows);
   std::vector<PacketView> views;
   views.reserve(flows.size());
@@ -137,59 +235,103 @@ ScenarioResult RunScenario(Hook hook, const std::string& policy_asm,
     views.push_back(PacketView::Of(pkt));
   }
 
+  // Access order. Uniform scenarios round-robin the flow set. `skewed`
+  // scenarios model scale traffic: 90% of packets from a 4096-flow hot
+  // set, 10% a one-shot cold tail that sweeps the rest of the universe
+  // (each tail flow recurs only once per ~full sweep — far beyond any
+  // realistic residency horizon). That is the regime a sketch-guarded
+  // adaptive cache targets at 100k flows: uniformly cycling a 100k-flow
+  // universe recurs each flow once per 100k packets, a pattern with no
+  // temporal locality for ANY cache (the uncached policy wins that one by
+  // construction, so it would gate nothing but memory bandwidth).
+  std::vector<PacketView> access;
+  if (skewed) {
+    Rng rng(0x5eedull);
+    const uint32_t hot = std::min<uint32_t>(4096, num_flows);
+    uint32_t cold_cursor = 0;
+    access.reserve(size_t{1} << 17);
+    for (size_t i = 0; i < (size_t{1} << 17); ++i) {
+      uint32_t flow;
+      if (num_flows <= hot || rng.NextBounded(10) != 0) {
+        flow = static_cast<uint32_t>(rng.NextBounded(hot));
+      } else {
+        flow = hot + cold_cursor;
+        cold_cursor = (cold_cursor + 1) % (num_flows - hot);
+      }
+      access.push_back(views[flow]);
+    }
+  } else {
+    access = views;
+  }
+
+  // Noise control on a shared machine: the gates are *ratios*, so the
+  // cached, uncached, and batched variants are measured in interleaved
+  // rounds (an interference burst then inflates all three alike instead of
+  // corrupting one side of the ratio), and each variant keeps the minimum
+  // over kReps rounds — the standard estimator for "the code's cost
+  // without interference".
+  constexpr int kReps = 3;
+
   ScenarioResult r;
   r.packets = iters;
-  {
-    Harness h;
-    MapHandle load;
-    if (least_loaded) {
-      load = PinLoadMap(h);
-    }
-    if (!h.syrupd.DeployPolicyFile(h.app, policy_asm, hook).ok()) {
-      std::fprintf(stderr, "deploy failed for %s\n",
-                   std::string(HookName(hook)).c_str());
-      std::exit(1);
-    }
-    SteerHook& fn = HookFn(h.stack, hook);
-    // Warm the table: one full pass populates every flow that fits.
-    for (const PacketView& view : views) {
-      (void)fn(view);
-    }
-    const uint64_t hits0 = h.CacheCounter(hook, "hits");
-    const uint64_t misses0 = h.CacheCounter(hook, "misses");
-    r.cached_ns = MeasureNs(fn, views, iters);
-    const uint64_t hits = h.CacheCounter(hook, "hits") - hits0;
-    const uint64_t misses = h.CacheCounter(hook, "misses") - misses0;
-    r.hit_rate = static_cast<double>(hits) /
-                 static_cast<double>(hits + misses > 0 ? hits + misses : 1);
+  Harness cached_h;
+  Harness uncached_h;
+  uncached_h.syrupd.set_flow_cache_enabled(false);
+  MapHandle cached_load;
+  MapHandle uncached_load;
+  if (needs_load_map) {
+    cached_load = PinLoadMap(cached_h);
+    uncached_load = PinLoadMap(uncached_h);
   }
-  {
-    Harness h;
-    h.syrupd.set_flow_cache_enabled(false);
-    MapHandle load;
-    if (least_loaded) {
-      load = PinLoadMap(h);
-    }
-    if (!h.syrupd.DeployPolicyFile(h.app, policy_asm, hook).ok()) {
-      std::fprintf(stderr, "deploy failed (uncached)\n");
-      std::exit(1);
-    }
-    SteerHook& fn = HookFn(h.stack, hook);
-    for (const PacketView& view : views) {
-      (void)fn(view);  // same warmup, fairness
-    }
-    r.uncached_ns = MeasureNs(fn, views, iters);
+  if (!cached_h.syrupd.DeployPolicyFile(cached_h.app, policy_asm, hook).ok() ||
+      !uncached_h.syrupd.DeployPolicyFile(uncached_h.app, policy_asm, hook)
+           .ok()) {
+    std::fprintf(stderr, "deploy failed for %s\n",
+                 std::string(HookName(hook)).c_str());
+    std::exit(1);
   }
+  SteerHook& cached_fn = HookFn(cached_h.stack, hook);
+  SteerHook& uncached_fn = HookFn(uncached_h.stack, hook);
+  // Warm the table. One pass populates every flow that fits a static
+  // table; large flow sets need a few passes so adaptive sizing observes
+  // the live-flow estimate and grows to steady state before measuring.
+  // The uncached harness gets the identical warmup for fairness.
+  const int warm_passes = num_flows >= 8192 ? 4 : 1;
+  for (int pass = 0; pass < warm_passes; ++pass) {
+    for (const PacketView& view : access) {
+      (void)cached_fn(view);
+      (void)uncached_fn(view);
+    }
+  }
+  const uint64_t hits0 = cached_h.CacheCounter(hook, "hits");
+  const uint64_t misses0 = cached_h.CacheCounter(hook, "misses");
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double cached_ns = MeasureNs(cached_fn, access, iters);
+    const double uncached_ns = MeasureNs(uncached_fn, access, iters);
+    const double batch_ns = MeasureBatchNs(cached_h.syrupd, hook, access,
+                                           iters);
+    r.cached_ns = rep == 0 ? cached_ns : std::min(r.cached_ns, cached_ns);
+    r.uncached_ns =
+        rep == 0 ? uncached_ns : std::min(r.uncached_ns, uncached_ns);
+    r.batch_ns = rep == 0 ? batch_ns : std::min(r.batch_ns, batch_ns);
+  }
+  const uint64_t hits = cached_h.CacheCounter(hook, "hits") - hits0;
+  const uint64_t misses = cached_h.CacheCounter(hook, "misses") - misses0;
+  r.hit_rate = static_cast<double>(hits) /
+               static_cast<double>(hits + misses > 0 ? hits + misses : 1);
   return r;
 }
 
 struct Scenario {
   const char* name;
   Hook hook;
-  // true: least_loaded (cacheable via its extern-map read set);
-  // false: MicaHome (cacheable pure packet-field policy).
-  bool least_loaded;
+  BenchPolicy policy;
   uint32_t num_flows;
+  // Skewed access (90% over a 4096-flow hot set, 10% one-shot cold tail)
+  // instead of uniform round-robin — used for the 100k-flow universe,
+  // where uniform cycling has no temporal locality for any cache by
+  // construction.
+  bool skewed = false;
 };
 
 bool BaselineFor(const std::string& text, const char* name, double* out) {
@@ -203,35 +345,51 @@ bool BaselineFor(const std::string& text, const char* name, double* out) {
 
 int Run(bool quick, const char* out_path, const char* baseline_path) {
   // Flow counts pick the cache's regimes: 16 and 256 sit comfortably in
-  // the 4096-slot table (~100% steady-state hit rate), 1536 loads it to
-  // ~40%, 8192 oversubscribes it 2x (probe-window evictions dominate —
-  // the cache must degrade gracefully, not pathologically).
+  // the default 4096-slot table (~100% steady-state hit rate) and 1536
+  // loads it, all on the pure-arithmetic MicaHome policy. The scale
+  // scenarios (8192 and a 100k-flow universe under skewed 90/10 access)
+  // run the hashed_two_choice policy instead: per-flow keys AND a real
+  // recompute cost (two map lookups), the workload memoization exists
+  // for — a policy cheaper than a DRAM line can't lose by being
+  // re-executed, so gating MicaHome at 100k flows would only measure
+  // memory bandwidth. Adaptive sizing must grow the table to the live-flow
+  // estimate during warmup and the admission sketch must keep the hot set
+  // resident against the cold tail.
   const Scenario scenarios[] = {
-      {"socket_select_f16", Hook::kSocketSelect, false, 16},
-      {"socket_select_f256", Hook::kSocketSelect, false, 256},
-      {"socket_select_f1536", Hook::kSocketSelect, false, 1536},
-      {"socket_select_f8192", Hook::kSocketSelect, false, 8192},
-      {"xdp_drv_f256", Hook::kXdpDrv, false, 256},
-      {"cpu_redirect_f256", Hook::kCpuRedirect, false, 256},
-      {"least_loaded_f256", Hook::kSocketSelect, true, 256},
+      {"socket_select_f16", Hook::kSocketSelect, BenchPolicy::kMicaHome, 16},
+      {"socket_select_f256", Hook::kSocketSelect, BenchPolicy::kMicaHome, 256},
+      {"socket_select_f1536", Hook::kSocketSelect, BenchPolicy::kMicaHome,
+       1536},
+      {"socket_select_f8192", Hook::kSocketSelect,
+       BenchPolicy::kHashedTwoChoice, 8192},
+      {"socket_select_f100k", Hook::kSocketSelect,
+       BenchPolicy::kHashedTwoChoice, 100'000, true},
+      {"xdp_drv_f256", Hook::kXdpDrv, BenchPolicy::kMicaHome, 256},
+      {"cpu_redirect_f256", Hook::kCpuRedirect, BenchPolicy::kMicaHome, 256},
+      {"least_loaded_f256", Hook::kSocketSelect, BenchPolicy::kLeastLoaded,
+       256},
   };
   const uint64_t iters = quick ? 400'000 : 4'000'000;
 
   std::map<std::string, ScenarioResult> results;
   std::printf("# flow_cache: cached vs uncached dispatch (%s mode)\n",
               quick ? "quick" : "full");
-  std::printf("%-22s %11s %11s %9s %9s\n", "scenario", "cached",
-              "uncached", "speedup", "hit_rate");
+  std::printf("%-22s %11s %11s %11s %9s %9s\n", "scenario", "cached",
+              "uncached", "batch", "speedup", "hit_rate");
   for (const Scenario& s : scenarios) {
     const std::string policy_asm =
-        s.least_loaded ? LeastLoadedPolicyAsm(6, "/syrup/bench/load")
-                       : MicaHomePolicyAsm(6);
-    const ScenarioResult r = RunScenario(s.hook, policy_asm, s.least_loaded,
-                                         s.num_flows, iters);
+        s.policy == BenchPolicy::kLeastLoaded
+            ? LeastLoadedPolicyAsm(6, "/syrup/bench/load")
+            : (s.policy == BenchPolicy::kHashedTwoChoice
+                   ? HashedTwoChoicePolicyAsm()
+                   : MicaHomePolicyAsm(6));
+    const ScenarioResult r =
+        RunScenario(s.hook, policy_asm, s.policy != BenchPolicy::kMicaHome,
+                    s.num_flows, s.skewed, iters);
     results[s.name] = r;
-    std::printf("%-22s %8.1f ns %8.1f ns %8.2fx %8.1f%%\n", s.name,
-                r.cached_ns, r.uncached_ns, r.uncached_ns / r.cached_ns,
-                r.hit_rate * 100.0);
+    std::printf("%-22s %8.1f ns %8.1f ns %8.1f ns %8.2fx %8.1f%%\n", s.name,
+                r.cached_ns, r.uncached_ns, r.batch_ns,
+                r.uncached_ns / r.cached_ns, r.hit_rate * 100.0);
   }
 
   std::FILE* out = std::fopen(out_path, "w");
@@ -248,9 +406,11 @@ int Run(bool quick, const char* out_path, const char* baseline_path) {
   for (const auto& [name, r] : results) {
     std::fprintf(out,
                  "    \"%s\": {\"cached\": %.2f, \"uncached\": %.2f, "
-                 "\"speedup\": %.3f, \"hit_rate\": %.4f}%s\n",
-                 name.c_str(), r.cached_ns, r.uncached_ns,
-                 r.uncached_ns / r.cached_ns, r.hit_rate,
+                 "\"batch\": %.2f, \"speedup\": %.3f, "
+                 "\"batch_speedup\": %.3f, \"hit_rate\": %.4f}%s\n",
+                 name.c_str(), r.cached_ns, r.uncached_ns, r.batch_ns,
+                 r.uncached_ns / r.cached_ns,
+                 r.uncached_ns / r.batch_ns, r.hit_rate,
                  ++index == results.size() ? "" : ",");
   }
   std::fprintf(out, "  }\n}\n");
@@ -279,6 +439,24 @@ int Run(bool quick, const char* out_path, const char* baseline_path) {
   } else {
     std::printf("# gate ok: %.2fx speedup at %.1f%% hit rate\n",
                 gate.uncached_ns / gate.cached_ns, gate.hit_rate * 100.0);
+  }
+
+  // No-regression gate: with adaptive sizing the cache must never lose to
+  // uncached dispatch at ANY flow count — the oversubscribed scenarios
+  // (f8192, f100k) are exactly where the fixed-size table used to thrash.
+  for (const auto& [name, r] : results) {
+    const double speedup = r.uncached_ns / r.cached_ns;
+    if (speedup < 1.0) {
+      std::fprintf(stderr,
+                   "GATE: %s regresses under the cache — cached %.1f ns vs "
+                   "uncached %.1f ns (%.2fx, hit rate %.1f%%)\n",
+                   name.c_str(), r.cached_ns, r.uncached_ns, speedup,
+                   r.hit_rate * 100.0);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("# gate ok: cached >= uncached at every flow count\n");
   }
 
   if (baseline_path == nullptr) {

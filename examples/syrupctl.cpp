@@ -9,6 +9,7 @@
 // Build & run:
 //   ./build/examples/syrupctl            # human-readable inspection
 //   ./build/examples/syrupctl stats      # full StatsSnapshot() as JSON
+//   ./build/examples/syrupctl flow-cache # FlowCacheConfig + cache counters
 //   ./build/examples/syrupctl lint p.s   # verifier lint report for a policy
 #include <cstdio>
 #include <cstring>
@@ -97,8 +98,10 @@ int main(int argc, char** argv) {
     }
     return LintPolicyFile(argv[2]);
   }
-  if (command != "inspect" && command != "stats") {
-    std::fprintf(stderr, "usage: %s [inspect|stats|lint <policy.s>]\n",
+  if (command != "inspect" && command != "stats" &&
+      command != "flow-cache") {
+    std::fprintf(stderr,
+                 "usage: %s [inspect|stats|flow-cache|lint <policy.s>]\n",
                  argv[0]);
     return 2;
   }
@@ -168,6 +171,48 @@ int main(int argc, char** argv) {
     // The entire observability tree: every app, hook, and metric the
     // daemon accounted during the run (docs/OBSERVABILITY.md schema).
     std::printf("%s\n", syrupd.StatsSnapshot().ToJson().c_str());
+    return 0;
+  }
+
+  if (command == "flow-cache") {
+    // The typed FlowCacheConfig knob surface plus the per-hook cache
+    // counters it drives (flow_cache.* under {"syrupd", <hook>}).
+    const FlowCacheConfig& config = syrupd.flow_cache_config();
+    std::printf("== flow cache config ==\n");
+    std::printf("  enabled=%s capacity=%zu admission=%s adaptive=%s\n",
+                config.enabled ? "true" : "false", config.capacity,
+                config.admission ? "true" : "false",
+                config.adaptive ? "true" : "false");
+    std::printf("\n== per-hook cache counters ==\n");
+    const obs::Snapshot snapshot = syrupd.StatsSnapshot();
+    for (size_t i = 0; i < kNumHooks; ++i) {
+      const Hook hook = HookFromIndex(i);
+      if (!IsPacketHook(hook)) {
+        continue;
+      }
+      const std::string name(HookName(hook));
+      std::printf(
+          "  %-14s hits=%llu misses=%llu invalidations=%llu "
+          "uncacheable=%llu evictions=%llu admission_rejects=%llu "
+          "resizes=%llu capacity=%lld\n",
+          name.c_str(),
+          static_cast<unsigned long long>(
+              snapshot.CounterValue("syrupd", name, "flow_cache.hits")),
+          static_cast<unsigned long long>(
+              snapshot.CounterValue("syrupd", name, "flow_cache.misses")),
+          static_cast<unsigned long long>(snapshot.CounterValue(
+              "syrupd", name, "flow_cache.invalidations")),
+          static_cast<unsigned long long>(snapshot.CounterValue(
+              "syrupd", name, "flow_cache.uncacheable")),
+          static_cast<unsigned long long>(snapshot.CounterValue(
+              "syrupd", name, "flow_cache.evictions")),
+          static_cast<unsigned long long>(snapshot.CounterValue(
+              "syrupd", name, "flow_cache.admission_rejects")),
+          static_cast<unsigned long long>(
+              snapshot.CounterValue("syrupd", name, "flow_cache.resizes")),
+          static_cast<long long>(
+              snapshot.GaugeValue("syrupd", name, "flow_cache.capacity")));
+    }
     return 0;
   }
 

@@ -42,7 +42,10 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack, config.seed);
   syrupd.set_exec_mode(config.exec_mode);
-  syrupd.set_flow_cache_enabled(config.flow_cache);
+  // The deprecated bool still gates the cache: both knobs must say on.
+  FlowCacheConfig cache_config = config.flow_cache_config;
+  cache_config.enabled = cache_config.enabled && config.flow_cache;
+  syrupd.set_flow_cache_config(cache_config);
   const AppId app =
       syrupd.RegisterApp("rocksdb", kAppUid, kRocksDbPort).value();
 
@@ -361,7 +364,9 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack, config.seed);
   syrupd.set_exec_mode(config.exec_mode);
-  syrupd.set_flow_cache_enabled(config.flow_cache);
+  FlowCacheConfig cache_config = config.flow_cache_config;
+  cache_config.enabled = cache_config.enabled && config.flow_cache;
+  syrupd.set_flow_cache_config(cache_config);
   const AppId app = syrupd.RegisterApp("mica", kAppUid, kMicaPort).value();
 
   Machine machine(sim, config.num_threads);

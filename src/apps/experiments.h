@@ -13,6 +13,7 @@
 #include "src/apps/mica_server.h"
 #include "src/bpf/compiler.h"
 #include "src/common/time.h"
+#include "src/core/flow_cache.h"
 
 namespace syrup {
 
@@ -43,8 +44,12 @@ struct RocksDbExperimentConfig {
   bpf::ExecMode exec_mode = bpf::ExecMode::kCompiled;
   // Flow-decision cache (src/core/flow_cache.h). Cacheable policies are
   // pure, so results are bit-identical either way (asserted by
-  // tests/flow_cache_differential_test.cc); off is the ablation.
-  bool flow_cache = true;
+  // tests/flow_cache_differential_test.cc); disabling is the ablation.
+  // The full knob set (capacity, admission, adaptive sizing) lives here;
+  // `flow_cache` below is the deprecated enabled-only toggle, still
+  // honored by AND-ing into flow_cache_config.enabled.
+  FlowCacheConfig flow_cache_config;
+  bool flow_cache = true;  // deprecated: use flow_cache_config.enabled
   // Late binding at the socket layer (paper §6.3 extension): buffer
   // datagrams centrally and match them to sockets whose worker is idle.
   bool late_binding = false;
@@ -118,8 +123,9 @@ struct MicaExperimentConfig {
   bool use_bytecode = false;
   // Execution tier for bytecode deployments (ignored without use_bytecode).
   bpf::ExecMode exec_mode = bpf::ExecMode::kCompiled;
-  // Flow-decision cache toggle (see RocksDbExperimentConfig::flow_cache).
-  bool flow_cache = true;
+  // Flow-decision cache knobs (see RocksDbExperimentConfig).
+  FlowCacheConfig flow_cache_config;
+  bool flow_cache = true;  // deprecated: use flow_cache_config.enabled
   Duration warmup = 100 * kMillisecond;
   Duration measure = 500 * kMillisecond;
   uint64_t seed = 1;

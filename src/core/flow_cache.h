@@ -3,8 +3,8 @@
 // Syrup's NIC offload is fast because the matching function's *decision*
 // is installed into the hardware flow table — subsequent packets of a flow
 // skip policy execution entirely. This is the same idea for the software
-// hooks: a fixed-size open-addressed table in front of Syrupd::Dispatch
-// that maps a flow key to the Decision the policy last produced.
+// hooks: an open-addressed table in front of Syrupd::DispatchBatch that
+// maps a flow key to the Decision the policy last produced.
 //
 // Correctness is static analysis + versioning, never heuristics:
 //
@@ -22,6 +22,22 @@
 //     sum differs sees a guaranteed miss (counted as an invalidation).
 //   * Deploy/remove at a hook bumps the hook's epoch; entries stamped
 //     with an older epoch never hit, which flushes the whole hook in O(1).
+//
+// Scale (the "flow cache at scale" design, see DESIGN.md):
+//
+//   * Admission is TinyLFU-style: a 4-bit counting-min sketch estimates
+//     each flow's access frequency; when an insert would evict a live
+//     entry, the newcomer must out-count the coldest resident or it is
+//     rejected. A doorkeeper bit-set absorbs one-hit wonders before they
+//     touch the counters, and because the sketch is only consulted on the
+//     miss/insert path, a 100%-hit workload pays nothing for it.
+//   * Capacity adapts to the observed live-flow population: lookups are
+//     grouped into windows of one-table-length each, and each entry's
+//     *first hit* in a window bumps a live-flow counter — so "live" means
+//     recurring, and a skewed workload's one-hit cold tail never inflates
+//     the estimate. At each window boundary the table grows toward
+//     2x (live flows + eviction pressure) or shrinks when it is >4x
+//     oversized; the boundary work is O(1), no table sweep.
 //
 // The cache is deliberately not internally synchronized: in the simulator
 // each hook's dispatch runs serialized (softirq model), and this mirrors a
@@ -45,6 +61,21 @@
 #include "src/obs/metrics.h"
 
 namespace syrup {
+
+// The one knob surface for the flow cache (Syrupd::set_flow_cache_config,
+// SyrupClient, syrupctl, and the experiment configs all traffic in this
+// struct; the old set_flow_cache_enabled(bool) is a deprecated shim).
+struct FlowCacheConfig {
+  bool enabled = true;
+  // Initial table size in slots (rounded up to a power of two). With
+  // `adaptive` set this is just the starting point; without it, the table
+  // stays at exactly this size.
+  size_t capacity = 4096;
+  // TinyLFU admission: cold flows cannot evict entries that out-count them.
+  bool admission = true;
+  // Grow/shrink the table by the observed live-flow estimate.
+  bool adaptive = true;
+};
 
 // What a deployment needs to consult the cache, derived once at attach
 // time from the verifier's facts. Maps are raw observers: the deployment's
@@ -73,35 +104,112 @@ struct FlowCacheBinding {
 
 // Per-hook cache counters, resolved from the daemon's registry under
 // {"syrupd", <hook>, "flow_cache.*"} so syrupctl stats surfaces them.
+// hits/misses/invalidations/uncacheable are bumped by the dispatcher;
+// evictions/admission_rejects/resizes (and the capacity gauge) by the
+// cache itself once BindCounters hands it the same cells.
 struct FlowCacheCounters {
   std::shared_ptr<obs::Counter> hits;
   std::shared_ptr<obs::Counter> misses;
   std::shared_ptr<obs::Counter> invalidations;
   std::shared_ptr<obs::Counter> uncacheable;
+  std::shared_ptr<obs::Counter> evictions;
+  std::shared_ptr<obs::Counter> admission_rejects;
+  std::shared_ptr<obs::Counter> resizes;
+  std::shared_ptr<obs::Gauge> capacity;
 
   static FlowCacheCounters Detached();
   static FlowCacheCounters InRegistry(obs::MetricsRegistry& registry,
                                       std::string_view hook);
 };
 
-// The table. Fixed-size, open-addressed with a short linear probe window,
-// overwrite-on-collision (a megaflow cache, not an LRU).
+// TinyLFU-style frequency sketch: a single array of 4-bit saturating
+// counters probed at four positions per key (estimate = the minimum), plus
+// a doorkeeper bit-set that absorbs a flow's first occurrence so one-hit
+// wonders never dirty the counters. Every `8 * width` samples the counters
+// halve and the doorkeeper clears, so the sketch tracks recent frequency,
+// not all-time counts.
+class FrequencySketch {
+ public:
+  static constexpr uint32_t kMaxEstimate = 15;
+
+  FrequencySketch() { Resize(0); }
+
+  // Sizes the sketch to ~`counters` 4-bit cells (power of two, min 64) and
+  // clears all frequency state.
+  void Resize(size_t counters);
+
+  // Records one occurrence of `hash` and ages the sketch when the sample
+  // budget is spent.
+  void Touch(uint64_t hash);
+
+  // Recent-frequency estimate for `hash` (min over the probed counters,
+  // plus the doorkeeper's absorbed first hit).
+  uint32_t Estimate(uint64_t hash) const;
+
+  uint64_t samples() const { return samples_; }
+  uint64_t agings() const { return agings_; }
+  size_t width() const { return mask_ + 1; }
+
+ private:
+  uint32_t CounterAt(size_t index) const {
+    return static_cast<uint32_t>(table_[index >> 4] >> ((index & 15) * 4)) &
+           0xF;
+  }
+  bool DoorkeeperTest(uint64_t hash) const;
+  void DoorkeeperSet(uint64_t hash);
+  void Age();
+
+  std::vector<uint64_t> table_;  // 16 4-bit counters per word
+  std::vector<uint64_t> door_;   // 64 doorkeeper bits per word
+  size_t mask_ = 0;
+  uint64_t samples_ = 0;
+  uint64_t sample_limit_ = 0;
+  uint64_t agings_ = 0;
+};
+
+// The table. Open-addressed with a short linear probe window,
+// admission-gated eviction (a megaflow cache with a TinyLFU filter, not an
+// LRU), and window-driven adaptive sizing.
 class FlowDecisionCache {
  public:
   // Key capacity: dst port (2) + packet length (2) + up to 64 masked
   // packet bytes (AnalysisFacts::kMaxTrackedPktBytes).
   static constexpr size_t kMaxKeyBytes =
       4 + static_cast<size_t>(bpf::AnalysisFacts::kMaxTrackedPktBytes);
-  static constexpr size_t kNumSlots = 4096;  // power of two
+  static constexpr size_t kMinSlots = 16;        // floor for tiny test configs
+  static constexpr size_t kMaxSlots = 1 << 18;   // ~262k flows resident
+  static constexpr size_t kShrinkFloor = 1024;   // adaptive shrink stops here
   static constexpr size_t kProbeWindow = 4;
 
-  FlowDecisionCache() : slots_(kNumSlots) {}
+  explicit FlowDecisionCache(FlowCacheConfig config = {}) {
+    Configure(config);
+  }
 
-  // A materialized flow key plus its hash.
+  // Applies a new configuration: resets the table to config.capacity and
+  // clears the sketch. Dropping entries is always safe — the cache is
+  // semantically transparent.
+  void Configure(const FlowCacheConfig& config);
+  const FlowCacheConfig& config() const { return config_; }
+
+  // Current table size in slots (moves under `adaptive`).
+  size_t capacity() const { return slots_.size(); }
+
+  // Re-homes eviction/admission/resize accounting (Syrupd binds its
+  // registry-backed cells here so StatsSnapshot surfaces them).
+  void BindCounters(FlowCacheCounters counters);
+
+  // A materialized flow key plus its hash. Deliberately trivial (no
+  // default member initializers): DispatchChunk keeps an uninitialized
+  // kMaxDispatchBatch-sized array of these on the stack, and zeroing all
+  // of them would dominate a batch-of-1 dispatch. MakeKey sets every
+  // field it returns.
   struct Key {
     uint8_t bytes[kMaxKeyBytes];
-    uint32_t len = 0;
-    uint64_t hash = 0;
+    uint32_t len;
+    uint64_t hash;
+    // The first min(len, 8) key bytes, zero-padded: compared inline from
+    // the hot entry so short keys never touch the cold key array.
+    uint64_t prefix;
   };
 
   // Derives the flow key for `pkt` under `mask` (the verifier's
@@ -109,6 +217,12 @@ class FlowDecisionCache {
   // inside the packet. Bytes the mask names beyond the packet's end are
   // simply absent — which is fine, because the length is part of the key.
   static Key MakeKey(const PacketView& pkt, uint64_t mask);
+
+  // Warms the cache line of `hash`'s home slot. DispatchBatch hoists this
+  // across a burst so the probes in the in-order phase hit warm lines.
+  void PrefetchSlot(uint64_t hash) const {
+    __builtin_prefetch(&slots_[static_cast<size_t>(hash) & mask_]);
+  }
 
   // Probes for `key` stamped with the current `epoch` and `version_sum`.
   // Returns true and sets `*out` on a hit. A key match whose stamp is
@@ -120,7 +234,10 @@ class FlowDecisionCache {
 
   // Installs (or refreshes) the decision for `key`. `version_sum` must
   // have been captured *before* the policy executed, so a concurrent map
-  // update during execution leaves the entry already-stale.
+  // update during execution leaves the entry already-stale. Under
+  // admission the insert may be *rejected*: when every slot in the probe
+  // window holds a live entry, the newcomer must out-count the coldest
+  // resident in the frequency sketch or the resident stays.
   void Insert(const Key& key, Decision decision, uint64_t epoch,
               uint64_t version_sum);
 
@@ -128,20 +245,69 @@ class FlowDecisionCache {
   // unnecessary in the daemon).
   void Clear();
 
-  size_t OccupiedSlots() const;
+  size_t OccupiedSlots() const { return occupied_; }
+
+  // Test introspection into the admission sketch.
+  const FrequencySketch& sketch() const { return sketch_; }
 
  private:
+  // Hot half of a slot: everything a probe compares or stamps, 48 bytes so
+  // a 4-slot probe window spans ~3 cache lines. The full key bytes live in
+  // the parallel `keys_` array (kMaxKeyBytes stride); `key_prefix` holds
+  // the first 8 of them so the common short key (port + len + a few masked
+  // bytes) compares entirely from the hot line. At 100k+ resident flows the
+  // table is DRAM-resident and probe cost is line count, not instructions.
   struct Entry {
     uint64_t hash = 0;
     uint64_t version_sum = 0;
     uint64_t epoch = 0;
+    uint64_t key_prefix = 0;
     uint32_t key_len = 0;
     Decision decision = 0;
+    uint32_t last_seen = 0;  // window the entry last hit or was inserted in
     bool valid = false;
-    uint8_t key[kMaxKeyBytes];
   };
 
+  // True when `slot` holds exactly `key` (hash, prefix, and — only for
+  // keys longer than the inline prefix — the cold tail bytes).
+  bool SlotMatches(const Entry& entry, size_t slot, const Key& key) const {
+    return entry.hash == key.hash && entry.key_len == key.len &&
+           entry.key_prefix == key.prefix &&
+           (key.len <= 8 ||
+            std::memcmp(KeyAt(slot) + 8, key.bytes + 8, key.len - 8) == 0);
+  }
+
+  static size_t RoundCapacity(size_t requested);
+
+  uint8_t* KeyAt(size_t slot) { return keys_.data() + slot * kMaxKeyBytes; }
+  const uint8_t* KeyAt(size_t slot) const {
+    return keys_.data() + slot * kMaxKeyBytes;
+  }
+
+  // Window boundary: estimate the live-flow population, grow/shrink the
+  // table toward 2x (live + pressure), and open the next window.
+  void AdvanceWindow();
+  void ResizeTo(size_t new_slots);
+  // Rehash helper: places `entry` (whose key bytes are `key_bytes`) without
+  // admission (first-wins; a dropped entry on shrink counts as an eviction).
+  void Place(const Entry& entry, const uint8_t* key_bytes);
+
+  FlowCacheConfig config_;
   std::vector<Entry> slots_;
+  std::vector<uint8_t> keys_;  // kMaxKeyBytes per slot, parallel to slots_
+  size_t mask_ = 0;
+  size_t floor_slots_ = kMinSlots;  // adaptive shrink never goes below this
+  FrequencySketch sketch_;
+  FlowCacheCounters counters_ = FlowCacheCounters::Detached();
+  size_t occupied_ = 0;
+  uint32_t window_ = 1;  // 0 is "never seen", so windows start at 1
+  uint64_t window_lookups_ = 0;
+  uint64_t window_pressure_ = 0;  // evictions + admission rejects
+  // Distinct entries hit so far this window / in the whole previous window:
+  // the incremental live-flow estimate (insertions deliberately don't
+  // count — an entry only proves it is live by hitting).
+  uint64_t window_live_ = 0;
+  uint64_t prev_window_live_ = 0;
 };
 
 }  // namespace syrup

@@ -1,5 +1,7 @@
 #include "src/core/root_dispatcher.h"
 
+#include <cstring>
+
 #include "src/bpf/assembler.h"
 #include "src/bpf/verifier.h"
 #include "src/common/logging.h"
@@ -65,8 +67,8 @@ StatusOr<RootDispatcher> BuildRootDispatcher(uint32_t max_apps) {
   return dispatcher;
 }
 
-Status RootDispatcher::AddRoute(uint16_t port, uint32_t index,
-                                uint64_t prog_id) {
+StatusOr<RouteHandle> RootDispatcher::AddRoute(uint16_t port, uint32_t index,
+                                               uint64_t prog_id) {
   if (port_map == nullptr || prog_array == nullptr) {
     return FailedPreconditionError("dispatcher not built");
   }
@@ -75,7 +77,60 @@ Status RootDispatcher::AddRoute(uint16_t port, uint32_t index,
       port_map->Update(&wire_port, &index, UpdateFlag::kAny));
   uint32_t key = index;
   uint64_t value = prog_id;
-  return prog_array->Update(&key, &value, UpdateFlag::kAny);
+  SYRUP_RETURN_IF_ERROR(prog_array->Update(&key, &value, UpdateFlag::kAny));
+  return RouteHandle(this, port, index, prog_id);
+}
+
+Status RootDispatcher::RemoveRoute(uint16_t port, uint32_t index,
+                                   int64_t only_prog_id) {
+  if (port_map == nullptr || prog_array == nullptr) {
+    return FailedPreconditionError("dispatcher not built");
+  }
+  const uint16_t wire_port = __builtin_bswap16(port);
+  const void* routed = port_map->Lookup(&wire_port);
+  if (routed == nullptr) {
+    return NotFoundError("no route for port");
+  }
+  uint32_t routed_index;
+  std::memcpy(&routed_index, routed, sizeof(routed_index));
+  if (routed_index != index) {
+    // The port was re-pointed at another slot: this route is already gone.
+    return NotFoundError("route re-pointed");
+  }
+  if (only_prog_id >= 0) {
+    uint32_t key = index;
+    const void* slot = prog_array->Lookup(&key);
+    uint64_t slot_prog = 0;
+    if (slot != nullptr) {
+      std::memcpy(&slot_prog, slot, sizeof(slot_prog));
+    }
+    if (slot_prog != static_cast<uint64_t>(only_prog_id)) {
+      return NotFoundError("slot holds a different program");
+    }
+  }
+  SYRUP_RETURN_IF_ERROR(port_map->Delete(&wire_port));
+  uint32_t key = index;
+  return prog_array->Delete(&key);
+}
+
+Status RootDispatcher::DispatchBatch(bpf::Interpreter& interp,
+                                     std::span<const PacketView> pkts,
+                                     std::span<Decision> out) const {
+  if (program == nullptr) {
+    return FailedPreconditionError("dispatcher not built");
+  }
+  if (pkts.size() != out.size()) {
+    return InvalidArgumentError("pkts/out size mismatch");
+  }
+  for (size_t i = 0; i < pkts.size(); ++i) {
+    SYRUP_ASSIGN_OR_RETURN(
+        bpf::ExecResult result,
+        interp.Run(*program, reinterpret_cast<uint64_t>(pkts[i].start),
+                   reinterpret_cast<uint64_t>(pkts[i].end),
+                   /*args_are_packet=*/true));
+    out[i] = static_cast<Decision>(result.r0);
+  }
+  return OkStatus();
 }
 
 }  // namespace syrup

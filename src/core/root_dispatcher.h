@@ -5,18 +5,32 @@
 // map, and tail-calls into a PROG_ARRAY slot holding that application's
 // policy. This file builds that exact program for the Syrup VM so the
 // mechanism itself is testable and benchmarkable; the simulation hot path
-// uses Syrupd::Dispatch, a native implementation of the same routing.
+// uses Syrupd::DispatchBatch, a native implementation of the same routing
+// (DispatchBatch runs the port match natively and batch-probes the flow
+// cache; Dispatch is its batch-of-1 form).
+//
+// Routes follow the same typed-handle pattern as MapHandle/PolicyHandle:
+// AddRoute returns a RouteHandle that withdraws the route when it goes out
+// of scope, conditionally — a stale handle never tears down a route that
+// was re-pointed at a different program.
 #ifndef SYRUP_SRC_CORE_ROOT_DISPATCHER_H_
 #define SYRUP_SRC_CORE_ROOT_DISPATCHER_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 
+#include "src/bpf/interpreter.h"
 #include "src/bpf/program.h"
+#include "src/common/decision.h"
 #include "src/common/status.h"
 #include "src/map/prog_array.h"
+#include "src/net/packet.h"
 
 namespace syrup {
+
+class RouteHandle;
 
 struct RootDispatcher {
   std::shared_ptr<bpf::Program> program;
@@ -26,7 +40,88 @@ struct RootDispatcher {
   std::shared_ptr<ProgArrayMap> prog_array;
 
   // Routes `port` to prog array slot `index` holding program `prog_id`.
-  Status AddRoute(uint16_t port, uint32_t index, uint64_t prog_id);
+  // The returned handle owns the route: keep it alive for as long as the
+  // route should exist, or Release() it for a permanent route.
+  StatusOr<RouteHandle> AddRoute(uint16_t port, uint32_t index,
+                                 uint64_t prog_id);
+
+  // Withdraws `port`'s route. Conditional like PolicyHandle's detach: with
+  // `only_prog_id` >= 0 the route is only removed while slot `index` still
+  // holds that program, so a stale handle never removes a newer route.
+  Status RemoveRoute(uint16_t port, uint32_t index,
+                     int64_t only_prog_id = -1);
+
+  // Runs the literal dispatcher over a burst of packets — the VM mirror of
+  // Syrupd::DispatchBatch (one decision per view, in order). Stops on the
+  // first VM error.
+  Status DispatchBatch(bpf::Interpreter& interp,
+                       std::span<const PacketView> pkts,
+                       std::span<Decision> out) const;
+};
+
+// Owns one dispatcher route. Move-only; withdraws the route on destruction
+// unless released (the MapHandle/PolicyHandle pattern).
+class RouteHandle {
+ public:
+  RouteHandle() = default;
+  RouteHandle(RootDispatcher* dispatcher, uint16_t port, uint32_t index,
+              uint64_t prog_id)
+      : dispatcher_(dispatcher), port_(port), index_(index),
+        prog_id_(prog_id) {}
+
+  ~RouteHandle() { Reset(); }
+
+  RouteHandle(const RouteHandle&) = delete;
+  RouteHandle& operator=(const RouteHandle&) = delete;
+
+  RouteHandle(RouteHandle&& other) noexcept { *this = std::move(other); }
+  RouteHandle& operator=(RouteHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      dispatcher_ = other.dispatcher_;
+      port_ = other.port_;
+      index_ = other.index_;
+      prog_id_ = other.prog_id_;
+      other.dispatcher_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return dispatcher_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  uint16_t port() const { return port_; }
+  uint32_t index() const { return index_; }
+  uint64_t prog_id() const { return prog_id_; }
+
+  // Withdraws now (idempotent). NotFound means the route was already gone;
+  // treated as success.
+  Status Remove() {
+    if (!valid()) {
+      return OkStatus();
+    }
+    Status s = dispatcher_->RemoveRoute(port_, index_,
+                                        static_cast<int64_t>(prog_id_));
+    dispatcher_ = nullptr;
+    return s.code() == StatusCode::kNotFound ? OkStatus() : s;
+  }
+
+  // Gives up ownership: the route outlives the handle.
+  void Release() { dispatcher_ = nullptr; }
+
+ private:
+  void Reset() {
+    if (valid()) {
+      (void)dispatcher_->RemoveRoute(port_, index_,
+                                     static_cast<int64_t>(prog_id_));
+    }
+    dispatcher_ = nullptr;
+  }
+
+  RootDispatcher* dispatcher_ = nullptr;
+  uint16_t port_ = 0;
+  uint32_t index_ = 0;
+  uint64_t prog_id_ = 0;
 };
 
 // Assembles and verifies the dispatcher. `max_apps` bounds the prog array.

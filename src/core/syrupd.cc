@@ -37,6 +37,9 @@ Syrupd::Syrupd(Simulator& sim, HostStack* stack, uint64_t seed)
         metrics_.GetCounter("syrupd", hook, "decision_drop");
     hook_cells_[i].flow_cache =
         FlowCacheCounters::InRegistry(metrics_, hook);
+    // The cache bumps its eviction/admission/resize accounting through the
+    // same registry-backed cells, so StatsSnapshot sees one coherent set.
+    flow_cache_[i].BindCounters(hook_cells_[i].flow_cache);
   }
   if (stack_ != nullptr) {
     stack_->BindMetrics(metrics_);
@@ -396,13 +399,33 @@ Status Syrupd::InstallStackHook(Hook hook) {
   auto dispatcher = [this, hook](const PacketView& pkt) {
     return Dispatch(hook, pkt);
   };
+  auto batch_dispatcher = [this, hook](std::span<const PacketView> pkts,
+                                       std::span<Decision> out) {
+    DispatchBatch(hook, pkts, out);
+  };
   StackHooks& hooks = stack_->hooks();
+  StackBatchHooks& batch = stack_->batch_hooks();
   switch (hook) {
-    case Hook::kXdpOffload: hooks.xdp_offload = dispatcher; break;
-    case Hook::kXdpDrv: hooks.xdp_drv = dispatcher; break;
-    case Hook::kXdpSkb: hooks.xdp_skb = dispatcher; break;
-    case Hook::kCpuRedirect: hooks.cpu_redirect = dispatcher; break;
-    case Hook::kSocketSelect: hooks.socket_select = dispatcher; break;
+    case Hook::kXdpOffload:
+      hooks.xdp_offload = dispatcher;
+      batch.xdp_offload = batch_dispatcher;
+      break;
+    case Hook::kXdpDrv:
+      hooks.xdp_drv = dispatcher;
+      batch.xdp_drv = batch_dispatcher;
+      break;
+    case Hook::kXdpSkb:
+      hooks.xdp_skb = dispatcher;
+      batch.xdp_skb = batch_dispatcher;
+      break;
+    case Hook::kCpuRedirect:
+      hooks.cpu_redirect = dispatcher;
+      batch.cpu_redirect = batch_dispatcher;
+      break;
+    case Hook::kSocketSelect:
+      hooks.socket_select = dispatcher;
+      batch.socket_select = batch_dispatcher;
+      break;
     case Hook::kThreadScheduler:
       return InvalidArgumentError("not a stack hook");
   }
@@ -414,65 +437,150 @@ void Syrupd::MaybeUninstallStackHook(Hook hook) {
     return;
   }
   StackHooks& hooks = stack_->hooks();
+  StackBatchHooks& batch = stack_->batch_hooks();
   switch (hook) {
-    case Hook::kXdpOffload: hooks.xdp_offload = nullptr; break;
-    case Hook::kXdpDrv: hooks.xdp_drv = nullptr; break;
-    case Hook::kXdpSkb: hooks.xdp_skb = nullptr; break;
-    case Hook::kCpuRedirect: hooks.cpu_redirect = nullptr; break;
-    case Hook::kSocketSelect: hooks.socket_select = nullptr; break;
+    case Hook::kXdpOffload:
+      hooks.xdp_offload = nullptr;
+      batch.xdp_offload = nullptr;
+      break;
+    case Hook::kXdpDrv:
+      hooks.xdp_drv = nullptr;
+      batch.xdp_drv = nullptr;
+      break;
+    case Hook::kXdpSkb:
+      hooks.xdp_skb = nullptr;
+      batch.xdp_skb = nullptr;
+      break;
+    case Hook::kCpuRedirect:
+      hooks.cpu_redirect = nullptr;
+      batch.cpu_redirect = nullptr;
+      break;
+    case Hook::kSocketSelect:
+      hooks.socket_select = nullptr;
+      batch.socket_select = nullptr;
+      break;
     case Hook::kThreadScheduler: break;
   }
 }
 
 Decision Syrupd::Dispatch(Hook hook, const PacketView& pkt) {
-  const uint16_t port = pkt.DstPort();
+  Decision d = kPass;
+  DispatchBatch(hook, std::span<const PacketView>(&pkt, 1),
+                std::span<Decision>(&d, 1));
+  return d;
+}
+
+void Syrupd::DispatchBatch(Hook hook, std::span<const PacketView> pkts,
+                           std::span<Decision> out) {
+  SYRUP_CHECK_EQ(pkts.size(), out.size());
+  for (size_t offset = 0; offset < pkts.size();
+       offset += kMaxDispatchBatch) {
+    const size_t n = std::min(kMaxDispatchBatch, pkts.size() - offset);
+    DispatchChunk(hook, pkts.subspan(offset, n), out.subspan(offset, n));
+  }
+}
+
+void Syrupd::DispatchChunk(Hook hook, std::span<const PacketView> pkts,
+                           std::span<Decision> out) {
   const size_t hook_index = HookIndex(hook);
   HookCells& cells = hook_cells_[hook_index];
   auto& table = dispatch_[hook_index];
-  auto it = table.find(port);
-  if (it == table.end()) {
-    cells.no_policy->value += 1;
-    return kPass;
-  }
-  cells.dispatched->value += 1;
-  PortEntry& entry = it->second;
-  entry.app_dispatched->value += 1;
+  FlowDecisionCache& cache = flow_cache_[hook_index];
+  const bool cache_enabled = flow_cache_config_.enabled;
 
-  Decision d;
-  if (flow_cache_enabled_ && entry.cache.cacheable) {
-    const FlowDecisionCache::Key key =
-        FlowDecisionCache::MakeKey(pkt, entry.cache.pkt_read_mask);
-    // Version sum captured before the policy may run: a map update racing
-    // the execution leaves the entry we insert below already stale, so it
-    // can never validate later (see flow_cache.h).
-    const uint64_t version_sum = entry.cache.VersionSum();
-    const uint64_t epoch = hook_epoch_[hook_index];
-    bool stale = false;
-    if (flow_cache_[hook_index].Lookup(key, epoch, version_sum, &d,
-                                       &stale)) {
-      cells.flow_cache.hits->value += 1;
+  // Phase 1 — hoisted per-packet prep. Only work that is a pure function
+  // of the packet bytes and the (batch-stable) routing tables may move
+  // here: port-entry resolution (policies cannot attach or detach from
+  // inside a policy, so the table cannot change mid-batch), flow-key
+  // derivation, and warming the cache line each key will probe. Version
+  // sums, cache probes, policy executions, and counters all stay in the
+  // in-order phase — an uncacheable policy early in the burst may write a
+  // map a later packet's cacheable policy reads.
+  // Trivial on purpose: the array stays uninitialized and only the first
+  // pkts.size() elements are written. Zero-constructing 64 of these
+  // (~100 bytes each) would cost more than a whole batch-of-1 dispatch.
+  struct Probe {
+    PortEntry* entry;
+    bool cached;
+    FlowDecisionCache::Key key;
+  };
+  Probe probes[kMaxDispatchBatch];
+  uint16_t last_port = 0;
+  PortEntry* last_entry = nullptr;
+  bool have_last = false;
+  for (size_t i = 0; i < pkts.size(); ++i) {
+    const uint16_t port = pkts[i].DstPort();
+    Probe& probe = probes[i];
+    if (have_last && port == last_port) {
+      probe.entry = last_entry;  // bursts are usually one flow's port
     } else {
-      if (stale) {
-        cells.flow_cache.invalidations->value += 1;
+      auto it = table.find(port);
+      probe.entry = it == table.end() ? nullptr : &it->second;
+      last_port = port;
+      last_entry = probe.entry;
+      have_last = true;
+    }
+    probe.cached = probe.entry != nullptr && cache_enabled &&
+                   probe.entry->cache.cacheable;
+    if (probe.cached) {
+      probe.key =
+          FlowDecisionCache::MakeKey(pkts[i], probe.entry->cache.pkt_read_mask);
+      cache.PrefetchSlot(probe.key.hash);
+    }
+  }
+
+  // Phase 2 — in-order decide: identical, bump for bump, to dispatching
+  // each packet alone.
+  for (size_t i = 0; i < pkts.size(); ++i) {
+    PortEntry* entry = probes[i].entry;
+    if (entry == nullptr) {
+      cells.no_policy->value += 1;
+      out[i] = kPass;
+      continue;
+    }
+    cells.dispatched->value += 1;
+    entry->app_dispatched->value += 1;
+
+    Decision d;
+    if (probes[i].cached) {
+      // Version sum captured before the policy may run: a map update
+      // racing the execution leaves the entry we insert below already
+      // stale, so it can never validate later (see flow_cache.h).
+      const uint64_t version_sum = entry->cache.VersionSum();
+      const uint64_t epoch = hook_epoch_[hook_index];
+      bool stale = false;
+      if (cache.Lookup(probes[i].key, epoch, version_sum, &d, &stale)) {
+        cells.flow_cache.hits->value += 1;
+      } else {
+        if (stale) {
+          cells.flow_cache.invalidations->value += 1;
+        }
+        cells.flow_cache.misses->value += 1;
+        d = entry->policy_raw->Schedule(pkts[i]);
+        cache.Insert(probes[i].key, d, epoch, version_sum);
       }
-      cells.flow_cache.misses->value += 1;
-      d = entry.policy_raw->Schedule(pkt);
-      flow_cache_[hook_index].Insert(key, d, epoch, version_sum);
+    } else {
+      if (cache_enabled) {
+        cells.flow_cache.uncacheable->value += 1;
+      }
+      d = entry->policy_raw->Schedule(pkts[i]);
     }
-  } else {
-    if (flow_cache_enabled_) {
-      cells.flow_cache.uncacheable->value += 1;
+    if (d == kPass) {
+      cells.decision_pass->value += 1;
+    } else if (d == kDrop) {
+      cells.decision_drop->value += 1;
+    } else {
+      cells.decision_steer->value += 1;
     }
-    d = entry.policy_raw->Schedule(pkt);
+    out[i] = d;
   }
-  if (d == kPass) {
-    cells.decision_pass->value += 1;
-  } else if (d == kDrop) {
-    cells.decision_drop->value += 1;
-  } else {
-    cells.decision_steer->value += 1;
+}
+
+void Syrupd::set_flow_cache_config(const FlowCacheConfig& config) {
+  flow_cache_config_ = config;
+  for (size_t i = 0; i < kNumHooks; ++i) {
+    flow_cache_[i].Configure(config);
   }
-  return d;
 }
 
 std::shared_ptr<PacketPolicy> Syrupd::PolicyAt(Hook hook,

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -106,13 +107,42 @@ class Syrupd {
   void set_exec_mode(bpf::ExecMode mode) { exec_mode_ = mode; }
   bpf::ExecMode exec_mode() const { return exec_mode_; }
 
+  // --- Dispatch ------------------------------------------------------------
+
+  // The one dispatch entry point: routes a burst of inputs arriving at
+  // `hook` to their owning applications' policies and writes one Decision
+  // per input. Exactly equivalent to dispatching the packets one at a
+  // time, in order — batching hoists only pure per-packet work (port
+  // routing, flow-key derivation, cache-slot prefetch) ahead of the
+  // in-order decide phase, so policy executions, version captures, and
+  // every counter bump happen in the same order either way. The stack's
+  // single-packet hooks wrap this with a batch of one.
+  void DispatchBatch(Hook hook, std::span<const PacketView> pkts,
+                     std::span<Decision> out);
+
+  // Bursts are chunked to this many packets so the hoisted per-packet
+  // state lives on the stack and prefetches land just ahead of use.
+  static constexpr size_t kMaxDispatchBatch = 64;
+
   // --- Flow-decision cache -------------------------------------------------
 
   // Per-hook memoization of verifier-proven-cacheable policies (see
   // src/core/flow_cache.h). On by default; disabling is an ablation knob —
   // cacheable programs are pure, so results are bit-identical either way.
-  void set_flow_cache_enabled(bool enabled) { flow_cache_enabled_ = enabled; }
-  bool flow_cache_enabled() const { return flow_cache_enabled_; }
+  // Reconfiguring flushes every hook's cached decisions (always safe).
+  void set_flow_cache_config(const FlowCacheConfig& config);
+  const FlowCacheConfig& flow_cache_config() const {
+    return flow_cache_config_;
+  }
+
+  // Deprecated: the enabled bit of set_flow_cache_config. Kept as a
+  // delegating shim for callers predating FlowCacheConfig.
+  void set_flow_cache_enabled(bool enabled) {
+    FlowCacheConfig config = flow_cache_config_;
+    config.enabled = enabled;
+    set_flow_cache_config(config);
+  }
+  bool flow_cache_enabled() const { return flow_cache_config_.enabled; }
 
   // The hook's deployment epoch: bumped on every attach/remove, which
   // flushes that hook's cached decisions in O(1).
@@ -235,7 +265,11 @@ class Syrupd {
                            const bpf::VerifierStats& stats);
   Status InstallStackHook(Hook hook);
   void MaybeUninstallStackHook(Hook hook);
+  // Batch-of-1 wrapper around DispatchBatch (the single-packet hooks).
   Decision Dispatch(Hook hook, const PacketView& pkt);
+  // One ≤kMaxDispatchBatch chunk of a DispatchBatch call.
+  void DispatchChunk(Hook hook, std::span<const PacketView> pkts,
+                     std::span<Decision> out);
   StatusOr<std::vector<std::shared_ptr<Map>>> ResolveMapSlots(
       AppId app, const std::vector<bpf::MapSlot>& slots);
 
@@ -259,7 +293,7 @@ class Syrupd {
   // hit, so redeploys flush without touching the table.
   FlowDecisionCache flow_cache_[kNumHooks];
   uint64_t hook_epoch_[kNumHooks] = {};
-  bool flow_cache_enabled_ = true;
+  FlowCacheConfig flow_cache_config_;
 
   std::map<uint64_t, std::shared_ptr<const bpf::Program>> programs_;
   // Per-prog-id compiled cache: filled at attach time, consulted by every

@@ -20,35 +20,60 @@ Status KcmMultiplexor::OnSegment(uint64_t stream_id, const uint8_t* data,
   }
   stream.buffer.insert(stream.buffer.end(), data, data + len);
 
-  // Extract every complete message currently buffered.
+  // Extract every complete message currently buffered. A malformed frame
+  // poisons the stream, but the complete messages in front of it are still
+  // scheduled and delivered (exactly what the walk-and-deliver loop did).
+  std::vector<std::vector<uint8_t>> messages;
+  bool malformed = false;
+  uint16_t bad_length = 0;
   size_t cursor = 0;
   while (stream.buffer.size() - cursor >= kKcmHeaderSize) {
     uint16_t length;
     std::memcpy(&length, stream.buffer.data() + cursor, sizeof(length));
     if (length == 0 || length > kKcmMaxMessageSize) {
       stream.poisoned = true;
-      stream.buffer.clear();
-      return InvalidArgumentError("malformed KCM frame length " +
-                                  std::to_string(length));
+      malformed = true;
+      bad_length = length;
+      break;
     }
     if (stream.buffer.size() - cursor < kKcmHeaderSize + length) {
       break;  // message spans into a future segment
     }
     const uint8_t* payload = stream.buffer.data() + cursor + kKcmHeaderSize;
-    std::vector<uint8_t> message(payload, payload + length);
+    messages.emplace_back(payload, payload + length);
+    cursor += kKcmHeaderSize + length;
+  }
 
-    Decision decision = kPass;
-    if (policy_) {
-      decision = policy_(PacketView{message.data(),
-                                    message.data() + message.size()});
+  // Schedule the segment's burst of messages in one dispatcher call when
+  // the batch policy is installed, then deliver in order.
+  std::vector<Decision> decisions(messages.size(), kPass);
+  if (batch_policy_) {
+    std::vector<PacketView> views;
+    views.reserve(messages.size());
+    for (const std::vector<uint8_t>& message : messages) {
+      views.push_back(PacketView{message.data(),
+                                 message.data() + message.size()});
     }
-    if (decision == kDrop) {
+    batch_policy_(views, decisions);
+  } else if (policy_) {
+    for (size_t i = 0; i < messages.size(); ++i) {
+      decisions[i] = policy_(PacketView{
+          messages[i].data(), messages[i].data() + messages[i].size()});
+    }
+  }
+  for (size_t i = 0; i < messages.size(); ++i) {
+    if (decisions[i] == kDrop) {
       ++dropped_;
     } else {
       ++messages_;
-      deliver_(stream_id, decision, message);
+      deliver_(stream_id, decisions[i], messages[i]);
     }
-    cursor += kKcmHeaderSize + length;
+  }
+
+  if (malformed) {
+    stream.buffer.clear();
+    return InvalidArgumentError("malformed KCM frame length " +
+                                std::to_string(bad_length));
   }
   stream.buffer.erase(stream.buffer.begin(),
                       stream.buffer.begin() + static_cast<long>(cursor));

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "src/common/decision.h"
@@ -44,6 +45,18 @@ class KcmMultiplexor {
     policy_ = std::move(policy);
   }
 
+  // Installs the burst form (Syrupd::DispatchBatch): one TCP segment often
+  // carries many complete messages, and this lets the multiplexor schedule
+  // the whole burst in one dispatcher call. Takes precedence over the
+  // single-message policy when both are set. Decisions for every message
+  // in a segment are computed before the first delivery; delivery order is
+  // unchanged.
+  void SetBatchPolicy(
+      std::function<void(std::span<const PacketView>, std::span<Decision>)>
+          policy) {
+    batch_policy_ = std::move(policy);
+  }
+
   // Feeds one TCP segment of `stream_id`. Segments may split messages at
   // any byte position and may contain many messages. Returns an error (and
   // poisons the stream) on a malformed frame.
@@ -64,6 +77,8 @@ class KcmMultiplexor {
 
   DeliverFn deliver_;
   std::function<Decision(const PacketView&)> policy_;
+  std::function<void(std::span<const PacketView>, std::span<Decision>)>
+      batch_policy_;
   std::map<uint64_t, Stream> streams_;
   uint64_t messages_ = 0;
   uint64_t dropped_ = 0;

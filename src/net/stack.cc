@@ -85,35 +85,67 @@ Socket* HostStack::RegisterAfXdpSocket(int queue, size_t queue_depth) {
   return per_queue.back().get();
 }
 
+void HostStack::RouteToQueue(Packet pkt, Decision d) {
+  if (d == kDrop) {
+    m_.policy_drops->value += 1;
+    return;
+  }
+  int queue;
+  if (d == kPass) {
+    // RSS-style 5-tuple hashing (the NIC default).
+    queue = static_cast<int>(pkt.tuple.Hash() %
+                             static_cast<uint64_t>(config_.num_nic_queues));
+  } else if (d < static_cast<Decision>(config_.num_nic_queues)) {
+    queue = static_cast<int>(d);
+  } else {
+    m_.invalid_decisions->value += 1;
+    queue = static_cast<int>(pkt.tuple.Hash() %
+                             static_cast<uint64_t>(config_.num_nic_queues));
+  }
+  EnqueueJob(queue, Job{std::move(pkt), Stage::kDriver});
+}
+
 void HostStack::Rx(Packet pkt) {
   m_.rx_packets->value += 1;
   pkt.nic_arrival = sim_.Now();
 
-  // XDP Offload hook: a policy running on the NIC picks the RX queue;
-  // otherwise RSS-style 5-tuple hashing (the NIC default).
-  int queue;
+  // XDP Offload hook: a policy running on the NIC picks the RX queue.
+  Decision d = kPass;
   if (hooks_.xdp_offload) {
-    const Decision d = hooks_.xdp_offload(PacketView::Of(pkt));
-    if (d == kDrop) {
-      m_.policy_drops->value += 1;
-      return;
-    }
-    if (d == kPass) {
-      queue = static_cast<int>(pkt.tuple.Hash() %
-                               static_cast<uint64_t>(config_.num_nic_queues));
-    } else if (d < static_cast<Decision>(config_.num_nic_queues)) {
-      queue = static_cast<int>(d);
-    } else {
-      m_.invalid_decisions->value += 1;
-      queue = static_cast<int>(pkt.tuple.Hash() %
-                               static_cast<uint64_t>(config_.num_nic_queues));
-    }
-  } else {
-    queue = static_cast<int>(pkt.tuple.Hash() %
-                             static_cast<uint64_t>(config_.num_nic_queues));
+    d = hooks_.xdp_offload(PacketView::Of(pkt));
   }
+  RouteToQueue(std::move(pkt), d);
+}
 
-  EnqueueJob(queue, Job{std::move(pkt), Stage::kDriver});
+void HostStack::RxBurst(std::span<Packet> pkts) {
+  if (pkts.empty()) {
+    return;
+  }
+  const Time now = sim_.Now();
+  for (Packet& pkt : pkts) {
+    m_.rx_packets->value += 1;
+    pkt.nic_arrival = now;
+  }
+  // All packets traverse the offload hook before any is enqueued: the
+  // NIC sees the whole DMA burst, then the driver drains it. Per-queue
+  // order is arrival order either way; only the offload/driver interleave
+  // differs from per-packet Rx.
+  std::vector<Decision> decisions(pkts.size(), kPass);
+  if (batch_hooks_.xdp_offload) {
+    std::vector<PacketView> views;
+    views.reserve(pkts.size());
+    for (const Packet& pkt : pkts) {
+      views.push_back(PacketView::Of(pkt));
+    }
+    batch_hooks_.xdp_offload(views, decisions);
+  } else if (hooks_.xdp_offload) {
+    for (size_t i = 0; i < pkts.size(); ++i) {
+      decisions[i] = hooks_.xdp_offload(PacketView::Of(pkts[i]));
+    }
+  }
+  for (size_t i = 0; i < pkts.size(); ++i) {
+    RouteToQueue(std::move(pkts[i]), decisions[i]);
+  }
 }
 
 void HostStack::EnqueueJob(int core, Job job) {

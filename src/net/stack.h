@@ -19,6 +19,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/decision.h"
@@ -34,12 +35,27 @@ namespace syrup {
 // receives the packet bytes and returns an executor index, kPass, or kDrop.
 using SteerHook = std::function<Decision(const PacketView&)>;
 
+// Burst form of the same contract: one Decision per input view, written
+// in order. Installed alongside the single-packet hook by syrupd
+// (Syrupd::DispatchBatch); burst entry points (RxBurst, KCM segments) use
+// it to amortize routing and cache probes across same-instant arrivals.
+using BatchSteerHook =
+    std::function<void(std::span<const PacketView>, std::span<Decision>)>;
+
 struct StackHooks {
   SteerHook xdp_offload;   // executor: NIC RX queue
   SteerHook xdp_drv;       // executor: AF_XDP socket registered on the queue
   SteerHook xdp_skb;       // executor: AF_XDP socket (generic mode)
   SteerHook cpu_redirect;  // executor: softirq core
   SteerHook socket_select; // executor: socket within the dst-port group
+};
+
+struct StackBatchHooks {
+  BatchSteerHook xdp_offload;
+  BatchSteerHook xdp_drv;
+  BatchSteerHook xdp_skb;
+  BatchSteerHook cpu_redirect;
+  BatchSteerHook socket_select;
 };
 
 struct StackConfig {
@@ -90,6 +106,7 @@ class HostStack {
   HostStack& operator=(const HostStack&) = delete;
 
   StackHooks& hooks() { return hooks_; }
+  StackBatchHooks& batch_hooks() { return batch_hooks_; }
   const StackConfig& config() const { return config_; }
   StackStats stats() const;
 
@@ -139,6 +156,14 @@ class HostStack {
 
   // Entry point: a packet arrives from the wire at the current sim time.
   void Rx(Packet pkt);
+
+  // Burst entry point: a NIC DMA burst arrives at the current sim time.
+  // All packets traverse the XDP Offload hook (batched through the
+  // installed BatchSteerHook when present) before any enters its RX
+  // queue — the hardware model of a descriptor burst, and the surface
+  // that lets the offload stage amortize flow-cache probes. Per-queue
+  // processing order matches per-packet Rx exactly.
+  void RxBurst(std::span<Packet> pkts);
 
   // Busy-fraction of each softirq core over the run (for reports/tests).
   double SoftirqUtilization(int core) const;
@@ -231,9 +256,14 @@ class HostStack {
         static_cast<uint64_t>(sim_.Now() - pkt.nic_arrival));
   }
 
+  // Routes one offload-hook decision to an RX queue and enqueues (the
+  // shared tail of Rx and RxBurst).
+  void RouteToQueue(Packet pkt, Decision d);
+
   Simulator& sim_;
   StackConfig config_;
   StackHooks hooks_;
+  StackBatchHooks batch_hooks_;
   Metrics m_;
   bool metrics_bound_ = false;
   std::vector<SoftirqCore> cores_;

@@ -109,5 +109,43 @@ TEST(FlowCacheDifferential, Fig9MicaSyrupSwBitExact) {
   ExpectBitIdentical(on, off);
 }
 
+// Config variants must be equally invisible: a deliberately undersized
+// table (64 slots for thousands of flows) with admission and adaptive
+// sizing churning — constant evictions, rejections, and resizes — may only
+// change hit rates, never a decision. This is the scale knobs' version of
+// the transparency contract.
+TEST(FlowCacheDifferential, Fig9MicaTinyAdaptiveAdmissionBitExact) {
+  MicaExperimentConfig config;
+  config.variant = MicaVariant::kSwRedirect;
+  config.use_bytecode = true;
+  config.load_rps = 400'000;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  config.seed = 7;
+  config.flow_cache_config.capacity = 64;
+  config.flow_cache_config.admission = true;
+  config.flow_cache_config.adaptive = true;
+  config.flow_cache = true;
+  const MicaResult churn = RunMicaExperiment(config);
+  config.flow_cache = false;
+  const MicaResult off = RunMicaExperiment(config);
+  ExpectBitIdentical(churn, off);
+}
+
+// Admission alone on a fixed tiny table (rejects dominate: most flows are
+// turned away and keep executing the policy) — still bit-identical.
+TEST(FlowCacheDifferential, Fig2RocksDbTinyFixedAdmissionBitExact) {
+  RocksDbExperimentConfig config = SmallRocksDbConfig();
+  config.use_bytecode = true;
+  config.flow_cache_config.capacity = 16;
+  config.flow_cache_config.admission = true;
+  config.flow_cache_config.adaptive = false;
+  config.flow_cache = true;
+  const RocksDbResult churn = RunRocksDbExperiment(config);
+  config.flow_cache = false;
+  const RocksDbResult off = RunRocksDbExperiment(config);
+  ExpectBitIdentical(churn, off);
+}
+
 }  // namespace
 }  // namespace syrup

@@ -195,6 +195,248 @@ TEST(FlowDecisionCache, ClearDropsEverything) {
   EXPECT_FALSE(cache.Lookup(key, 1, 0, &d, &stale));
 }
 
+// --- frequency sketch -------------------------------------------------------
+
+TEST(FrequencySketch, DoorkeeperAbsorbsFirstTouch) {
+  FrequencySketch sketch;
+  sketch.Resize(1024);
+  EXPECT_EQ(sketch.Estimate(42), 0u);
+  sketch.Touch(42);
+  // One occurrence: only the doorkeeper bit, the counters stay clean.
+  EXPECT_EQ(sketch.Estimate(42), 1u);
+  sketch.Touch(42);
+  EXPECT_EQ(sketch.Estimate(42), 2u);
+}
+
+TEST(FrequencySketch, EstimateTracksRepeatedTouches) {
+  FrequencySketch sketch;
+  sketch.Resize(4096);
+  for (int i = 0; i < 10; ++i) {
+    sketch.Touch(7);
+  }
+  // 1 doorkeeper absorption + 9 counter bumps.
+  EXPECT_EQ(sketch.Estimate(7), 10u);
+  // An untouched key reads ~0 (counter collisions can add at most noise,
+  // and with 10 touches in 4096 counters there is none).
+  EXPECT_LE(sketch.Estimate(123456789), 1u);
+}
+
+TEST(FrequencySketch, SaturatesAtMaxEstimate) {
+  FrequencySketch sketch;
+  sketch.Resize(1024);
+  for (int i = 0; i < 100; ++i) {
+    sketch.Touch(7);
+  }
+  EXPECT_EQ(sketch.Estimate(7), FrequencySketch::kMaxEstimate + 1);
+}
+
+TEST(FrequencySketch, AgingHalvesCountersAndClearsDoorkeeper) {
+  FrequencySketch sketch;
+  sketch.Resize(64);  // sample budget: 8 * 64 = 512
+  for (int i = 0; i < 12; ++i) {
+    sketch.Touch(99);
+  }
+  const uint32_t before = sketch.Estimate(99);
+  ASSERT_GE(before, 10u);
+  while (sketch.agings() == 0) {
+    sketch.Touch(1234567);
+  }
+  // Counters halved, doorkeeper cleared: recent frequency, not all-time.
+  EXPECT_LT(sketch.Estimate(99), before);
+  EXPECT_LE(sketch.Estimate(99), before / 2);
+}
+
+// --- admission, eviction, and adaptive sizing -------------------------------
+
+FlowDecisionCache::Key KeyFor(uint32_t flow) {
+  const Packet pkt = MakePacket(9000, flow);
+  return FlowDecisionCache::MakeKey(PacketView::Of(pkt), 0xF00000u);
+}
+
+TEST(FlowCacheAdmission, HotFlowsSurviveOneShotStorm) {
+  FlowCacheConfig config;
+  config.capacity = FlowDecisionCache::kMinSlots;  // 16 slots
+  config.admission = true;
+  config.adaptive = false;
+  FlowDecisionCache cache(config);
+  FlowCacheCounters counters = FlowCacheCounters::Detached();
+  cache.BindCounters(counters);
+
+  // Build frequency for 8 resident flows: every re-insert is an access
+  // the sketch records.
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t flow = 0; flow < 8; ++flow) {
+      cache.Insert(KeyFor(flow), Decision{flow}, 1, 0);
+    }
+  }
+  // A one-shot storm: 64 flows seen exactly once each. Their estimate (1,
+  // the doorkeeper bit) never out-counts a resident, so residents stay.
+  for (uint32_t flow = 1000; flow < 1064; ++flow) {
+    cache.Insert(KeyFor(flow), Decision{flow}, 1, 0);
+  }
+  EXPECT_GT(counters.admission_rejects->value, 0u);
+  for (uint32_t flow = 0; flow < 8; ++flow) {
+    Decision d = 0;
+    bool stale = false;
+    EXPECT_TRUE(cache.Lookup(KeyFor(flow), 1, 0, &d, &stale))
+        << "hot flow " << flow << " evicted by a one-shot storm";
+    EXPECT_EQ(d, flow);
+  }
+}
+
+TEST(FlowCacheAdmission, DisabledAdmissionLetsTheStormEvict) {
+  FlowCacheConfig config;
+  config.capacity = FlowDecisionCache::kMinSlots;
+  config.admission = false;
+  config.adaptive = false;
+  FlowDecisionCache cache(config);
+  FlowCacheCounters counters = FlowCacheCounters::Detached();
+  cache.BindCounters(counters);
+
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t flow = 0; flow < 8; ++flow) {
+      cache.Insert(KeyFor(flow), Decision{flow}, 1, 0);
+    }
+  }
+  for (uint32_t flow = 1000; flow < 1064; ++flow) {
+    cache.Insert(KeyFor(flow), Decision{flow}, 1, 0);
+  }
+  // Without the filter every full-window insert evicts a resident.
+  EXPECT_GT(counters.evictions->value, 0u);
+  EXPECT_EQ(counters.admission_rejects->value, 0u);
+  size_t survivors = 0;
+  for (uint32_t flow = 0; flow < 8; ++flow) {
+    Decision d = 0;
+    bool stale = false;
+    if (cache.Lookup(KeyFor(flow), 1, 0, &d, &stale)) {
+      ++survivors;
+    }
+  }
+  EXPECT_LT(survivors, 8u);
+}
+
+TEST(FlowCacheAdmission, StaleEpochResidentsAreFreeRealEstate) {
+  FlowCacheConfig config;
+  config.capacity = FlowDecisionCache::kMinSlots;
+  config.admission = true;
+  config.adaptive = false;
+  FlowDecisionCache cache(config);
+  // Fill the table under epoch 1 with well-known flows.
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t flow = 0; flow < 16; ++flow) {
+      cache.Insert(KeyFor(flow), Decision{flow}, 1, 0);
+    }
+  }
+  // Epoch 2 newcomers (estimate 1) must displace epoch-1 residents no
+  // matter how hot those were: a stale entry can never hit again.
+  for (uint32_t flow = 100; flow < 116; ++flow) {
+    cache.Insert(KeyFor(flow), Decision{flow}, 2, 0);
+  }
+  size_t resident = 0;
+  for (uint32_t flow = 100; flow < 116; ++flow) {
+    Decision d = 0;
+    bool stale = false;
+    if (cache.Lookup(KeyFor(flow), 2, 0, &d, &stale)) {
+      ++resident;
+    }
+  }
+  EXPECT_GT(resident, 0u);
+}
+
+TEST(FlowCacheAdaptive, GrowsToTheLiveFlowPopulation) {
+  FlowCacheConfig config;
+  config.capacity = FlowDecisionCache::kMinSlots;
+  config.admission = true;
+  config.adaptive = true;
+  FlowDecisionCache cache(config);
+  FlowCacheCounters counters = FlowCacheCounters::Detached();
+  cache.BindCounters(counters);
+  ASSERT_EQ(cache.capacity(), FlowDecisionCache::kMinSlots);
+
+  constexpr uint32_t kFlows = 256;
+  for (int pass = 0; pass < 20; ++pass) {
+    for (uint32_t flow = 0; flow < kFlows; ++flow) {
+      Decision d = 0;
+      bool stale = false;
+      if (!cache.Lookup(KeyFor(flow), 1, 0, &d, &stale)) {
+        cache.Insert(KeyFor(flow), Decision{flow % 6}, 1, 0);
+      }
+    }
+  }
+  EXPECT_GT(counters.resizes->value, 0u);
+  EXPECT_GE(cache.capacity(), 2 * static_cast<size_t>(kFlows));
+  EXPECT_EQ(counters.capacity->value,
+            static_cast<int64_t>(cache.capacity()));
+  // Steady state: the grown table holds (nearly) the whole population.
+  size_t hits = 0;
+  for (uint32_t flow = 0; flow < kFlows; ++flow) {
+    Decision d = 0;
+    bool stale = false;
+    if (cache.Lookup(KeyFor(flow), 1, 0, &d, &stale)) {
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, kFlows * 9 / 10);
+}
+
+TEST(FlowCacheAdaptive, ShrinksWhenThePopulationCollapses) {
+  FlowCacheConfig config;
+  config.capacity = 4096;
+  config.adaptive = true;
+  FlowDecisionCache cache(config);
+  FlowCacheCounters counters = FlowCacheCounters::Detached();
+  cache.BindCounters(counters);
+  cache.Insert(KeyFor(1), Decision{3}, 1, 0);
+
+  // One live flow, many windows of lookups: the table is >4x oversized and
+  // must give memory back (but never below the shrink floor).
+  for (int i = 0; i < 20'000; ++i) {
+    Decision d = 0;
+    bool stale = false;
+    if (!cache.Lookup(KeyFor(1), 1, 0, &d, &stale)) {
+      cache.Insert(KeyFor(1), Decision{3}, 1, 0);
+    }
+  }
+  EXPECT_LT(cache.capacity(), 4096u);
+  EXPECT_GE(cache.capacity(), FlowDecisionCache::kShrinkFloor);
+  EXPECT_GT(counters.resizes->value, 0u);
+  // The live entry survived the shrink's live-first rehash.
+  Decision d = 0;
+  bool stale = false;
+  EXPECT_TRUE(cache.Lookup(KeyFor(1), 1, 0, &d, &stale));
+  EXPECT_EQ(d, 3u);
+}
+
+TEST(FlowCacheAdaptive, FixedSizeWhenDisabled) {
+  FlowCacheConfig config;
+  config.capacity = FlowDecisionCache::kMinSlots;
+  config.adaptive = false;
+  FlowDecisionCache cache(config);
+  for (int pass = 0; pass < 10; ++pass) {
+    for (uint32_t flow = 0; flow < 512; ++flow) {
+      Decision d = 0;
+      bool stale = false;
+      if (!cache.Lookup(KeyFor(flow), 1, 0, &d, &stale)) {
+        cache.Insert(KeyFor(flow), Decision{flow % 6}, 1, 0);
+      }
+    }
+  }
+  EXPECT_EQ(cache.capacity(), FlowDecisionCache::kMinSlots);
+}
+
+TEST(FlowCacheConfig_, ConfigureRoundsAndResets) {
+  FlowCacheConfig config;
+  config.capacity = 100;
+  FlowDecisionCache cache(config);
+  EXPECT_EQ(cache.capacity(), 128u);  // rounded to a power of two
+  cache.Insert(KeyFor(1), Decision{2}, 1, 0);
+  EXPECT_EQ(cache.OccupiedSlots(), 1u);
+  config.capacity = 64;
+  cache.Configure(config);
+  EXPECT_EQ(cache.capacity(), 64u);
+  EXPECT_EQ(cache.OccupiedSlots(), 0u);  // reconfigure drops entries
+}
+
 // --- syrupd dispatch integration --------------------------------------------
 
 class FlowCacheDispatchTest : public testing::Test {
@@ -371,6 +613,91 @@ TEST_F(FlowCacheDispatchTest, ShortPacketKeyedByLength) {
   EXPECT_EQ(stack_.hooks().socket_select(full), 3u);
   EXPECT_EQ(CacheCounter("misses"), 2u);
   EXPECT_EQ(CacheCounter("hits"), 2u);
+}
+
+TEST_F(FlowCacheDispatchTest, EvictionAndResizeCountersReachSnapshot) {
+  FlowCacheConfig config;
+  config.capacity = FlowDecisionCache::kMinSlots;
+  config.admission = false;
+  config.adaptive = true;
+  syrupd_.set_flow_cache_config(config);
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(6),
+                                       Hook::kSocketSelect)
+                  .ok());
+  // Push far more flows than the 16-slot table holds, repeatedly: the
+  // overflow shows up as evictions, and the adaptive sweep grows the table
+  // (both under {"syrupd","socket_select"} in the snapshot).
+  for (int pass = 0; pass < 10; ++pass) {
+    for (uint32_t flow = 0; flow < 256; ++flow) {
+      const Packet pkt = MakePacket(9000, flow);
+      (void)stack_.hooks().socket_select(PacketView::Of(pkt));
+    }
+  }
+  EXPECT_GT(CacheCounter("evictions"), 0u);
+  EXPECT_GT(CacheCounter("resizes"), 0u);
+  const int64_t capacity = syrupd_.StatsSnapshot().GaugeValue(
+      "syrupd", "socket_select", "flow_cache.capacity");
+  EXPECT_GT(capacity, static_cast<int64_t>(FlowDecisionCache::kMinSlots));
+}
+
+TEST_F(FlowCacheDispatchTest, AdmissionRejectCounterReachesSnapshot) {
+  FlowCacheConfig config;
+  config.capacity = FlowDecisionCache::kMinSlots;
+  config.admission = true;
+  config.adaptive = false;  // keep the table tiny so admission must act
+  syrupd_.set_flow_cache_config(config);
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(6),
+                                       Hook::kSocketSelect)
+                  .ok());
+  // Residents gain frequency, then a one-shot storm of fresh flows hits a
+  // full table: the storm is turned away at admission.
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t flow = 0; flow < 32; ++flow) {
+      const Packet pkt = MakePacket(9000, flow);
+      (void)stack_.hooks().socket_select(PacketView::Of(pkt));
+    }
+  }
+  for (uint32_t flow = 1000; flow < 1256; ++flow) {
+    const Packet pkt = MakePacket(9000, flow);
+    (void)stack_.hooks().socket_select(PacketView::Of(pkt));
+  }
+  EXPECT_GT(CacheCounter("admission_rejects"), 0u);
+}
+
+TEST_F(FlowCacheDispatchTest, DeprecatedEnabledShimPreservesOtherKnobs) {
+  FlowCacheConfig config;
+  config.capacity = 512;
+  config.admission = false;
+  syrupd_.set_flow_cache_config(config);
+  // The old bool toggle must only flip `enabled`, keeping the typed knobs.
+  syrupd_.set_flow_cache_enabled(false);
+  EXPECT_FALSE(syrupd_.flow_cache_config().enabled);
+  EXPECT_FALSE(syrupd_.flow_cache_enabled());
+  EXPECT_EQ(syrupd_.flow_cache_config().capacity, 512u);
+  EXPECT_FALSE(syrupd_.flow_cache_config().admission);
+  syrupd_.set_flow_cache_enabled(true);
+  EXPECT_TRUE(syrupd_.flow_cache_config().enabled);
+  EXPECT_EQ(syrupd_.flow_cache_config().capacity, 512u);
+}
+
+TEST_F(FlowCacheDispatchTest, ClientConfiguresTheDaemonCache) {
+  const AppId app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+  FlowCacheConfig config;
+  config.enabled = false;
+  config.capacity = 2048;
+  client.SetFlowCacheConfig(config);
+  EXPECT_FALSE(client.FlowCacheConfiguration().enabled);
+  EXPECT_EQ(client.FlowCacheConfiguration().capacity, 2048u);
+  ASSERT_TRUE(syrupd_.DeployPolicyFile(app, MicaHomePolicyAsm(6),
+                                       Hook::kSocketSelect)
+                  .ok());
+  const Packet pkt = MakePacket(9000, 5);
+  (void)stack_.hooks().socket_select(PacketView::Of(pkt));
+  (void)stack_.hooks().socket_select(PacketView::Of(pkt));
+  EXPECT_EQ(CacheCounter("hits"), 0u);  // disabled end to end
 }
 
 }  // namespace

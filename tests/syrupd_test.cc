@@ -314,8 +314,12 @@ TEST(RootDispatcher, RoutesByPortViaTailCalls) {
     policy_b.insns = assembled->insns;
     policy_b.name = "b";
   }
-  ASSERT_TRUE(dispatcher->AddRoute(9000, 0, /*prog_id=*/101).ok());
-  ASSERT_TRUE(dispatcher->AddRoute(9001, 1, /*prog_id=*/102).ok());
+  StatusOr<RouteHandle> route_a = dispatcher->AddRoute(9000, 0,
+                                                       /*prog_id=*/101);
+  ASSERT_TRUE(route_a.ok()) << route_a.status();
+  StatusOr<RouteHandle> route_b = dispatcher->AddRoute(9001, 1,
+                                                       /*prog_id=*/102);
+  ASSERT_TRUE(route_b.ok()) << route_b.status();
 
   bpf::ExecEnv env;
   env.resolve_program = [&](uint64_t id) -> const bpf::Program* {
@@ -325,20 +329,55 @@ TEST(RootDispatcher, RoutesByPortViaTailCalls) {
   };
   bpf::Interpreter interp(env);
 
-  auto run = [&](uint16_t port) {
-    Packet pkt = MakePacket(port);
-    auto result = interp.Run(
-        *dispatcher->program,
-        reinterpret_cast<uint64_t>(pkt.wire.data()),
-        reinterpret_cast<uint64_t>(pkt.wire.data() + pkt.wire.size()),
-        /*args_are_packet=*/true);
-    EXPECT_TRUE(result.ok()) << result.status();
-    return static_cast<uint32_t>(result->r0);
-  };
+  // Drive the literal program through the batch entry point (the VM
+  // mirror of Syrupd::DispatchBatch).
+  const Packet p0 = MakePacket(9000);
+  const Packet p1 = MakePacket(9001);
+  const Packet p2 = MakePacket(9000);
+  const PacketView views[3] = {PacketView::Of(p0), PacketView::Of(p1),
+                               PacketView::Of(p2)};
+  Decision decisions[3] = {};
+  const Status batch = dispatcher->DispatchBatch(interp, views, decisions);
+  ASSERT_TRUE(batch.ok()) << batch;
+  EXPECT_EQ(decisions[0], 10u);
+  EXPECT_EQ(decisions[1], 20u);
+  EXPECT_EQ(decisions[2], 10u);
 
-  EXPECT_EQ(run(9000), 10u);
-  EXPECT_EQ(run(9001), 20u);
-  EXPECT_EQ(run(9002), kPass);  // unowned port: default policy
+  // Dropping a route handle withdraws the route: port 9001 reverts to
+  // PASS while 9000 keeps routing.
+  ASSERT_TRUE(route_b->Remove().ok());
+  Decision after[3] = {};
+  ASSERT_TRUE(dispatcher->DispatchBatch(interp, views, after).ok());
+  EXPECT_EQ(after[0], 10u);
+  EXPECT_EQ(after[1], kPass);
+  EXPECT_EQ(after[2], 10u);
+
+  // A stale handle never tears down a newer route: re-point slot 0 at
+  // program 102 via a fresh route, then let the original 9000 handle go
+  // out of scope — the new route must survive.
+  {
+    StatusOr<RouteHandle> replaced = dispatcher->AddRoute(9000, 0,
+                                                          /*prog_id=*/102);
+    ASSERT_TRUE(replaced.ok());
+    replaced->Release();  // permanent
+  }
+  {
+    RouteHandle stale = std::move(route_a).value();
+    // `stale` drops here; slot 0 no longer holds prog 101, so the
+    // conditional remove is a no-op.
+  }
+  Decision still[1] = {};
+  const PacketView one[1] = {PacketView::Of(p0)};
+  ASSERT_TRUE(dispatcher->DispatchBatch(interp, one, still).ok());
+  EXPECT_EQ(still[0], 20u);
+
+  // Unowned port: default policy passes.
+  const Packet unowned = MakePacket(9002);
+  const PacketView unowned_view[1] = {PacketView::Of(unowned)};
+  Decision unowned_decision[1] = {};
+  ASSERT_TRUE(
+      dispatcher->DispatchBatch(interp, unowned_view, unowned_decision).ok());
+  EXPECT_EQ(unowned_decision[0], kPass);
 }
 
 TEST(RootDispatcher, RuntPacketPasses) {
