@@ -1,10 +1,11 @@
 // Ablation (DESIGN.md #1): bytecode policy execution vs native mirrors.
 //
 // The simulation hot path uses native C++ policies; real deployments run
-// verified bytecode. This ablation (a) confirms native, interpreted, and
-// compiled (plain + paranoid) execution produce identical *simulation
-// results*, and (b) quantifies the per-decision execution cost gap and how
-// much of it the pre-decoded compiled tier recovers.
+// verified bytecode. This ablation (a) confirms the C++ mirror and every
+// bytecode tier (interpret, compiled, compiled-paranoid, native machine
+// code) produce identical *simulation results*, and (b) quantifies the
+// per-decision execution cost gap and how much of it the compiled and
+// native-JIT tiers recover.
 //
 //   --quick  single policy / single load / short windows (CI smoke run)
 #include <chrono>
@@ -47,10 +48,11 @@ void Run(bool quick) {
   const Duration measure = quick ? 150 * kMillisecond : 600 * kMillisecond;
   std::printf("# Ablation: native policy mirrors vs verified bytecode via "
               "syrupd (Fig. 6 workload)%s\n", quick ? " [--quick]" : "");
-  std::printf("%-12s %9s | %11s %11s | %11s %11s | %7s %7s %7s | %9s %5s\n",
+  std::printf("%-12s %9s | %11s %11s | %11s %11s | %7s %7s %7s %7s | %9s "
+              "%9s %5s\n",
               "policy", "load_rps", "native_p99", "bcode_p99", "native_tput",
-              "bcode_tput", "interp", "compld", "parand", "gap_recov",
-              "ident");
+              "bcode_tput", "interp", "compld", "parand", "jit",
+              "cmp_recov", "jit_recov", "ident");
   bool all_identical = true;
   const auto policies =
       quick ? std::vector<SocketPolicyKind>{SocketPolicyKind::kRoundRobin}
@@ -70,42 +72,47 @@ void Run(bool quick) {
       const Timed paranoid =
           RunTimed(policy, /*bytecode=*/true,
                    bpf::ExecMode::kCompiledParanoid, load, measure);
+      const Timed jit = RunTimed(policy, /*bytecode=*/true,
+                                 bpf::ExecMode::kNative, load, measure);
 
       // Wall-clock slowdown of each bytecode tier over the native mirror,
-      // and the share of the interpreter-vs-native gap the compiled tier
-      // recovers (1.0 = compiled is as cheap as native).
+      // and the share of the interpreter-vs-native gap the compiled and
+      // machine-code tiers recover (1.0 = as cheap as the C++ mirror).
       const double interp_slow = interp.wall_seconds / native.wall_seconds;
       const double compiled_slow =
           compiled.wall_seconds / native.wall_seconds;
       const double paranoid_slow =
           paranoid.wall_seconds / native.wall_seconds;
+      const double jit_slow = jit.wall_seconds / native.wall_seconds;
       const double gap = interp.wall_seconds - native.wall_seconds;
       const double recovered =
           gap > 0 ? (interp.wall_seconds - compiled.wall_seconds) / gap : 0;
+      const double jit_recovered =
+          gap > 0 ? (interp.wall_seconds - jit.wall_seconds) / gap : 0;
 
       // Same seed, same decisions: every bytecode tier must land on the
       // same simulated outcome to the bit.
       const bool identical = SameResults(interp.result, compiled.result) &&
-                             SameResults(compiled.result, paranoid.result);
+                             SameResults(compiled.result, paranoid.result) &&
+                             SameResults(compiled.result, jit.result);
       all_identical = all_identical && identical;
 
       std::printf("%-12s %9.0f | %11.1f %11.1f | %11.0f %11.0f | %6.2fx "
-                  "%6.2fx %6.2fx | %8.0f%% %5s\n",
+                  "%6.2fx %6.2fx %6.2fx | %8.0f%% %8.0f%% %5s\n",
                   std::string(SocketPolicyName(policy)).c_str(), load,
                   native.result.p99_us, compiled.result.p99_us,
                   native.result.throughput_rps,
                   compiled.result.throughput_rps, interp_slow, compiled_slow,
-                  paranoid_slow, recovered * 100,
-                  identical ? "yes" : "NO");
+                  paranoid_slow, jit_slow, recovered * 100,
+                  jit_recovered * 100, identical ? "yes" : "NO");
     }
   }
   std::printf(
-      "# interp/compld/parand: simulation wall-clock vs the native mirror "
-      "per execution tier.\n"
-      "# gap_recov: share of the interpreter-vs-native cost gap the "
-      "compiled tier closes.\n"
-      "# ident: interpret, compiled and compiled-paranoid runs produced "
-      "bit-identical results.\n");
+      "# interp/compld/parand/jit: simulation wall-clock vs the native "
+      "mirror per execution tier.\n"
+      "# cmp_recov/jit_recov: share of the interpreter-vs-native cost gap "
+      "the compiled / machine-code tier closes.\n"
+      "# ident: all four bytecode tiers produced bit-identical results.\n");
   if (!all_identical) {
     std::printf("# FAILURE: execution tiers disagreed on simulation "
                 "results\n");

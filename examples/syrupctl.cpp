@@ -11,6 +11,8 @@
 //   ./build/examples/syrupctl stats      # full StatsSnapshot() as JSON
 //   ./build/examples/syrupctl flow-cache # FlowCacheConfig + cache counters
 //   ./build/examples/syrupctl lint p.s   # verifier lint report for a policy
+//   ./build/examples/syrupctl exec-mode            # requested vs effective tier
+//   ./build/examples/syrupctl exec-mode native     # deploy under a given tier
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -99,9 +101,10 @@ int main(int argc, char** argv) {
     return LintPolicyFile(argv[2]);
   }
   if (command != "inspect" && command != "stats" &&
-      command != "flow-cache") {
+      command != "flow-cache" && command != "exec-mode") {
     std::fprintf(stderr,
-                 "usage: %s [inspect|stats|flow-cache|lint <policy.s>]\n",
+                 "usage: %s [inspect|stats|flow-cache|exec-mode [mode]|"
+                 "lint <policy.s>]\n",
                  argv[0]);
     return 2;
   }
@@ -111,6 +114,21 @@ int main(int argc, char** argv) {
   stack_config.num_nic_queues = 4;
   HostStack stack(sim, stack_config);
   Syrupd syrupd(sim, &stack);
+
+  // `exec-mode <name>` switches the daemon's requested tier before anything
+  // deploys — the runtime equivalent of the operator flipping the knob and
+  // redeploying. With no argument it just reports the current state below.
+  if (command == "exec-mode" && argc > 2) {
+    const auto mode = bpf::ExecModeFromName(argv[2]);
+    if (!mode.has_value()) {
+      std::fprintf(stderr,
+                   "exec-mode: unknown mode '%s' (interpret, compiled, "
+                   "compiled-paranoid, native)\n",
+                   argv[2]);
+      return 2;
+    }
+    syrupd.set_exec_mode(*mode);
+  }
 
   // A multi-tenant deployment to inspect: "rocksdb" runs SCAN Avoid at
   // socket-select plus a token policy file at XDP_SKB; "analytics" shares
@@ -212,6 +230,34 @@ int main(int argc, char** argv) {
               snapshot.CounterValue("syrupd", name, "flow_cache.resizes")),
           static_cast<long long>(
               snapshot.GaugeValue("syrupd", name, "flow_cache.capacity")));
+    }
+    return 0;
+  }
+
+  if (command == "exec-mode") {
+    // Requested vs effective: the daemon compiles for its requested mode,
+    // but the policy.exec_mode gauge records the tier each deployment
+    // actually runs on (native silently degrades to compiled when the JIT
+    // cannot handle the host or the program).
+    std::printf("requested: %s\n",
+                std::string(bpf::ExecModeName(syrupd.exec_mode())).c_str());
+    std::printf("\n== per-deployment effective tier ==\n");
+    const obs::Snapshot snapshot = syrupd.StatsSnapshot();
+    for (const DeploymentInfo& d : syrupd.ListDeployments()) {
+      const std::string hook(HookName(d.hook));
+      const auto effective = static_cast<bpf::ExecMode>(
+          snapshot.GaugeValue(d.app_name, hook, "policy.exec_mode"));
+      std::printf("  app=%-10s hook=%-14s policy=%-12s tier=%s",
+                  d.app_name.c_str(), hook.c_str(), d.policy_name.c_str(),
+                  std::string(bpf::ExecModeName(effective)).c_str());
+      if (effective == bpf::ExecMode::kNative) {
+        std::printf(" jit_code_bytes=%lld jit_ns=%lld",
+                    static_cast<long long>(snapshot.GaugeValue(
+                        d.app_name, hook, "policy.jit_code_bytes")),
+                    static_cast<long long>(snapshot.GaugeValue(
+                        d.app_name, hook, "policy.jit_ns")));
+      }
+      std::printf("\n");
     }
     return 0;
   }

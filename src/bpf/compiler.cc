@@ -5,6 +5,7 @@
 #include <bit>
 #include <cstring>
 
+#include "src/bpf/jit.h"
 #include "src/bpf/vm_runtime.h"
 #include "src/common/logging.h"
 
@@ -176,8 +177,24 @@ std::string_view ExecModeName(ExecMode mode) {
     case ExecMode::kInterpret: return "interpret";
     case ExecMode::kCompiled: return "compiled";
     case ExecMode::kCompiledParanoid: return "compiled-paranoid";
+    case ExecMode::kNative: return "native";
   }
   return "unknown";
+}
+
+std::optional<ExecMode> ExecModeFromName(std::string_view name) {
+  for (ExecMode mode : {ExecMode::kInterpret, ExecMode::kCompiled,
+                        ExecMode::kCompiledParanoid, ExecMode::kNative}) {
+    if (name == ExecModeName(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+ExecMode EffectiveExecMode(const CompiledProgram* compiled) {
+  if (compiled == nullptr) return ExecMode::kInterpret;
+  if (compiled->paranoid) return ExecMode::kCompiledParanoid;
+  if (compiled->native != nullptr) return ExecMode::kNative;
+  return ExecMode::kCompiled;
 }
 
 StatusOr<CompiledProgram> Compile(const Program& prog, ProgramContext context,
@@ -609,6 +626,13 @@ static_assert(ListedInEnumOrder(),
 StatusOr<ExecResult> CompiledExecutor::Run(const CompiledProgram& prog_in,
                                            uint64_t arg1, uint64_t arg2,
                                            bool args_are_packet) {
+  // Native tier: when machine code was published at attach time, dispatch
+  // straight into it. Identical observable semantics to the loop below
+  // (same r0, map side effects, helper/instruction counts); programs the
+  // JIT rejected never get here because `native` stays null.
+  if (prog_in.native != nullptr && !prog_in.paranoid) {
+    return RunNative(prog_in, env_, arg1, arg2);
+  }
   ExecResult result;
   const CompiledProgram* prog = &prog_in;
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,13 +42,22 @@ namespace syrup::bpf {
 // How a deployed bytecode policy is executed. kCompiled is the default
 // deployment tier; kInterpret is kept for ablation (the pre-PR behavior)
 // and kCompiledParanoid for defense in depth with pre-decoded dispatch.
+// kNative additionally lowers the pre-decoded form to x86-64 machine code
+// at attach time (src/bpf/jit.h); hosts or programs the JIT cannot handle
+// fall back to kCompiled transparently (EffectiveExecMode reports which
+// tier actually runs).
 enum class ExecMode : uint8_t {
   kInterpret = 0,         // decode-per-instruction switch interpreter
   kCompiled = 1,          // pre-decoded, checks elided where verified
   kCompiledParanoid = 2,  // pre-decoded, runtime memory checks retained
+  kNative = 3,            // copy-and-patch x86-64 code, compiled fallback
 };
 
 std::string_view ExecModeName(ExecMode mode);
+
+// Parses an ExecModeName back into the mode ("interpret", "compiled",
+// "compiled-paranoid", "native"); nullopt for anything else.
+std::optional<ExecMode> ExecModeFromName(std::string_view name);
 
 struct CompileOptions {
   // Keep the runtime memory region re-validation on every access (and on
@@ -134,6 +144,8 @@ struct CInsn {
   uint64_t imm = 0;  // immediate operand or resolved pointer
 };
 
+class JitProgram;  // src/bpf/jit.h
+
 // The cached attach-time artifact. Holds shared ownership of the program's
 // maps because kLdMapPtr instructions embed raw Map* operands.
 struct CompiledProgram {
@@ -142,7 +154,18 @@ struct CompiledProgram {
   std::vector<std::shared_ptr<Map>> maps;
   bool paranoid = false;
   CompileStats stats;
+  // Machine code published by the native tier (ExecMode::kNative), null on
+  // every other tier and whenever the JIT fell back (non-x86-64 host,
+  // SYRUP_JIT_DISABLE, arena failure, unsupported program). When set,
+  // CompiledExecutor::Run dispatches into it instead of the bytecode loop.
+  std::shared_ptr<const JitProgram> native;
 };
+
+// The tier a given attach artifact actually executes on: requested native
+// mode degrades to kCompiled when no machine code was published, and a null
+// artifact means the interpreter. This is what the policy.exec_mode gauge
+// and the policies' exec_mode() accessors report.
+ExecMode EffectiveExecMode(const CompiledProgram* compiled);
 
 // Translates `prog` into its pre-decoded form. Verifies first (the check
 // elision is only sound for verified programs) unless

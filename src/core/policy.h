@@ -112,10 +112,10 @@ class BytecodePacketPolicy : public PacketPolicy {
 
   std::string_view name() const override { return program_->name; }
 
+  // The tier decisions actually run on (native degrades to compiled when
+  // the JIT fell back), not the tier that was requested.
   bpf::ExecMode exec_mode() const {
-    if (compiled_ == nullptr) return bpf::ExecMode::kInterpret;
-    return compiled_->paranoid ? bpf::ExecMode::kCompiledParanoid
-                               : bpf::ExecMode::kCompiled;
+    return bpf::EffectiveExecMode(compiled_.get());
   }
 
   const bpf::Program& program() const { return *program_; }
@@ -207,10 +207,9 @@ class BytecodeGhostPolicy : public GhostPolicy {
     return result->r0;
   }
 
+  // Effective tier, same contract as BytecodePacketPolicy::exec_mode().
   bpf::ExecMode exec_mode() const {
-    if (compiled_ == nullptr) return bpf::ExecMode::kInterpret;
-    return compiled_->paranoid ? bpf::ExecMode::kCompiledParanoid
-                               : bpf::ExecMode::kCompiled;
+    return bpf::EffectiveExecMode(compiled_.get());
   }
 
  private:

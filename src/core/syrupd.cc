@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/bpf/jit.h"
 #include "src/common/logging.h"
 #include "src/common/trace.h"
 
@@ -117,7 +118,30 @@ Syrupd::CompileForCurrentMode(const bpf::Program& program,
   options.facts = facts;
   SYRUP_ASSIGN_OR_RETURN(bpf::CompiledProgram compiled,
                          bpf::Compile(program, context, options));
+  if (exec_mode_ == bpf::ExecMode::kNative) {
+    // Machine-code lowering is best effort: an unsupported host or program
+    // (or SYRUP_JIT_DISABLE) leaves `native` null and the artifact runs on
+    // the compiled tier. EmitExecTierMetrics reports whichever happened.
+    auto native = bpf::JitCompile(compiled);
+    if (native.ok()) {
+      compiled.native = std::move(native).value();
+    }
+  }
   return std::make_shared<const bpf::CompiledProgram>(std::move(compiled));
+}
+
+void Syrupd::EmitExecTierMetrics(const std::string& app_name,
+                                 std::string_view hook_name,
+                                 const bpf::CompiledProgram* compiled) {
+  metrics_.GetGauge(app_name, hook_name, "policy.exec_mode")
+      ->Set(static_cast<int64_t>(bpf::EffectiveExecMode(compiled)));
+  if (compiled != nullptr && compiled->native != nullptr) {
+    const bpf::JitStats& jit = compiled->native->stats();
+    metrics_.GetGauge(app_name, hook_name, "policy.jit_ns")
+        ->Set(static_cast<int64_t>(jit.jit_ns));
+    metrics_.GetGauge(app_name, hook_name, "policy.jit_code_bytes")
+        ->Set(static_cast<int64_t>(jit.code_bytes));
+  }
 }
 
 void Syrupd::EmitVerifierMetrics(const std::string& app_name,
@@ -220,8 +244,7 @@ StatusOr<int> Syrupd::DeployPolicyFile(AppId app,
     metrics_.GetGauge(app_name, HookName(hook), "policy.compile_ns")
         ->Set(static_cast<int64_t>(WallNowNs() - t0));
   }
-  metrics_.GetGauge(app_name, HookName(hook), "policy.exec_mode")
-      ->Set(static_cast<int64_t>(exec_mode_));
+  EmitExecTierMetrics(app_name, HookName(hook), compiled.get());
 
   const uint64_t prog_id = next_prog_id_++;
   programs_[prog_id] = program;
@@ -374,8 +397,7 @@ StatusOr<int> Syrupd::DeployThreadPolicyFile(AppId app,
     metrics_.GetGauge(app_name, hook_name, "policy.compile_ns")
         ->Set(static_cast<int64_t>(WallNowNs() - t0));
   }
-  metrics_.GetGauge(app_name, hook_name, "policy.exec_mode")
-      ->Set(static_cast<int64_t>(exec_mode_));
+  EmitExecTierMetrics(app_name, hook_name, compiled.get());
 
   const uint64_t prog_id = next_prog_id_++;
   programs_[prog_id] = program;

@@ -263,6 +263,12 @@ class Syrupd {
   void EmitVerifierMetrics(const std::string& app_name,
                            std::string_view hook_name,
                            const bpf::VerifierStats& stats);
+  // Publishes which tier the deployment actually runs on (policy.exec_mode
+  // = EffectiveExecMode, not the requested mode) plus, when machine code
+  // was published, the policy.jit_ns / policy.jit_code_bytes gauges.
+  void EmitExecTierMetrics(const std::string& app_name,
+                           std::string_view hook_name,
+                           const bpf::CompiledProgram* compiled);
   Status InstallStackHook(Hook hook);
   void MaybeUninstallStackHook(Hook hook);
   // Batch-of-1 wrapper around DispatchBatch (the single-packet hooks).

@@ -9,6 +9,7 @@
 // simulation results.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -18,6 +19,7 @@
 #include "src/bpf/assembler.h"
 #include "src/bpf/compiler.h"
 #include "src/bpf/interpreter.h"
+#include "src/bpf/jit.h"
 #include "src/bpf/verifier.h"
 #include "src/common/rng.h"
 #include "src/map/map.h"
@@ -109,6 +111,33 @@ TEST(Compiler, ExecModeNames) {
   EXPECT_EQ(bpf::ExecModeName(ExecMode::kCompiled), "compiled");
   EXPECT_EQ(bpf::ExecModeName(ExecMode::kCompiledParanoid),
             "compiled-paranoid");
+  EXPECT_EQ(bpf::ExecModeName(ExecMode::kNative), "native");
+  for (ExecMode mode : {ExecMode::kInterpret, ExecMode::kCompiled,
+                        ExecMode::kCompiledParanoid, ExecMode::kNative}) {
+    EXPECT_EQ(bpf::ExecModeFromName(bpf::ExecModeName(mode)), mode);
+  }
+  EXPECT_EQ(bpf::ExecModeFromName("warp-speed"), std::nullopt);
+}
+
+TEST(Compiler, EffectiveExecModeReportsActualTier) {
+  EXPECT_EQ(bpf::EffectiveExecMode(nullptr), ExecMode::kInterpret);
+  Loaded l = Load("mov r0, 1\nexit\n");
+  CompiledProgram plain = CompileOrDie(l.prog, ProgramContext::kThread);
+  EXPECT_EQ(bpf::EffectiveExecMode(&plain), ExecMode::kCompiled);
+  CompileOptions paranoid;
+  paranoid.paranoid = true;
+  CompiledProgram chk = CompileOrDie(l.prog, ProgramContext::kThread, paranoid);
+  EXPECT_EQ(bpf::EffectiveExecMode(&chk), ExecMode::kCompiledParanoid);
+  auto native = bpf::JitCompile(plain);
+  if (bpf::JitAvailable()) {
+    ASSERT_TRUE(native.ok()) << native.status();
+    plain.native = std::move(native).value();
+    EXPECT_EQ(bpf::EffectiveExecMode(&plain), ExecMode::kNative);
+  } else {
+    // Requested native, nothing published: still the compiled tier.
+    EXPECT_FALSE(native.ok());
+    EXPECT_EQ(bpf::EffectiveExecMode(&plain), ExecMode::kCompiled);
+  }
 }
 
 TEST(Compiler, StatsAccountForSentinel) {
@@ -469,7 +498,11 @@ struct ModeRun {
   std::vector<uint64_t> decisions;
   uint64_t helper_calls = 0;
   uint64_t tail_calls = 0;
+  uint64_t insns = 0;
   std::vector<MapImage> maps;
+  // True when native mode actually published machine code (as opposed to
+  // transparently falling back to the compiled tier).
+  bool native_engaged = false;
 };
 
 ModeRun RunVariant(const std::string& source, ExecMode mode, uint64_t seed,
@@ -488,10 +521,20 @@ ModeRun RunVariant(const std::string& source, ExecMode mode, uint64_t seed,
   Interpreter interp(env);
   CompiledExecutor exec(env);
   CompiledProgram compiled;
+  bool native_engaged = false;
   if (mode != ExecMode::kInterpret) {
     CompileOptions options;
     options.paranoid = mode == ExecMode::kCompiledParanoid;
     compiled = CompileOrDie(l.prog, l.context, options);
+    if (mode == ExecMode::kNative) {
+      // JIT failure (disabled, unsupported host/program) is the documented
+      // transparent fallback to the compiled tier, same as syrupd's deploy.
+      auto native = bpf::JitCompile(compiled);
+      if (native.ok()) {
+        compiled.native = std::move(native).value();
+        native_engaged = true;
+      }
+    }
   }
 
   ModeRun run;
@@ -520,8 +563,10 @@ ModeRun RunVariant(const std::string& source, ExecMode mode, uint64_t seed,
     run.decisions.push_back(result->r0);
     run.helper_calls += result->helper_calls;
     run.tail_calls += result->tail_calls;
+    run.insns += result->insns_executed;
   }
   for (auto& m : l.prog.maps) run.maps.push_back(DumpMap(*m));
+  run.native_engaged = native_engaged;
   return run;
 }
 
@@ -552,12 +597,23 @@ TEST_P(BuiltinDifferentialTest, AllModesAgreeOnDecisionsAndSideEffects) {
     ModeRun compiled = RunVariant(c.source, ExecMode::kCompiled, seed, kIters);
     ModeRun paranoid =
         RunVariant(c.source, ExecMode::kCompiledParanoid, seed, kIters);
+    ModeRun native = RunVariant(c.source, ExecMode::kNative, seed, kIters);
     EXPECT_EQ(interp.decisions, compiled.decisions) << c.label;
     EXPECT_EQ(interp.decisions, paranoid.decisions) << c.label;
+    EXPECT_EQ(interp.decisions, native.decisions) << c.label;
     EXPECT_EQ(interp.helper_calls, compiled.helper_calls) << c.label;
     EXPECT_EQ(interp.helper_calls, paranoid.helper_calls) << c.label;
+    EXPECT_EQ(interp.helper_calls, native.helper_calls) << c.label;
     EXPECT_EQ(interp.maps, compiled.maps) << c.label;
     EXPECT_EQ(interp.maps, paranoid.maps) << c.label;
+    EXPECT_EQ(interp.maps, native.maps) << c.label;
+    if (bpf::JitAvailable()) {
+      // Every builtin policy is JIT-able (no tail calls), and the per-block
+      // instruction accounting must agree with the compiled tier's
+      // per-instruction count exactly.
+      EXPECT_TRUE(native.native_engaged) << c.label;
+      EXPECT_EQ(native.insns, compiled.insns) << c.label;
+    }
   }
 }
 
@@ -621,6 +677,11 @@ TEST_P(CompilerFuzzTest, CompiledMatchesInterpreterOnVerifiedPrograms) {
     assume_paranoid.paranoid = true;
     auto chk = bpf::Compile(prog, ProgramContext::kPacket, assume_paranoid);
     ASSERT_TRUE(chk.ok()) << chk.status();
+    // Native tier. Random programs may draw the tail-call helper, which the
+    // JIT rejects; that exercises the documented fallback (native == plain).
+    CompiledProgram native_prog = *plain;
+    auto jit = bpf::JitCompile(native_prog);
+    if (jit.ok()) native_prog.native = std::move(jit).value();
 
     Packet pkt;
     pkt.SetHeader(ReqType::kGet, 1, 2, 3, 4);
@@ -631,17 +692,19 @@ TEST_P(CompilerFuzzTest, CompiledMatchesInterpreterOnVerifiedPrograms) {
     auto run = [&](auto& engine, const auto& program) {
       return engine.Run(program, start, end, /*args_are_packet=*/true);
     };
-    Rng rng_a(trial), rng_b(trial), rng_c(trial);
-    ExecEnv env_a, env_b, env_c;
+    Rng rng_a(trial), rng_b(trial), rng_c(trial), rng_d(trial);
+    ExecEnv env_a, env_b, env_c, env_d;
     env_a.random_u32 = [&]() { return static_cast<uint32_t>(rng_a.Next()); };
     env_b.random_u32 = [&]() { return static_cast<uint32_t>(rng_b.Next()); };
     env_c.random_u32 = [&]() { return static_cast<uint32_t>(rng_c.Next()); };
-    env_a.ktime_ns = env_b.ktime_ns = env_c.ktime_ns = []() {
+    env_d.random_u32 = [&]() { return static_cast<uint32_t>(rng_d.Next()); };
+    env_a.ktime_ns = env_b.ktime_ns = env_c.ktime_ns = env_d.ktime_ns = []() {
       return 99u;
     };
     Interpreter interp(env_a);
     CompiledExecutor exec_plain(env_b);
     CompiledExecutor exec_chk(env_c);
+    CompiledExecutor exec_native(env_d);
 
     auto want = run(interp, prog);
     ASSERT_TRUE(want.ok()) << want.status();
@@ -649,13 +712,21 @@ TEST_P(CompilerFuzzTest, CompiledMatchesInterpreterOnVerifiedPrograms) {
     ASSERT_TRUE(got_plain.ok()) << got_plain.status();
     auto got_chk = run(exec_chk, *chk);
     ASSERT_TRUE(got_chk.ok()) << got_chk.status();
+    auto got_native = run(exec_native, native_prog);
+    ASSERT_TRUE(got_native.ok()) << got_native.status();
 
     EXPECT_EQ(got_plain->r0, want->r0) << "trial " << trial;
     EXPECT_EQ(got_chk->r0, want->r0) << "trial " << trial;
+    EXPECT_EQ(got_native->r0, want->r0) << "trial " << trial;
     EXPECT_EQ(got_plain->helper_calls, want->helper_calls);
     EXPECT_EQ(got_chk->helper_calls, want->helper_calls);
+    EXPECT_EQ(got_native->helper_calls, want->helper_calls);
     EXPECT_EQ(got_plain->tail_calls, want->tail_calls);
     EXPECT_EQ(got_chk->tail_calls, want->tail_calls);
+    if (native_prog.native != nullptr) {
+      EXPECT_EQ(got_native->insns_executed, got_plain->insns_executed)
+          << "trial " << trial;
+    }
   }
   EXPECT_GT(verified, 0);
 }
@@ -664,6 +735,78 @@ TEST_P(CompilerFuzzTest, CompiledMatchesInterpreterOnVerifiedPrograms) {
 // produce verifier-accepted programs from this generator.
 INSTANTIATE_TEST_SUITE_P(Seeds, CompilerFuzzTest,
                          testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- unit: native (JIT) tier --------------------------------------------------
+
+TEST(Jit, PublishesCodeAndStats) {
+  if (!bpf::JitAvailable()) GTEST_SKIP() << "JIT unsupported on this host";
+  Loaded l = Load(R"(
+    mov r0, r1
+    mul r0, 3
+    add r0, 7
+    exit
+  )");
+  CompiledProgram c = CompileOrDie(l.prog, ProgramContext::kThread);
+  const size_t arena_before = bpf::JitArenaBytesUsed();
+  auto native = bpf::JitCompile(c);
+  ASSERT_TRUE(native.ok()) << native.status();
+  EXPECT_GT((*native)->stats().code_bytes, 0u);
+  EXPECT_GT((*native)->stats().stencils, 0u);
+  EXPECT_GT(bpf::JitArenaBytesUsed(), arena_before);
+  c.native = std::move(native).value();
+  for (uint64_t arg : {0ull, 1ull, 13ull, (1ull << 50) + 9}) {
+    EXPECT_EQ(RunCompiledScalar(c, arg), arg * 3 + 7) << "arg=" << arg;
+  }
+}
+
+TEST(Jit, RejectsTailCallPrograms) {
+  Loaded l = Load(R"(
+    .map progs prog_array 4 8 1
+    mov r1, 0
+    ldmapfd r2, progs
+    mov r3, 0
+    call tail_call
+    mov r0, 0
+    exit
+  )");
+  CompiledProgram c = CompileOrDie(l.prog, ProgramContext::kThread);
+  auto native = bpf::JitCompile(c);
+  EXPECT_FALSE(native.ok());
+  // Fallback contract: the artifact still runs on the compiled tier.
+  EXPECT_EQ(c.native, nullptr);
+  EXPECT_EQ(RunCompiledScalar(c), RunInterpScalar(l.prog));
+}
+
+TEST(Jit, RejectsParanoidPrograms) {
+  Loaded l = Load("mov r0, 1\nexit\n");
+  CompileOptions paranoid;
+  paranoid.paranoid = true;
+  CompiledProgram c = CompileOrDie(l.prog, ProgramContext::kThread, paranoid);
+  EXPECT_FALSE(bpf::JitCompile(c).ok());
+}
+
+TEST(Jit, DisableEnvForcesCompiledFallback) {
+  // SYRUP_JIT_DISABLE is the portable way to exercise the non-x86-64 path:
+  // JitCompile refuses, the caller keeps the compiled artifact, and results
+  // are unchanged.
+  Loaded l = Load(R"(
+    mov r0, r1
+    and r0, 255
+    exit
+  )");
+  CompiledProgram c = CompileOrDie(l.prog, ProgramContext::kThread);
+  setenv("SYRUP_JIT_DISABLE", "1", 1);
+  auto disabled = bpf::JitCompile(c);
+  unsetenv("SYRUP_JIT_DISABLE");
+  EXPECT_FALSE(disabled.ok());
+  EXPECT_EQ(bpf::EffectiveExecMode(&c), ExecMode::kCompiled);
+  const uint64_t compiled_r0 = RunCompiledScalar(c, 0x1234);
+  auto native = bpf::JitCompile(c);
+  if (native.ok()) {
+    c.native = std::move(native).value();
+    EXPECT_EQ(RunCompiledScalar(c, 0x1234), compiled_r0);
+  }
+}
 
 // --- end to end: execution tier must not change simulation results ------------
 
@@ -686,6 +829,8 @@ TEST(Compiler, ExperimentResultsIdenticalAcrossExecModes) {
   const RocksDbResult compiled = RunRocksDbExperiment(config);
   config.exec_mode = ExecMode::kCompiledParanoid;
   const RocksDbResult paranoid = RunRocksDbExperiment(config);
+  config.exec_mode = ExecMode::kNative;
+  const RocksDbResult native = RunRocksDbExperiment(config);
 
   EXPECT_GT(interp.throughput_rps, 0.0);
   // Same seed, same decisions, same event sequence: results must match to
@@ -698,6 +843,12 @@ TEST(Compiler, ExperimentResultsIdenticalAcrossExecModes) {
   EXPECT_EQ(compiled.p50_us, paranoid.p50_us);
   EXPECT_EQ(compiled.p99_us, paranoid.p99_us);
   EXPECT_EQ(compiled.drop_fraction, paranoid.drop_fraction);
+  // Native either JITs (x86-64) or transparently falls back to compiled —
+  // the simulation outcome must be bit-identical either way.
+  EXPECT_EQ(compiled.throughput_rps, native.throughput_rps);
+  EXPECT_EQ(compiled.p50_us, native.p50_us);
+  EXPECT_EQ(compiled.p99_us, native.p99_us);
+  EXPECT_EQ(compiled.drop_fraction, native.drop_fraction);
 }
 
 }  // namespace

@@ -15,13 +15,22 @@
 //  * mutated bounds-check templates — guard size, probe offset, mask,
 //    access offset, and access width all drawn at random, so the accepted
 //    set straddles exactly the boundary the range analysis must get right.
+//
+// Every accepted program runs through all four execution tiers (interpret,
+// compiled, compiled-paranoid, native) with identical inputs and helper
+// streams: none may fault, and all must agree on r0. The compiled tiers run
+// with assume_verified (checks elided), so an unsound acceptance surfaces
+// as a raw bad access under the sanitizer jobs rather than a Status — which
+// is precisely the production blast radius being tested.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/bpf/compiler.h"
 #include "src/bpf/interpreter.h"
+#include "src/bpf/jit.h"
 #include "src/bpf/program.h"
 #include "src/bpf/verifier.h"
 #include "src/common/rng.h"
@@ -37,12 +46,47 @@ ExecEnv FuzzEnv(Rng* rng) {
   return env;
 }
 
+// The three compiled-family artifacts for an accepted program. The native
+// artifact transparently degrades to the compiled tier when the JIT refuses
+// the program (tail-call draws) or the host (non-x86-64, SYRUP_JIT_DISABLE)
+// — exactly syrupd's deploy-time fallback, so the fuzz exercises it too.
+struct Tiers {
+  CompiledProgram plain;
+  CompiledProgram paranoid;
+  CompiledProgram native;
+};
+
+Tiers CompileTiers(const Program& prog, ProgramContext context) {
+  CompileOptions options;
+  options.assume_verified = true;  // acceptance IS the property under test
+  Tiers t;
+  auto plain = Compile(prog, context, options);
+  EXPECT_TRUE(plain.ok()) << plain.status();
+  if (plain.ok()) t.plain = *std::move(plain);
+  options.paranoid = true;
+  auto chk = Compile(prog, context, options);
+  EXPECT_TRUE(chk.ok()) << chk.status();
+  if (chk.ok()) t.paranoid = *std::move(chk);
+  t.native = t.plain;
+  auto jit = JitCompile(t.native);
+  if (jit.ok()) t.native.native = std::move(jit).value();
+  return t;
+}
+
 // Executes an accepted program against `runs` random packets with random
-// sizes (including sizes smaller than any guard) and asserts the
-// interpreter never faults.
+// sizes (including sizes smaller than any guard) and asserts that no
+// execution tier faults and that all four agree on r0.
 void AssertSoundOnPackets(const Program& prog, Rng& rng, int runs) {
-  Rng helper_rng(rng.Next());
-  Interpreter interp(FuzzEnv(&helper_rng));
+  const Tiers tiers = CompileTiers(prog, ProgramContext::kPacket);
+  // One helper stream per engine, identically seeded, so bpf_random draws
+  // line up across tiers and r0 comparison is meaningful.
+  const uint64_t helper_seed = rng.Next();
+  Rng rng_i(helper_seed), rng_c(helper_seed), rng_p(helper_seed),
+      rng_n(helper_seed);
+  Interpreter interp(FuzzEnv(&rng_i));
+  CompiledExecutor plain(FuzzEnv(&rng_c));
+  CompiledExecutor paranoid(FuzzEnv(&rng_p));
+  CompiledExecutor native(FuzzEnv(&rng_n));
   for (int i = 0; i < runs; ++i) {
     std::vector<uint8_t> wire(rng.NextBounded(96));
     for (uint8_t& b : wire) {
@@ -50,22 +94,47 @@ void AssertSoundOnPackets(const Program& prog, Rng& rng, int runs) {
     }
     const auto start = reinterpret_cast<uint64_t>(wire.data());
     const auto end = start + wire.size();
-    auto result = interp.Run(prog, start, end, /*args_are_packet=*/true);
-    ASSERT_TRUE(result.ok())
+    auto want = interp.Run(prog, start, end, /*args_are_packet=*/true);
+    ASSERT_TRUE(want.ok())
         << "verifier accepted a program the interpreter faults on "
-        << "(pkt_size=" << wire.size() << "): " << result.status();
+        << "(pkt_size=" << wire.size() << "): " << want.status();
+    auto got_plain = plain.Run(tiers.plain, start, end, true);
+    ASSERT_TRUE(got_plain.ok()) << got_plain.status();
+    auto got_chk = paranoid.Run(tiers.paranoid, start, end, true);
+    ASSERT_TRUE(got_chk.ok()) << got_chk.status();
+    auto got_native = native.Run(tiers.native, start, end, true);
+    ASSERT_TRUE(got_native.ok()) << got_native.status();
+    ASSERT_EQ(got_plain->r0, want->r0) << "pkt_size=" << wire.size();
+    ASSERT_EQ(got_chk->r0, want->r0) << "pkt_size=" << wire.size();
+    ASSERT_EQ(got_native->r0, want->r0) << "pkt_size=" << wire.size();
   }
 }
 
 void AssertSoundOnScalars(const Program& prog, Rng& rng, int runs) {
-  Rng helper_rng(rng.Next());
-  Interpreter interp(FuzzEnv(&helper_rng));
+  const Tiers tiers = CompileTiers(prog, ProgramContext::kThread);
+  const uint64_t helper_seed = rng.Next();
+  Rng rng_i(helper_seed), rng_c(helper_seed), rng_p(helper_seed),
+      rng_n(helper_seed);
+  Interpreter interp(FuzzEnv(&rng_i));
+  CompiledExecutor plain(FuzzEnv(&rng_c));
+  CompiledExecutor paranoid(FuzzEnv(&rng_p));
+  CompiledExecutor native(FuzzEnv(&rng_n));
   for (int i = 0; i < runs; ++i) {
-    auto result = interp.Run(prog, rng.Next(), rng.Next(),
-                             /*args_are_packet=*/false);
-    ASSERT_TRUE(result.ok())
+    const uint64_t arg1 = rng.Next();
+    const uint64_t arg2 = rng.Next();
+    auto want = interp.Run(prog, arg1, arg2, /*args_are_packet=*/false);
+    ASSERT_TRUE(want.ok())
         << "verifier accepted a program the interpreter faults on: "
-        << result.status();
+        << want.status();
+    auto got_plain = plain.Run(tiers.plain, arg1, arg2, false);
+    ASSERT_TRUE(got_plain.ok()) << got_plain.status();
+    auto got_chk = paranoid.Run(tiers.paranoid, arg1, arg2, false);
+    ASSERT_TRUE(got_chk.ok()) << got_chk.status();
+    auto got_native = native.Run(tiers.native, arg1, arg2, false);
+    ASSERT_TRUE(got_native.ok()) << got_native.status();
+    ASSERT_EQ(got_plain->r0, want->r0);
+    ASSERT_EQ(got_chk->r0, want->r0);
+    ASSERT_EQ(got_native->r0, want->r0);
   }
 }
 

@@ -2,6 +2,9 @@
 // multi-tenancy / isolation guarantees of §3.5 and §4.3.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "src/bpf/jit.h"
 #include "src/core/root_dispatcher.h"
 #include "src/core/syrup_api.h"
 #include "src/core/syrupd.h"
@@ -552,6 +555,58 @@ TEST_F(SyrupdTest, DeploymentPublishesVerifierStatsGauges) {
   EXPECT_GE(snap.GaugeValue("vf", "socket_select", "verifier.pruned_states"),
             0);
   EXPECT_GT(snap.GaugeValue("vf", "socket_select", "verifier.verify_ns"), 0);
+}
+
+TEST_F(SyrupdTest, ExecModeGaugeReportsEffectiveTier) {
+  auto app = syrupd_.RegisterApp("em", 1000, 9000).value();
+  SyrupClient client(syrupd_, app);
+
+  // Requesting native must report what actually happened: the native tier
+  // on hosts with a JIT, the compiled tier on hosts without one — never
+  // the raw requested mode.
+  syrupd_.set_exec_mode(bpf::ExecMode::kNative);
+  {
+    PolicyHandle deployed =
+        client.DeployPolicy(RoundRobinPolicyAsm(2), Hook::kSocketSelect)
+            .value();
+    const obs::Snapshot snap = syrupd_.StatsSnapshot();
+    const auto effective = static_cast<bpf::ExecMode>(
+        snap.GaugeValue("em", "socket_select", "policy.exec_mode"));
+    if (bpf::JitAvailable()) {
+      EXPECT_EQ(effective, bpf::ExecMode::kNative);
+      EXPECT_GT(snap.GaugeValue("em", "socket_select",
+                                "policy.jit_code_bytes"),
+                0);
+      EXPECT_GT(snap.GaugeValue("em", "socket_select", "policy.jit_ns"), 0);
+    } else {
+      EXPECT_EQ(effective, bpf::ExecMode::kCompiled);
+    }
+  }
+
+  // Forced fallback (the documented non-x86-64 behavior): still a native
+  // request, but the gauge must say compiled.
+  setenv("SYRUP_JIT_DISABLE", "1", 1);
+  {
+    PolicyHandle deployed =
+        client.DeployPolicy(RoundRobinPolicyAsm(2), Hook::kSocketSelect)
+            .value();
+    const obs::Snapshot snap = syrupd_.StatsSnapshot();
+    EXPECT_EQ(static_cast<bpf::ExecMode>(snap.GaugeValue(
+                  "em", "socket_select", "policy.exec_mode")),
+              bpf::ExecMode::kCompiled);
+  }
+  unsetenv("SYRUP_JIT_DISABLE");
+
+  syrupd_.set_exec_mode(bpf::ExecMode::kInterpret);
+  {
+    PolicyHandle deployed =
+        client.DeployPolicy(RoundRobinPolicyAsm(2), Hook::kSocketSelect)
+            .value();
+    const obs::Snapshot snap = syrupd_.StatsSnapshot();
+    EXPECT_EQ(static_cast<bpf::ExecMode>(snap.GaugeValue(
+                  "em", "socket_select", "policy.exec_mode")),
+              bpf::ExecMode::kInterpret);
+  }
 }
 
 // --- typed RAII handles -------------------------------------------------------------------
