@@ -25,6 +25,7 @@
 #include "src/bpf/compiler.h"
 #include "src/bpf/interpreter.h"
 #include "src/bpf/jit.h"
+#include "src/bpf/verifier.h"
 #include "src/common/rng.h"
 #include "src/map/map.h"
 #include "src/net/packet.h"
@@ -211,6 +212,28 @@ int Run(bool quick, const char* out_path, const char* baseline_path) {
     std::printf("%-12s %9.1f %9.1f %9.1f %9.1f %9.1f   (ns/decision)\n",
                 put.name, row["interpret"], row["compiled"],
                 row["compiled-paranoid"], row["native"], row["cpp"]);
+
+    // Cross-validation of the static cost model: the verifier's wcet with
+    // the checked-in DefaultCostModel (the deploy gate's tables) next to
+    // what this machine measured. Informational — the hard soundness check
+    // (measured <= calibrated wcet) lives in bpf_cost_model_test; here the
+    // ratio tracks how tight the default tables are over time. The JSON
+    // keys are "wcet."-prefixed so BaselineFor's `"<mode>":` scan never
+    // confuses a bound with a measurement.
+    bpf::AnalysisFacts facts;
+    if (bpf::Verify(prog, bpf::ProgramContext::kPacket, {}, nullptr, &facts)
+            .ok() &&
+        facts.cost.bounded) {
+      const double* wcet = facts.cost.wcet_ns;
+      row["wcet.interpret"] = wcet[0];
+      row["wcet.compiled"] = wcet[1];
+      row["wcet.native"] = wcet[2];
+      std::printf("%-12s %9.1f %9.1f %19.1f          "
+                  " (static wcet; measured/wcet %.2f/%.2f/%.2f)\n",
+                  "  wcet", wcet[0], wcet[1], wcet[2],
+                  row["interpret"] / wcet[0], row["compiled"] / wcet[1],
+                  row["native"] / wcet[2]);
+    }
   }
   if (!jit_engaged) {
     std::printf("# note: JIT unavailable; native column ran the compiled "

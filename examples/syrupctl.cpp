@@ -11,6 +11,8 @@
 //   ./build/examples/syrupctl stats      # full StatsSnapshot() as JSON
 //   ./build/examples/syrupctl flow-cache # FlowCacheConfig + cache counters
 //   ./build/examples/syrupctl lint p.s   # verifier lint report for a policy
+//   ./build/examples/syrupctl cost p.s   # per-tier WCET breakdown + budgets
+//   ./build/examples/syrupctl analyze    # deployment-wide map interference
 //   ./build/examples/syrupctl exec-mode            # requested vs effective tier
 //   ./build/examples/syrupctl exec-mode native     # deploy under a given tier
 #include <cstdio>
@@ -87,6 +89,99 @@ int LintPolicyFile(const char* path) {
   return report.ok() ? 0 : 1;
 }
 
+// `syrupctl cost <file.s>`: the offline face of the deploy-time WCET gate.
+// Prints the verifier cost pass's per-tier worst/best-case bounds, the
+// hottest path disassembled, and the verdict against every hook budget the
+// program could deploy to. Uses the deterministic DefaultCostModel (the
+// same tables the daemon's budget gate uses), so output is stable across
+// machines. Exit: 0 bounded and verified, 1 rejected or unbounded, 2 IO.
+int CostPolicyFile(const char* path) {
+  using namespace syrup;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cost: cannot read '%s'\n", path);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto assembled = bpf::Assemble(buffer.str());
+  if (!assembled.ok()) {
+    std::fprintf(stderr, "cost: %s\n",
+                 assembled.status().ToString().c_str());
+    return 1;
+  }
+
+  bpf::Program program;
+  program.name = assembled->name;
+  program.insns = assembled->insns;
+  for (const bpf::MapSlot& slot : assembled->map_slots) {
+    // As in lint: extern maps bind at deploy time, so substitute a generic
+    // hash map — the most expensive kind, keeping the bound conservative.
+    if (slot.is_extern) {
+      MapSpec spec;
+      spec.type = MapType::kHash;
+      spec.max_entries = 1024;
+      program.maps.push_back(CreateMap(spec).value());
+      continue;
+    }
+    program.maps.push_back(CreateMap(slot.spec).value());
+  }
+
+  bpf::VerifierStats stats;
+  bpf::AnalysisFacts facts;
+  const Status verdict =
+      bpf::Verify(program, assembled->context, {}, &stats, &facts);
+  if (!verdict.ok()) {
+    std::printf("REJECTED: %s\n", verdict.ToString().c_str());
+    return 1;
+  }
+  const bpf::CostFacts& cost = facts.cost;
+  const bool packet = assembled->context == bpf::ProgramContext::kPacket;
+  std::printf("program '%s' (.ctx %s), %zu insns\n", program.name.c_str(),
+              packet ? "packet" : "thread", program.insns.size());
+  if (!cost.bounded) {
+    std::printf("UNBOUNDED: the cost pass exhausted its exploration "
+                "budget; no worst-case bound exists\n");
+    return 1;
+  }
+  std::printf("wcet_insns=%llu best_insns=%llu%s\n",
+              static_cast<unsigned long long>(cost.wcet_insns),
+              static_cast<unsigned long long>(cost.best_insns),
+              cost.has_tail_call
+                  ? " (+ tail-call targets outside this analysis)"
+                  : "");
+  std::printf("%-10s %12s %12s\n", "tier", "wcet_ns", "best_ns");
+  for (size_t t = 0; t < bpf::kNumCostTiers; ++t) {
+    std::printf("%-10s %12.1f %12.1f\n",
+                std::string(bpf::CostTierName(
+                                static_cast<bpf::CostTier>(t)))
+                    .c_str(),
+                cost.wcet_ns[t], cost.best_ns[t]);
+  }
+  std::printf("hottest path (%zu insns):\n", cost.hottest_path.size());
+  for (uint32_t pc : cost.hottest_path) {
+    std::printf("  %3u: %s\n", pc,
+                bpf::Disassemble(program.insns[pc]).c_str());
+  }
+  // Budget verdicts at the compiled tier — the daemon's default exec mode,
+  // and what the deploy gate checks unless the deployment runs elsewhere.
+  const double wcet =
+      cost.wcet_ns[static_cast<size_t>(bpf::CostTier::kCompiled)];
+  std::printf("budget check (compiled tier):\n");
+  for (size_t i = 0; i < kNumHooks; ++i) {
+    const Hook hook = HookFromIndex(i);
+    if (IsPacketHook(hook) != packet) {
+      continue;
+    }
+    const double budget = DefaultHookBudgetNs(hook);
+    std::printf("  %-16s %8.1f ns budget  %5.1f%%  %s\n",
+                std::string(HookName(hook)).c_str(), budget,
+                100.0 * wcet / budget, wcet <= budget ? "OK" : "OVER");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,11 +195,19 @@ int main(int argc, char** argv) {
     }
     return LintPolicyFile(argv[2]);
   }
+  if (command == "cost") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s cost <policy.s>\n", argv[0]);
+      return 2;
+    }
+    return CostPolicyFile(argv[2]);
+  }
   if (command != "inspect" && command != "stats" &&
-      command != "flow-cache" && command != "exec-mode") {
+      command != "flow-cache" && command != "exec-mode" &&
+      command != "analyze") {
     std::fprintf(stderr,
                  "usage: %s [inspect|stats|flow-cache|exec-mode [mode]|"
-                 "lint <policy.s>]\n",
+                 "lint <policy.s>|cost <policy.s>|analyze [--json]]\n",
                  argv[0]);
     return 2;
   }
@@ -184,6 +287,49 @@ int main(int argc, char** argv) {
   sim.RunUntil(100 * kMillisecond);
 
   // --- the syrupctl surface ------------------------------------------------
+
+  if (command == "analyze") {
+    // The deployment-wide map-interference report: who reads/writes each
+    // map across every attached program, plus hygiene findings. Exit 1
+    // when any error-severity finding exists (CI gates on this).
+    const DeploymentAnalysis analysis = syrupd.AnalyzeDeployments();
+    if (argc > 2 && std::strcmp(argv[2], "--json") == 0) {
+      std::printf("%s\n", analysis.ToJson().c_str());
+      return analysis.HasErrors() ? 1 : 0;
+    }
+    std::printf("== map interference ==\n");
+    auto print_list = [](const char* role,
+                         const std::vector<std::string>& progs) {
+      if (progs.empty()) {
+        return;
+      }
+      std::printf("    %s:", role);
+      for (const std::string& p : progs) {
+        std::printf(" %s", p.c_str());
+      }
+      std::printf("\n");
+    };
+    for (const MapInterferenceRow& row : analysis.rows) {
+      std::printf("  %s\n", row.map.c_str());
+      print_list("readers", row.readers);
+      print_list("writers", row.writers);
+      print_list("atomics", row.atomics);
+    }
+    std::printf("\n== findings ==\n");
+    size_t errors = 0;
+    size_t warnings = 0;
+    for (const InterferenceFinding& f : analysis.findings) {
+      if (f.level == InterferenceFinding::Level::kError) ++errors;
+      if (f.level == InterferenceFinding::Level::kWarning) ++warnings;
+      std::printf("  %s [%s]%s%s: %s\n",
+                  std::string(InterferenceLevelName(f.level)).c_str(),
+                  f.category.c_str(), f.map.empty() ? "" : " map=",
+                  f.map.c_str(), f.detail.c_str());
+    }
+    std::printf("analyze: %zu error(s), %zu warning(s), %zu info\n", errors,
+                warnings, analysis.findings.size() - errors - warnings);
+    return analysis.HasErrors() ? 1 : 0;
+  }
 
   if (command == "stats") {
     // The entire observability tree: every app, hook, and metric the

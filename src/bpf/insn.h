@@ -71,6 +71,10 @@ enum class Op : uint8_t {
   kLdMapFd,
 };
 
+// Number of opcodes; sizes every per-opcode table (e.g. the cost model's
+// per-tier ns tables). Keep in sync with the enum (kLdMapFd is last).
+inline constexpr size_t kNumOps = static_cast<size_t>(Op::kLdMapFd) + 1;
+
 // Helper functions callable from policy programs (imm field of kCall).
 // Calling convention follows eBPF: arguments in r1..r5, result in r0,
 // r1..r5 clobbered, r6..r9 preserved.

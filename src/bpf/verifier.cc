@@ -4,6 +4,7 @@
 #include <array>
 #include <bitset>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <set>
@@ -649,6 +650,20 @@ struct AbsState {
   int64_t pkt_range = 0;  // bytes of packet proven accessible
   std::bitset<kStackSize> stack_init;
   size_t pc = 0;
+
+  // Cost-pass accumulators (stay zero outside cost mode): executed source
+  // instructions and per-tier ns along the path that produced this state,
+  // plus this path's node in the arena for hottest-path reconstruction.
+  uint64_t cost_insns = 0;
+  double cost_ns[kNumCostTiers] = {};
+  int32_t path_node = -1;
+
+  // Redundant-lookup lint: the most recent lookup on this path whose result
+  // is still valid (same map + constant stack key, no intervening write).
+  int32_t last_lookup_map = -1;
+  int64_t last_lookup_key_off = 0;  // fp-relative
+  uint32_t last_lookup_key_size = 0;
+  int32_t last_lookup_pc = -1;
 };
 
 // ---------------------------------------------------------------------------
@@ -660,6 +675,35 @@ class Verifier {
   Verifier(const Program& prog, ProgramContext context,
            const VerifierOptions& options, VerifyReport* report)
       : prog_(prog), context_(context), options_(options), report_(report) {}
+
+  // Switches this instance into the post-acceptance cost pass: same
+  // exploration semantics, but pruning additionally requires the coverer
+  // to carry at-least-equal accumulated cost (so pruned continuations
+  // cannot hide a more expensive path), per-path cost is accumulated, and
+  // budget exhaustion degrades to "unbounded" instead of a rejection.
+  void EnableCostMode(const CostModel* model) {
+    cost_mode_ = true;
+    cost_model_ = model;
+  }
+
+  // Cost-pass result. bounded stays false if the pass gave up (budget) or
+  // hit an error (cannot happen for a program the main pass accepted, but
+  // handled defensively).
+  CostFacts TakeCostFacts() {
+    CostFacts facts;
+    if (cost_gave_up_ || !report_->ok() || !cost_any_exit_) {
+      return facts;
+    }
+    facts = cost_facts_;
+    facts.bounded = true;
+    facts.has_tail_call = has_tail_call_;
+    for (int32_t node = hottest_leaf_; node >= 0;
+         node = path_arena_[static_cast<size_t>(node)].first) {
+      facts.hottest_path.push_back(path_arena_[static_cast<size_t>(node)].second);
+    }
+    std::reverse(facts.hottest_path.begin(), facts.hottest_path.end());
+    return facts;
+  }
 
   void Run() {
     const size_t n = prog_.insns.size();
@@ -704,6 +748,12 @@ class Verifier {
           break;
         }
         if (++report_->stats.visited_insns > options_.max_visited_insns) {
+          if (cost_mode_) {
+            // The main pass accepted within budget; the weaker cost-mode
+            // pruning just could not. Degrade to an unbounded cost verdict.
+            cost_gave_up_ = true;
+            return;
+          }
           Fatal(st.pc,
                 "program too complex: exploration budget exceeded "
                 "(unbounded loop?)");
@@ -715,17 +765,30 @@ class Verifier {
           break;
         }
         visited_pc_[st.pc] = 1;
+        const Op op = prog_.insns[st.pc].op;
+        if (cost_mode_) {
+          AddCost(st);  // before StepInsn so branch copies inherit it
+        }
         StepResult step;
         if (!StepInsn(st, step).ok()) {
           if (stop_) return;
           break;  // keep_going: abandon this path, siblings still explored
         }
         if (step.done) {
-          break;  // EXIT reached on this path
+          // EXIT reached (step.done from a contradictory branch is an
+          // abandoned infeasible path, not a completed execution).
+          if (cost_mode_ && op == Op::kExit) {
+            RecordExitCost(st);
+          }
+          break;
         }
         if (step.has_branch) {
           ++report_->stats.branch_states;
           if (pending.size() >= options_.max_pending_states) {
+            if (cost_mode_) {
+              cost_gave_up_ = true;
+              return;
+            }
             Fatal(st.pc, "too many pending branch states");
             return;
           }
@@ -735,7 +798,7 @@ class Verifier {
       }
     }
 
-    if (report_->ok()) {
+    if (report_->ok() && !cost_mode_) {
       report_->facts.visited = visited_pc_;
       report_->facts.edges = edges_;
       // Purity summary: only packet programs have a flow key to memoize
@@ -745,6 +808,15 @@ class Verifier {
           cacheable_ && context_ == ProgramContext::kPacket;
       report_->facts.pkt_read_mask = pkt_read_mask_;
       report_->facts.read_maps.assign(read_maps_.begin(), read_maps_.end());
+      report_->facts.write_maps.assign(write_maps_.begin(), write_maps_.end());
+      report_->facts.atomic_maps.assign(atomic_maps_.begin(),
+                                        atomic_maps_.end());
+      if (context_ == ProgramContext::kPacket) {
+        for (const auto& [pc, reason] : cache_blockers_) {
+          report_->facts.cache_blockers.push_back(
+              CacheBlocker{static_cast<uint32_t>(pc), reason});
+        }
+      }
       EmitWarnings();
     }
   }
@@ -1010,6 +1082,21 @@ class Verifier {
     return true;
   }
 
+  // Cost mode only: the coverer reached this join point at least as
+  // expensively in every component, so the paths explored from it bound the
+  // pruned state's full-path worst case from above.
+  static bool CostDominates(const AbsState& o, const AbsState& n) {
+    if (o.cost_insns < n.cost_insns) {
+      return false;
+    }
+    for (size_t t = 0; t < kNumCostTiers; ++t) {
+      if (o.cost_ns[t] < n.cost_ns[t]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   // Prune if a fully-explored state at this pc covers `st`; otherwise
   // remember `st` so it can cover later arrivals. Only `done` states are
   // candidates: pruning against an ancestor still being explored would
@@ -1018,7 +1105,8 @@ class Verifier {
     auto& list = prune_states_[st.pc];
     const uint16_t live = live_[st.pc];
     for (const Stored& s : list) {
-      if (s.done && Covers(s.state, st, live)) {
+      if (s.done && Covers(s.state, st, live) &&
+          (!cost_mode_ || CostDominates(s.state, st))) {
         return true;
       }
     }
@@ -1027,6 +1115,69 @@ class Verifier {
       undone_.push_back(UndoneRef{st.pc, list.size() - 1, pending_size});
     }
     return false;
+  }
+
+  // --- cost pass ---------------------------------------------------------
+
+  // Charges insns[st.pc] to the path's accumulators and extends the path
+  // arena. Runs before StepInsn so the helper-argument registers (map kind
+  // for call pricing) are still live and branch copies inherit the cost.
+  void AddCost(AbsState& st) {
+    const Insn& insn = prog_.insns[st.pc];
+    st.cost_insns += 1;
+    MapType map_type = MapType::kArray;
+    if (insn.op == Op::kCall) {
+      const auto helper = static_cast<HelperId>(insn.imm);
+      if (helper == HelperId::kMapLookupElem ||
+          helper == HelperId::kMapUpdateElem ||
+          helper == HelperId::kMapDeleteElem) {
+        const RegState& r1 = st.regs[1];
+        if (r1.kind == RegKind::kConstMapPtr && r1.map_index >= 0 &&
+            static_cast<size_t>(r1.map_index) < prog_.maps.size()) {
+          map_type = prog_.maps[r1.map_index]->spec().type;
+        }
+      }
+    }
+    for (size_t t = 0; t < kNumCostTiers; ++t) {
+      st.cost_ns[t] +=
+          cost_model_->InsnNs(insn, map_type, static_cast<CostTier>(t));
+    }
+    path_arena_.push_back({st.path_node, static_cast<uint32_t>(st.pc)});
+    st.path_node = static_cast<int32_t>(path_arena_.size() - 1);
+  }
+
+  // Folds a completed path (EXIT validated) into the per-tier maxima and
+  // minima; the hottest path is the native-tier maximum, ties broken
+  // toward more instructions.
+  void RecordExitCost(const AbsState& st) {
+    double total_ns[kNumCostTiers];
+    for (size_t t = 0; t < kNumCostTiers; ++t) {
+      total_ns[t] = st.cost_ns[t] + cost_model_->exec_overhead_ns[t];
+    }
+    if (!cost_any_exit_) {
+      cost_any_exit_ = true;
+      cost_facts_.wcet_insns = cost_facts_.best_insns = st.cost_insns;
+      for (size_t t = 0; t < kNumCostTiers; ++t) {
+        cost_facts_.wcet_ns[t] = cost_facts_.best_ns[t] = total_ns[t];
+      }
+      hottest_native_ns_ = total_ns[static_cast<size_t>(CostTier::kNative)];
+      hottest_insns_ = st.cost_insns;
+      hottest_leaf_ = st.path_node;
+      return;
+    }
+    cost_facts_.wcet_insns = std::max(cost_facts_.wcet_insns, st.cost_insns);
+    cost_facts_.best_insns = std::min(cost_facts_.best_insns, st.cost_insns);
+    for (size_t t = 0; t < kNumCostTiers; ++t) {
+      cost_facts_.wcet_ns[t] = std::max(cost_facts_.wcet_ns[t], total_ns[t]);
+      cost_facts_.best_ns[t] = std::min(cost_facts_.best_ns[t], total_ns[t]);
+    }
+    const double native = total_ns[static_cast<size_t>(CostTier::kNative)];
+    if (native > hottest_native_ns_ ||
+        (native == hottest_native_ns_ && st.cost_insns > hottest_insns_)) {
+      hottest_native_ns_ = native;
+      hottest_insns_ = st.cost_insns;
+      hottest_leaf_ = st.path_node;
+    }
   }
 
   // --- memory ------------------------------------------------------------
@@ -1045,13 +1196,24 @@ class Verifier {
     }
   }
 
+  // First impurity reason recorded per pc wins (a pc can clear
+  // cacheability for one reason only).
+  void NoteCacheBlocker(size_t pc, std::string reason) {
+    cache_blockers_.emplace(pc, std::move(reason));
+  }
+
   // Folds a proven-in-bounds packet read span [lo, last) into the read-set
   // mask. A variable-offset read contributes its whole interval (any byte
   // in it may influence the decision). Spans past the mask's 64-byte reach
   // cannot be keyed, so they make the program uncacheable instead.
-  void NotePacketRead(int64_t lo, int64_t last) {
+  void NotePacketRead(size_t pc, int64_t lo, int64_t last) {
     if (last > AnalysisFacts::kMaxTrackedPktBytes) {
       cacheable_ = false;
+      NoteCacheBlocker(pc,
+                       "packet read reaches byte " + std::to_string(last) +
+                           ", past the " +
+                           std::to_string(AnalysisFacts::kMaxTrackedPktBytes) +
+                           "-byte flow-key window");
       return;
     }
     for (int64_t i = lo; i < last; ++i) {
@@ -1082,7 +1244,7 @@ class Verifier {
                           std::to_string(st.pkt_range) +
                           " (missing bounds check against pkt_end?)");
         }
-        NotePacketRead(lo, hi + size);
+        NotePacketRead(pc, lo, hi + size);
         return OkStatus();
       }
       case RegKind::kStackPtr: {
@@ -1102,6 +1264,15 @@ class Verifier {
           NoteStackWrite(pc, first, last);
           if (is_atomic) {
             NoteStackRead(first, last);  // read-modify-write
+          }
+          // A store over the tracked lookup key ends its redundancy window.
+          if (st.last_lookup_map >= 0) {
+            const size_t key_first =
+                static_cast<size_t>(st.last_lookup_key_off + kStackSize);
+            const size_t key_last = key_first + st.last_lookup_key_size;
+            if (first < key_last && key_first < last) {
+              st.last_lookup_map = -1;
+            }
           }
         } else {
           for (size_t i = first; i < last; ++i) {
@@ -1125,6 +1296,17 @@ class Verifier {
           // pointer) makes the program observable-state-changing: the
           // flow-decision cache must never skip running it.
           cacheable_ = false;
+          write_maps_.insert(ptr.map_index);
+          if (is_atomic) {
+            atomic_maps_.insert(ptr.map_index);
+          }
+          NoteCacheBlocker(
+              pc, is_atomic
+                      ? "atomic add through a map value pointer (in-place "
+                        "map write)"
+                      : "store through a map value pointer (in-place map "
+                        "write)");
+          st.last_lookup_map = -1;  // map contents may have changed
         }
         return OkStatus();
       }
@@ -1458,12 +1640,14 @@ class Verifier {
         const auto& spec = prog_.maps[st.regs[1].map_index]->spec();
         SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(st, pc, 2, spec.key_size));
         SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(st, pc, 3, spec.value_size));
+        write_maps_.insert(st.regs[1].map_index);
         break;
       }
       case HelperId::kMapDeleteElem: {
         SYRUP_RETURN_IF_ERROR(require_map_arg(1, nullptr));
         const auto& spec = prog_.maps[st.regs[1].map_index]->spec();
         SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(st, pc, 2, spec.key_size));
+        write_maps_.insert(st.regs[1].map_index);
         break;
       }
       case HelperId::kGetPrandomU32:
@@ -1485,8 +1669,58 @@ class Verifier {
     // Purity: map mutations have side effects; randomness and the clock
     // make the decision depend on more than (packet bytes, map contents);
     // a tail call's target program is outside this analysis.
-    if (helper != HelperId::kMapLookupElem) {
-      cacheable_ = false;
+    switch (helper) {
+      case HelperId::kMapLookupElem:
+        break;
+      case HelperId::kMapUpdateElem:
+        cacheable_ = false;
+        NoteCacheBlocker(pc, "map_update_elem (map write)");
+        break;
+      case HelperId::kMapDeleteElem:
+        cacheable_ = false;
+        NoteCacheBlocker(pc, "map_delete_elem (map write)");
+        break;
+      case HelperId::kGetPrandomU32:
+        cacheable_ = false;
+        NoteCacheBlocker(pc, "get_prandom_u32 (nondeterministic result)");
+        break;
+      case HelperId::kKtimeGetNs:
+        cacheable_ = false;
+        NoteCacheBlocker(pc, "ktime_get_ns (time-dependent result)");
+        break;
+      case HelperId::kTailCall:
+        cacheable_ = false;
+        has_tail_call_ = true;
+        NoteCacheBlocker(pc, "tail_call (target program outside this "
+                             "analysis)");
+        break;
+    }
+
+    // Redundant-lookup lint bookkeeping: a mutation ends any redundancy
+    // window; a lookup with a constant stack key either flags a repeat of
+    // the previous lookup or starts a new window.
+    if (helper == HelperId::kMapUpdateElem ||
+        helper == HelperId::kMapDeleteElem) {
+      st.last_lookup_map = -1;
+    } else if (helper == HelperId::kMapLookupElem) {
+      const RegState& key = st.regs[2];
+      const auto& spec = prog_.maps[lookup_map]->spec();
+      if (key.kind == RegKind::kStackPtr && key.off_min == key.off_max) {
+        if (st.last_lookup_map == lookup_map &&
+            st.last_lookup_key_off == key.off_min &&
+            st.last_lookup_key_size == spec.key_size &&
+            st.last_lookup_pc >= 0 &&
+            static_cast<size_t>(st.last_lookup_pc) != pc) {
+          redundant_lookups_.emplace(
+              pc, static_cast<size_t>(st.last_lookup_pc));
+        }
+        st.last_lookup_map = lookup_map;
+        st.last_lookup_key_off = key.off_min;
+        st.last_lookup_key_size = spec.key_size;
+        st.last_lookup_pc = static_cast<int32_t>(pc);
+      } else {
+        st.last_lookup_map = -1;  // variable key: cannot track
+      }
     }
 
     // r0 holds the result; argument registers are clobbered.
@@ -1630,6 +1864,15 @@ class Verifier {
       }
     }
 
+    // Same map, same constant stack key, no intervening write: the second
+    // lookup returns the same value pointer and just burns a helper call.
+    for (const auto& [pc, prev] : redundant_lookups_) {
+      warn(pc, "redundant map lookup: same map and key already looked up "
+               "at insn " +
+                   std::to_string(prev) +
+                   " with no intervening write; reuse that result");
+    }
+
     // Stack bytes written but never read back (by a load or a helper).
     for (const auto& [pc, range] : stack_writes_) {
       bool read = false;
@@ -1673,12 +1916,28 @@ class Verifier {
   std::unordered_map<size_t, std::vector<Stored>> prune_states_;
   std::vector<UndoneRef> undone_;
 
-  // Purity / read-set summary accumulated across every explored path
-  // (soundness wants the union over all paths, so plain member state that
-  // only ever grows is exactly right).
+  // Purity / read-set / side-effect summary accumulated across every
+  // explored path (soundness wants the union over all paths, so plain
+  // member state that only ever grows is exactly right).
   bool cacheable_ = true;
   uint64_t pkt_read_mask_ = 0;
   std::set<int32_t> read_maps_;
+  std::set<int32_t> write_maps_;
+  std::set<int32_t> atomic_maps_;
+  bool has_tail_call_ = false;
+  std::map<size_t, std::string> cache_blockers_;    // pc -> first reason
+  std::map<size_t, size_t> redundant_lookups_;      // pc -> earlier pc
+
+  // Cost pass state (untouched outside cost mode).
+  bool cost_mode_ = false;
+  const CostModel* cost_model_ = nullptr;
+  bool cost_gave_up_ = false;
+  bool cost_any_exit_ = false;
+  CostFacts cost_facts_;
+  std::vector<std::pair<int32_t, uint32_t>> path_arena_;  // (parent, pc)
+  double hottest_native_ns_ = -1;
+  uint64_t hottest_insns_ = 0;
+  int32_t hottest_leaf_ = -1;
 
   std::set<std::pair<size_t, std::string>> seen_;  // diagnostic dedup
   std::set<size_t> lookup_sites_;
@@ -1687,12 +1946,64 @@ class Verifier {
   std::bitset<kStackSize> stack_read_;
 };
 
+// Path-over-budget lint: a program whose compiled-tier worst case exceeds
+// the tightest budget of its context class would be rejected at that hook,
+// so warn at verify time with the concrete path. The real per-hook budget
+// table (and the hard deploy gate) lives in Syrupd.
+void AppendBudgetLint(VerifyReport& report, ProgramContext context,
+                      const Program& prog) {
+  const CostFacts& cost = report.facts.cost;
+  if (!cost.bounded || cost.hottest_path.empty()) {
+    return;
+  }
+  const double budget = context == ProgramContext::kPacket
+                            ? kTightestPacketBudgetNs
+                            : kThreadBudgetNs;
+  const double wcet =
+      cost.wcet_ns[static_cast<size_t>(CostTier::kCompiled)];
+  if (wcet <= budget) {
+    return;
+  }
+  Diagnostic d;
+  d.severity = DiagSeverity::kWarning;
+  d.pc = cost.hottest_path.back();
+  if (d.pc < prog.insns.size()) {
+    d.insn = Disassemble(prog.insns[d.pc]);
+  }
+  d.message =
+      "worst-case path costs " + std::to_string(llround(wcet)) +
+      " ns at the compiled tier, over the " +
+      (context == ProgramContext::kPacket
+           ? "tightest packet-hook budget (xdp_offload, "
+           : "thread-hook budget (") +
+      std::to_string(llround(budget)) + " ns); hottest path: " +
+      FormatPath(cost.hottest_path);
+  report.diagnostics.push_back(std::move(d));
+}
+
 VerifyReport Analyze(const Program& prog, ProgramContext context,
                      const VerifierOptions& options) {
   VerifyReport report;
   report.program = prog.name;
   const auto t0 = std::chrono::steady_clock::now();
   Verifier(prog, context, options, &report).Run();
+  if (report.ok() && options.compute_cost && !report.facts.empty()) {
+    // Second exploration with cost accumulation and cost-dominance
+    // pruning. Acceptance already happened above: whatever happens here
+    // (budget exhaustion included) only affects facts.cost.
+    const CostModel* model = options.cost_model != nullptr
+                                 ? options.cost_model
+                                 : &DefaultCostModel();
+    VerifierOptions cost_options = options;
+    cost_options.keep_going = false;
+    VerifyReport cost_report;
+    cost_report.program = prog.name;
+    Verifier cost_pass(prog, context, cost_options, &cost_report);
+    cost_pass.EnableCostMode(model);
+    cost_pass.Run();
+    report.facts.cost = cost_pass.TakeCostFacts();
+    AppendBudgetLint(report, context, prog);
+  }
   report.stats.verify_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)

@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/bpf/cost_model.h"
 #include "src/bpf/program.h"
 #include "src/common/status.h"
 
@@ -62,6 +63,14 @@ struct VerifierOptions {
   bool keep_going = false;
   // Cap on collected diagnostics in keep_going mode.
   size_t max_diagnostics = 64;
+  // Run the post-acceptance cost pass (fills AnalysisFacts::cost and the
+  // path-over-budget lint). The pass re-explores feasible paths with
+  // cost-dominance-strengthened pruning; if it exhausts the exploration
+  // budget it degrades to cost.bounded = false, never a rejection.
+  bool compute_cost = true;
+  // Cost tables for the pass; null means DefaultCostModel(). Must outlive
+  // the Verify call.
+  const CostModel* cost_model = nullptr;
 };
 
 struct VerifierStats {
@@ -86,6 +95,20 @@ struct VerifierStats {
 // plus the packet length then form an exact memoization key, and
 // `read_maps` names the program map indices whose version stamps must be
 // folded into each cached entry's invalidation signature.
+//
+// NOTE: `read_maps` is NOT the complete map footprint — it only names
+// lookup targets. The full footprint is read_maps + write_maps +
+// atomic_maps; consumers reasoning about side effects (the flow cache's
+// purity check, the deployment interference analysis) must consult the
+// write sets explicitly.
+//
+// One reason a packet program cannot be memoized per flow, anchored to the
+// instruction that introduced the impurity.
+struct CacheBlocker {
+  uint32_t pc = 0;
+  std::string reason;
+};
+
 struct AnalysisFacts {
   static constexpr uint8_t kEdgeFall = 1;   // fall-through edge feasible
   static constexpr uint8_t kEdgeTaken = 2;  // taken edge feasible
@@ -100,6 +123,22 @@ struct AnalysisFacts {
   bool cacheable = false;          // decision memoizable per flow key
   uint64_t pkt_read_mask = 0;      // bit i: packet byte i may be read
   std::vector<int32_t> read_maps;  // program map indices read via lookup
+
+  // --- side-effect summary (deployment interference analysis) ------------
+  // Map indices mutated via map_update_elem/map_delete_elem or stores
+  // through looked-up value pointers; `atomic_maps` is the subset mutated
+  // with lock xadd through value pointers (in-place, bypasses version
+  // stamps). Sorted, deduplicated, may overlap read_maps.
+  std::vector<int32_t> write_maps;
+  std::vector<int32_t> atomic_maps;
+  // Why this program is not flow-cacheable (empty when cacheable, or when
+  // the cause is context-level — thread programs are never cached).
+  std::vector<CacheBlocker> cache_blockers;
+
+  // --- cost summary (post-acceptance WCET pass, see cost_model.h) --------
+  // cost.bounded is false when the pass was skipped (compute_cost off),
+  // gave up, or verification failed.
+  CostFacts cost;
 
   bool empty() const { return visited.empty(); }
 };

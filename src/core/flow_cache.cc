@@ -26,6 +26,13 @@ FlowCacheBinding FlowCacheBinding::ForProgram(
   if (!facts.cacheable) {
     return binding;
   }
+  // Defense in depth: `cacheable` already implies a pure program, but
+  // read_maps alone never was the complete map footprint — a program with
+  // writes or in-place atomics must not be memoized even if a bug upstream
+  // left the cacheable bit set, so consult the write sets explicitly.
+  if (!facts.write_maps.empty() || !facts.atomic_maps.empty()) {
+    return binding;
+  }
   binding.cacheable = true;
   binding.pkt_read_mask = facts.pkt_read_mask;
   binding.read_maps.reserve(facts.read_maps.size());

@@ -45,6 +45,26 @@ inline constexpr bool IsPacketHook(Hook hook) {
   return hook != Hook::kThreadScheduler;
 }
 
+// Default worst-case latency budget per policy execution at each hook, in
+// ns at the deployment's effective tier. Packet hooks sit on per-packet
+// fast paths and get tight budgets (tighter the closer to the NIC);
+// the ghOSt-style thread hook runs per scheduling event and is looser.
+// Syrupd compares the verifier's wcet_ns against these at deploy time
+// (CostBudgetConfig can override per hook). The xdp_offload and
+// thread_scheduler entries are mirrored by the verifier's
+// path-over-budget lint thresholds in src/bpf/cost_model.h.
+inline constexpr double DefaultHookBudgetNs(Hook hook) {
+  switch (hook) {
+    case Hook::kXdpOffload: return 1000.0;
+    case Hook::kXdpDrv: return 1500.0;
+    case Hook::kXdpSkb: return 2000.0;
+    case Hook::kCpuRedirect: return 2000.0;
+    case Hook::kSocketSelect: return 4000.0;
+    case Hook::kThreadScheduler: return 20000.0;
+  }
+  return 1000.0;
+}
+
 }  // namespace syrup
 
 #endif  // SYRUP_SRC_CORE_HOOK_H_

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
 
 #include "src/bpf/jit.h"
 #include "src/common/logging.h"
@@ -18,7 +22,92 @@ uint64_t WallNowNs() {
           .count());
 }
 
+std::string FormatNs(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ns);
+  return buf;
+}
+
+void JsonEscapeTo(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void JsonStringListTo(std::ostream& os, const std::vector<std::string>& v) {
+  os << '[';
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"';
+    JsonEscapeTo(os, v[i]);
+    os << '"';
+  }
+  os << ']';
+}
+
 }  // namespace
+
+std::string_view InterferenceLevelName(InterferenceFinding::Level level) {
+  switch (level) {
+    case InterferenceFinding::Level::kError: return "error";
+    case InterferenceFinding::Level::kWarning: return "warning";
+    case InterferenceFinding::Level::kInfo: return "info";
+  }
+  return "?";
+}
+
+bool DeploymentAnalysis::HasErrors() const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const InterferenceFinding& f) {
+                       return f.level == InterferenceFinding::Level::kError;
+                     });
+}
+
+std::string DeploymentAnalysis::ToJson() const {
+  std::ostringstream os;
+  os << "{\"maps\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) os << ',';
+    const MapInterferenceRow& row = rows[i];
+    os << "{\"map\":\"";
+    JsonEscapeTo(os, row.map);
+    os << "\",\"readers\":";
+    JsonStringListTo(os, row.readers);
+    os << ",\"writers\":";
+    JsonStringListTo(os, row.writers);
+    os << ",\"atomics\":";
+    JsonStringListTo(os, row.atomics);
+    os << '}';
+  }
+  os << "],\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) os << ',';
+    const InterferenceFinding& f = findings[i];
+    os << "{\"level\":\"" << InterferenceLevelName(f.level)
+       << "\",\"category\":\"";
+    JsonEscapeTo(os, f.category);
+    os << "\",\"map\":\"";
+    JsonEscapeTo(os, f.map);
+    os << "\",\"detail\":\"";
+    JsonEscapeTo(os, f.detail);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
 
 Syrupd::Syrupd(Simulator& sim, HostStack* stack, uint64_t seed)
     : sim_(sim), stack_(stack), rng_(seed) {
@@ -157,6 +246,68 @@ void Syrupd::EmitVerifierMetrics(const std::string& app_name,
       ->Set(static_cast<int64_t>(stats.verify_ns));
 }
 
+Status Syrupd::EnforceCostBudget(const std::string& app_name, Hook hook,
+                                 const bpf::Program& prog,
+                                 const bpf::AnalysisFacts& facts,
+                                 const bpf::CompiledProgram* compiled) {
+  const std::string_view hook_name = HookName(hook);
+  const bpf::CostTier tier =
+      bpf::CostTierOf(bpf::EffectiveExecMode(compiled));
+  const bpf::CostFacts& cost = facts.cost;
+  const double wcet_ns =
+      cost.bounded ? cost.wcet_ns[static_cast<size_t>(tier)] : 0.0;
+  // -1 on the gauges means "no bound": the cost pass was disabled or gave
+  // up (exploration budget), so no wcet exists to report.
+  metrics_.GetGauge(app_name, hook_name, "policy.wcet_ns")
+      ->Set(cost.bounded ? std::llround(wcet_ns) : -1);
+  metrics_.GetGauge(app_name, hook_name, "policy.wcet_insns")
+      ->Set(cost.bounded ? static_cast<int64_t>(cost.wcet_insns) : -1);
+
+  const double budget = cost_budget_config_.BudgetFor(hook);
+  const bool over = !cost.bounded || wcet_ns > budget;
+  metrics_.GetGauge(app_name, hook_name, "policy.over_budget")
+      ->Set(over ? 1 : 0);
+  const bool warn = cost.bounded && !over &&
+                    wcet_ns > budget * cost_budget_config_.warn_fraction;
+  metrics_.GetGauge(app_name, hook_name, "policy.budget_warn")
+      ->Set(warn ? 1 : 0);
+  if (!cost_budget_config_.enforce) {
+    return OkStatus();
+  }
+  if (warn) {
+    SYRUP_LOG(Warning) << "policy '" << prog.name << "' at " << hook_name
+                       << " uses " << FormatNs(wcet_ns) << " of "
+                       << FormatNs(budget) << " ns budget worst case ("
+                       << FormatNs(100.0 * wcet_ns / budget)
+                       << "%); consider a cheaper policy or a looser hook";
+  }
+  if (!over) {
+    return OkStatus();
+  }
+  std::string what;
+  if (!cost.bounded) {
+    what = "policy '" + prog.name +
+           "' rejected at hook " + std::string(hook_name) +
+           ": the cost analysis could not bound its worst-case path, so "
+           "the " + FormatNs(budget) + " ns hook budget cannot be proven";
+  } else {
+    what = "policy '" + prog.name + "' rejected at hook " +
+           std::string(hook_name) + ": worst-case path costs " +
+           FormatNs(wcet_ns) + " ns at the " +
+           std::string(bpf::CostTierName(tier)) + " tier, over the " +
+           FormatNs(budget) + " ns budget; hottest path: " +
+           bpf::FormatPath(cost.hottest_path) +
+           " (run `syrupctl cost` for the disassembly)";
+  }
+  if (cost_budget_config_.admit_over_budget) {
+    SYRUP_LOG(Warning) << what
+                       << " -- admitted anyway (admit_over_budget set)";
+    return OkStatus();
+  }
+  return InvalidArgumentError(
+      what + "; set CostBudgetConfig.admit_over_budget to override");
+}
+
 const bpf::Program* Syrupd::ProgramById(uint64_t prog_id) const {
   auto it = programs_.find(prog_id);
   return it == programs_.end() ? nullptr : it->second.get();
@@ -245,12 +396,17 @@ StatusOr<int> Syrupd::DeployPolicyFile(AppId app,
         ->Set(static_cast<int64_t>(WallNowNs() - t0));
   }
   EmitExecTierMetrics(app_name, HookName(hook), compiled.get());
+  // The budget gate: a program whose verifier-proven worst-case path is
+  // too slow for this hook never reaches it (unless overridden).
+  SYRUP_RETURN_IF_ERROR(
+      EnforceCostBudget(app_name, hook, *program, vfacts, compiled.get()));
 
   const uint64_t prog_id = next_prog_id_++;
   programs_[prog_id] = program;
   if (compiled != nullptr) {
     compiled_[prog_id] = compiled;
   }
+  facts_[prog_id] = vfacts;
 
   auto policy = std::make_shared<BytecodePacketPolicy>(
       program, MakeExecEnv(),
@@ -398,12 +554,16 @@ StatusOr<int> Syrupd::DeployThreadPolicyFile(AppId app,
         ->Set(static_cast<int64_t>(WallNowNs() - t0));
   }
   EmitExecTierMetrics(app_name, hook_name, compiled.get());
+  SYRUP_RETURN_IF_ERROR(EnforceCostBudget(app_name, Hook::kThreadScheduler,
+                                          *program, vfacts,
+                                          compiled.get()));
 
   const uint64_t prog_id = next_prog_id_++;
   programs_[prog_id] = program;
   if (compiled != nullptr) {
     compiled_[prog_id] = compiled;
   }
+  facts_[prog_id] = vfacts;
 
   auto policy = std::make_shared<BytecodeGhostPolicy>(
       program, MakeExecEnv(),
@@ -411,6 +571,7 @@ StatusOr<int> Syrupd::DeployThreadPolicyFile(AppId app,
   SYRUP_RETURN_IF_ERROR(
       DeployThreadPolicy(app, policy.get(), machine, config));
   owned_thread_policy_ = std::move(policy);
+  thread_prog_id_ = static_cast<int64_t>(prog_id);
   return static_cast<int>(prog_id);
 }
 
@@ -631,6 +792,189 @@ std::vector<DeploymentInfo> Syrupd::ListDeployments() const {
       out.push_back(std::move(info));
     }
   }
+  return out;
+}
+
+const bpf::AnalysisFacts* Syrupd::FactsById(uint64_t prog_id) const {
+  auto it = facts_.find(prog_id);
+  return it == facts_.end() ? nullptr : &it->second;
+}
+
+DeploymentAnalysis Syrupd::AnalyzeDeployments() const {
+  // One record per deployed bytecode program: a prog id behind several
+  // ports is one deployment, and native policies (no verifier facts) are
+  // outside the analysis.
+  struct ProgRec {
+    std::string label;  // app/hook/policy
+    const bpf::Program* prog = nullptr;
+    const bpf::AnalysisFacts* facts = nullptr;
+  };
+  std::map<uint64_t, ProgRec> recs;
+  for (size_t hook_index = 0; hook_index < kNumHooks; ++hook_index) {
+    for (const auto& [port, entry] : dispatch_[hook_index]) {
+      if (entry.prog_id < 0) {
+        continue;
+      }
+      const uint64_t id = static_cast<uint64_t>(entry.prog_id);
+      auto fit = facts_.find(id);
+      auto pit = programs_.find(id);
+      if (fit == facts_.end() || pit == programs_.end() ||
+          recs.count(id) != 0) {
+        continue;
+      }
+      std::string app = "?";
+      for (const auto& [app_id, state] : apps_) {
+        if (std::find(state.ports.begin(), state.ports.end(), port) !=
+            state.ports.end()) {
+          app = state.name;
+          break;
+        }
+      }
+      ProgRec rec;
+      rec.label = app + "/" +
+                  std::string(HookName(HookFromIndex(hook_index))) + "/" +
+                  pit->second->name;
+      rec.prog = pit->second.get();
+      rec.facts = &fit->second;
+      recs.emplace(id, std::move(rec));
+    }
+  }
+  if (thread_prog_id_ >= 0) {
+    const uint64_t id = static_cast<uint64_t>(thread_prog_id_);
+    auto fit = facts_.find(id);
+    auto pit = programs_.find(id);
+    auto ait = apps_.find(ghost_owner_);
+    if (fit != facts_.end() && pit != programs_.end() &&
+        recs.count(id) == 0) {
+      ProgRec rec;
+      rec.label = (ait != apps_.end() ? ait->second.name : "?") + "/" +
+                  std::string(HookName(Hook::kThreadScheduler)) + "/" +
+                  pit->second->name;
+      rec.prog = pit->second.get();
+      rec.facts = &fit->second;
+      recs.emplace(id, std::move(rec));
+    }
+  }
+
+  // Fold every program's read/write/atomic sets into per-map rows, keyed
+  // by map identity (two programs binding the same pinned map share a row).
+  std::map<const Map*, MapInterferenceRow> by_map;
+  auto row_for = [&](const Map* map) -> MapInterferenceRow& {
+    auto it = by_map.find(map);
+    if (it == by_map.end()) {
+      MapInterferenceRow row;
+      row.map = registry_.PathOf(map);
+      if (row.map.empty()) {
+        row.map = map->spec().name;
+      }
+      if (row.map.empty()) {
+        row.map = "map#" + std::to_string(by_map.size());
+      }
+      it = by_map.emplace(map, std::move(row)).first;
+    }
+    return it->second;
+  };
+  auto add_unique = [](std::vector<std::string>& v, const std::string& s) {
+    if (std::find(v.begin(), v.end(), s) == v.end()) {
+      v.push_back(s);
+    }
+  };
+  for (const auto& [id, rec] : recs) {
+    const auto& maps = rec.prog->maps;
+    auto fold = [&](const std::vector<int32_t>& indices,
+                    std::vector<std::string> MapInterferenceRow::*field) {
+      for (int32_t idx : indices) {
+        if (idx >= 0 && static_cast<size_t>(idx) < maps.size()) {
+          add_unique(row_for(maps[idx].get()).*field, rec.label);
+        }
+      }
+    };
+    fold(rec.facts->read_maps, &MapInterferenceRow::readers);
+    fold(rec.facts->write_maps, &MapInterferenceRow::writers);
+    fold(rec.facts->atomic_maps, &MapInterferenceRow::atomics);
+  }
+
+  DeploymentAnalysis out;
+  out.rows.reserve(by_map.size());
+  for (auto& [map, row] : by_map) {
+    out.rows.push_back(std::move(row));
+  }
+  std::sort(out.rows.begin(), out.rows.end(),
+            [](const MapInterferenceRow& a, const MapInterferenceRow& b) {
+              return a.map < b.map;
+            });
+
+  auto join = [](const std::vector<std::string>& v) {
+    std::string s;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += v[i];
+    }
+    return s;
+  };
+  auto app_of = [](const std::string& label) {
+    return label.substr(0, label.find('/'));
+  };
+  for (const MapInterferenceRow& row : out.rows) {
+    if (row.writers.size() >= 2) {
+      std::set<std::string> apps;
+      for (const std::string& w : row.writers) {
+        apps.insert(app_of(w));
+      }
+      InterferenceFinding f;
+      f.category = "write-write";
+      f.map = row.map;
+      if (apps.size() >= 2) {
+        f.level = InterferenceFinding::Level::kError;
+        f.detail = "written by programs of " +
+                   std::to_string(apps.size()) +
+                   " different applications (" + join(row.writers) +
+                   "): unsynchronized cross-application writes are "
+                   "last-writer-wins across trust domains";
+      } else {
+        f.level = InterferenceFinding::Level::kWarning;
+        f.detail = "written by " + std::to_string(row.writers.size()) +
+                   " programs of one application (" + join(row.writers) +
+                   "); writes interleave across hooks";
+      }
+      out.findings.push_back(std::move(f));
+    }
+    if (!row.writers.empty() && row.readers.empty()) {
+      out.findings.push_back(InterferenceFinding{
+          InterferenceFinding::Level::kWarning, "dead-telemetry", row.map,
+          "written by " + join(row.writers) +
+              " but read by no deployed program (userspace readers are "
+              "invisible to this analysis)"});
+    }
+    if (!row.readers.empty() && row.writers.empty()) {
+      out.findings.push_back(InterferenceFinding{
+          InterferenceFinding::Level::kWarning, "stale-input", row.map,
+          "read by " + join(row.readers) +
+              " but written by no deployed program (userspace writers are "
+              "invisible to this analysis)"});
+    }
+  }
+  for (const auto& [id, rec] : recs) {
+    if (rec.facts->cache_blockers.empty()) {
+      continue;
+    }
+    std::string detail = rec.label + " is not flow-cacheable: ";
+    for (size_t i = 0; i < rec.facts->cache_blockers.size(); ++i) {
+      const bpf::CacheBlocker& blocker = rec.facts->cache_blockers[i];
+      if (i > 0) detail += "; ";
+      detail +=
+          "insn " + std::to_string(blocker.pc) + ": " + blocker.reason;
+    }
+    out.findings.push_back(
+        InterferenceFinding{InterferenceFinding::Level::kInfo,
+                            "uncacheable", "", std::move(detail)});
+  }
+  std::stable_sort(out.findings.begin(), out.findings.end(),
+                   [](const InterferenceFinding& a,
+                      const InterferenceFinding& b) {
+                     return static_cast<int>(a.level) <
+                            static_cast<int>(b.level);
+                   });
   return out;
 }
 

@@ -57,6 +57,67 @@ struct DispatchStats {
   uint64_t no_policy = 0;   // packets passed through (no matching port)
 };
 
+// Deploy-time worst-case-latency budget policy. Every bytecode deployment's
+// verifier-computed wcet_ns (at the tier the program will actually run on)
+// is compared against the target hook's budget; over-budget programs are
+// rejected with a diagnostic naming the hottest path unless the override
+// knob admits them with a warning.
+struct CostBudgetConfig {
+  // Master switch: when off the policy.wcet_* gauges are still published
+  // but nothing is ever rejected.
+  bool enforce = true;
+  // Override knob: admit over-budget programs anyway; the deploy succeeds,
+  // a warning is logged, and policy.over_budget = 1 is published so
+  // operators can find the exception.
+  bool admit_over_budget = false;
+  // Fraction of the budget at which policy.budget_warn is raised for
+  // still-admissible programs.
+  double warn_fraction = 0.8;
+  // Per-hook budget override in ns; entries <= 0 use DefaultHookBudgetNs.
+  double budget_ns[kNumHooks] = {};
+
+  double BudgetFor(Hook hook) const {
+    const double ns = budget_ns[HookIndex(hook)];
+    return ns > 0 ? ns : DefaultHookBudgetNs(hook);
+  }
+};
+
+// One map and every deployed bytecode program touching it, as operator
+// labels ("app/hook/policy"). `atomics` is the subset of writers mutating
+// in place with lock xadd.
+struct MapInterferenceRow {
+  std::string map;  // pin path when pinned, else the map spec's name
+  std::vector<std::string> readers;
+  std::vector<std::string> writers;
+  std::vector<std::string> atomics;
+};
+
+// One cross-program interference or hygiene finding from
+// AnalyzeDeployments. Severities: write-write sharing across applications
+// is an error (unsynchronized last-writer-wins across trust domains);
+// dead-telemetry / stale-input are warnings (userspace readers and writers
+// are invisible to this analysis, so either may be intentional);
+// per-program cacheability blockers are informational.
+struct InterferenceFinding {
+  enum class Level { kError, kWarning, kInfo };
+  Level level = Level::kInfo;
+  std::string category;  // write-write | dead-telemetry | stale-input |
+                         // uncacheable
+  std::string map;       // subject map; "" for per-program findings
+  std::string detail;
+};
+
+std::string_view InterferenceLevelName(InterferenceFinding::Level level);
+
+// Deployment-wide map-interference report (the `syrupctl analyze` surface).
+struct DeploymentAnalysis {
+  std::vector<MapInterferenceRow> rows;        // sorted by map name
+  std::vector<InterferenceFinding> findings;   // errors first
+
+  bool HasErrors() const;
+  std::string ToJson() const;
+};
+
 class Syrupd {
  public:
   // `stack` may be null for API-only use (no packet hooks available then).
@@ -106,6 +167,17 @@ class Syrupd {
   // to the pre-decoded form once at attach time.
   void set_exec_mode(bpf::ExecMode mode) { exec_mode_ = mode; }
   bpf::ExecMode exec_mode() const { return exec_mode_; }
+
+  // --- Cost budgets --------------------------------------------------------
+
+  // Budget policy for subsequent bytecode deployments (already-attached
+  // policies are not re-checked).
+  void set_cost_budget_config(const CostBudgetConfig& config) {
+    cost_budget_config_ = config;
+  }
+  const CostBudgetConfig& cost_budget_config() const {
+    return cost_budget_config_;
+  }
 
   // --- Dispatch ------------------------------------------------------------
 
@@ -209,6 +281,18 @@ class Syrupd {
   // Enumerates every attached packet policy (hook, port, owner, name).
   std::vector<DeploymentInfo> ListDeployments() const;
 
+  // The verifier's analysis facts for a deployed bytecode program (nullptr
+  // for native policies or unknown ids). Valid until the daemon dies.
+  const bpf::AnalysisFacts* FactsById(uint64_t prog_id) const;
+
+  // Deployment-wide map-interference report across every attached bytecode
+  // policy (packet hooks and the thread hook): who reads/writes each map,
+  // cross-application write-write sharing, dead telemetry (written but
+  // never read), stale inputs (read but never written), and per-program
+  // flow-cache cacheability blockers. Userspace map users (syr_map_* fds)
+  // are outside the verifier's view and are not counted.
+  DeploymentAnalysis AnalyzeDeployments() const;
+
   // Execution environment handed to bytecode policies (simulated time,
   // deterministic randomness, tail-call resolution).
   bpf::ExecEnv MakeExecEnv();
@@ -269,6 +353,16 @@ class Syrupd {
   void EmitExecTierMetrics(const std::string& app_name,
                            std::string_view hook_name,
                            const bpf::CompiledProgram* compiled);
+  // Budget gate for a just-verified deployment: publishes policy.wcet_ns /
+  // policy.wcet_insns / policy.over_budget / policy.budget_warn and
+  // rejects (or admits with a warning, per CostBudgetConfig) when the
+  // worst-case path at the effective tier exceeds the hook budget. An
+  // unbounded cost analysis counts as over budget: enforcement never
+  // admits what it cannot prove.
+  Status EnforceCostBudget(const std::string& app_name, Hook hook,
+                           const bpf::Program& prog,
+                           const bpf::AnalysisFacts& facts,
+                           const bpf::CompiledProgram* compiled);
   Status InstallStackHook(Hook hook);
   void MaybeUninstallStackHook(Hook hook);
   // Batch-of-1 wrapper around DispatchBatch (the single-packet hooks).
@@ -308,6 +402,11 @@ class Syrupd {
   std::map<uint64_t, std::shared_ptr<const bpf::CompiledProgram>> compiled_;
   uint64_t next_prog_id_ = 1;
   bpf::ExecMode exec_mode_ = bpf::ExecMode::kCompiled;
+  CostBudgetConfig cost_budget_config_;
+  // Verifier facts per deployed bytecode program, retained for the
+  // deployment interference analysis (read/write/atomic map sets, cache
+  // blockers, cost summary).
+  std::map<uint64_t, bpf::AnalysisFacts> facts_;
 
   std::map<int, FdEntry> fds_;
   int next_fd_ = 3;
@@ -317,6 +416,9 @@ class Syrupd {
   // which holds it by reference.
   std::shared_ptr<BytecodeGhostPolicy> owned_thread_policy_;
   AppId ghost_owner_ = 0;
+  // Prog id of the bytecode thread policy (-1: none, or a native one),
+  // so AnalyzeDeployments can include the thread hook.
+  int64_t thread_prog_id_ = -1;
 };
 
 }  // namespace syrup

@@ -63,6 +63,11 @@ enum class MapType {
   kPerCpuArray,
 };
 
+// Number of map types; sizes every per-map-type table (e.g. the cost model's
+// per-kind helper costs). Keep in sync with the enum (kPerCpuArray is last).
+inline constexpr size_t kNumMapTypes =
+    static_cast<size_t>(MapType::kPerCpuArray) + 1;
+
 std::string_view MapTypeName(MapType type);
 
 // Update flags follow the BPF_ANY / BPF_NOEXIST / BPF_EXIST semantics.

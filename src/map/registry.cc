@@ -53,6 +53,16 @@ Status MapRegistry::Unpin(const std::string& path, Uid uid) {
   return OkStatus();
 }
 
+std::string MapRegistry::PathOf(const Map* map) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, entry] : pins_) {
+    if (entry.map.get() == map) {
+      return path;
+    }
+  }
+  return "";
+}
+
 std::vector<std::string> MapRegistry::ListPaths() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> paths;

@@ -49,6 +49,11 @@ class MapRegistry {
 
   std::vector<std::string> ListPaths() const;
 
+  // Reverse lookup: the pin path of `map`, or "" when it is not pinned.
+  // Used by the deployment interference analysis to name shared maps the
+  // way operators know them.
+  std::string PathOf(const Map* map) const;
+
  private:
   struct Entry {
     std::shared_ptr<Map> map;

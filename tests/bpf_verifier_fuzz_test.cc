@@ -73,10 +73,25 @@ Tiers CompileTiers(const Program& prog, ProgramContext context) {
   return t;
 }
 
+// Cost soundness: the verifier's wcet_insns is a WORST-case bound, so no
+// concrete execution may ever retire more instructions than it predicts.
+// Checked on the interpreter (counts source insns, the unit the bound is
+// stated in) and both compiled tiers (execute at most the source path).
+void AssertWithinWcet(const AnalysisFacts* facts, const ExecResult& result,
+                      const char* tier) {
+  if (facts == nullptr || !facts->cost.bounded) {
+    return;
+  }
+  ASSERT_LE(result.insns_executed, facts->cost.wcet_insns)
+      << tier << " executed more instructions than the verifier's "
+      << "worst-case bound";
+}
+
 // Executes an accepted program against `runs` random packets with random
 // sizes (including sizes smaller than any guard) and asserts that no
 // execution tier faults and that all four agree on r0.
-void AssertSoundOnPackets(const Program& prog, Rng& rng, int runs) {
+void AssertSoundOnPackets(const Program& prog, Rng& rng, int runs,
+                          const AnalysisFacts* facts = nullptr) {
   const Tiers tiers = CompileTiers(prog, ProgramContext::kPacket);
   // One helper stream per engine, identically seeded, so bpf_random draws
   // line up across tiers and r0 comparison is meaningful.
@@ -107,10 +122,14 @@ void AssertSoundOnPackets(const Program& prog, Rng& rng, int runs) {
     ASSERT_EQ(got_plain->r0, want->r0) << "pkt_size=" << wire.size();
     ASSERT_EQ(got_chk->r0, want->r0) << "pkt_size=" << wire.size();
     ASSERT_EQ(got_native->r0, want->r0) << "pkt_size=" << wire.size();
+    AssertWithinWcet(facts, *want, "interpreter");
+    AssertWithinWcet(facts, *got_plain, "compiled");
+    AssertWithinWcet(facts, *got_chk, "compiled-paranoid");
   }
 }
 
-void AssertSoundOnScalars(const Program& prog, Rng& rng, int runs) {
+void AssertSoundOnScalars(const Program& prog, Rng& rng, int runs,
+                          const AnalysisFacts* facts = nullptr) {
   const Tiers tiers = CompileTiers(prog, ProgramContext::kThread);
   const uint64_t helper_seed = rng.Next();
   Rng rng_i(helper_seed), rng_c(helper_seed), rng_p(helper_seed),
@@ -135,6 +154,9 @@ void AssertSoundOnScalars(const Program& prog, Rng& rng, int runs) {
     ASSERT_EQ(got_plain->r0, want->r0);
     ASSERT_EQ(got_chk->r0, want->r0);
     ASSERT_EQ(got_native->r0, want->r0);
+    AssertWithinWcet(facts, *want, "interpreter");
+    AssertWithinWcet(facts, *got_plain, "compiled");
+    AssertWithinWcet(facts, *got_chk, "compiled-paranoid");
   }
 }
 
@@ -179,16 +201,23 @@ TEST_P(VerifierSoundnessFuzz, AcceptedRandomProgramsRunWithoutFaults) {
 
     VerifierOptions options;
     options.max_visited_insns = 20'000;
+    AnalysisFacts pkt_facts;
+    AnalysisFacts thread_facts;
     const bool packet_ok =
-        Verify(prog, ProgramContext::kPacket, options).ok();
+        Verify(prog, ProgramContext::kPacket, options, nullptr, &pkt_facts)
+            .ok();
     const bool thread_ok =
-        Verify(prog, ProgramContext::kThread, options).ok();
+        Verify(prog, ProgramContext::kThread, options, nullptr,
+               &thread_facts)
+            .ok();
+    // 64 random inputs per acceptance: the measured instruction count of
+    // every execution must stay within the cost pass's wcet_insns.
     if (packet_ok) {
       ++accepted;
-      AssertSoundOnPackets(prog, rng, 8);
+      AssertSoundOnPackets(prog, rng, 64, &pkt_facts);
     }
     if (thread_ok) {
-      AssertSoundOnScalars(prog, rng, 8);
+      AssertSoundOnScalars(prog, rng, 64, &thread_facts);
     }
   }
   EXPECT_GT(accepted, 0);
@@ -250,11 +279,16 @@ TEST_P(VerifierSoundnessFuzz, AcceptedTemplateMutationsRunWithoutFaults) {
 
     const bool safe = p.probe + 1 <= p.guard &&
                       p.mask + p.base + p.width <= p.guard;
-    const Status status = Verify(prog, ProgramContext::kPacket);
+    AnalysisFacts facts;
+    const Status status =
+        Verify(prog, ProgramContext::kPacket, {}, nullptr, &facts);
     if (status.ok()) {
       ++accepted;
+      // Templates are loop-free: the cost pass must always bound them.
+      EXPECT_TRUE(facts.cost.bounded);
+      EXPECT_GT(facts.cost.wcet_insns, 0u);
       // Never trust "ok" alone: run it. Unsound acceptance faults here.
-      AssertSoundOnPackets(prog, rng, 16);
+      AssertSoundOnPackets(prog, rng, 64, &facts);
       EXPECT_TRUE(safe) << "verifier accepted an unsafe template: guard="
                         << p.guard << " probe=" << p.probe << " mask="
                         << p.mask << " base=" << p.base << " width="
@@ -295,9 +329,15 @@ TEST_P(VerifierSoundnessFuzz, AcceptedLoopTemplatesRunWithoutFaults) {
         {Op::kJa, 0, 0, -4, 0},
         {Op::kExit, 0, 0, 0, 0},
     };
-    ASSERT_TRUE(Verify(prog, ProgramContext::kThread).ok())
+    AnalysisFacts facts;
+    ASSERT_TRUE(
+        Verify(prog, ProgramContext::kThread, {}, nullptr, &facts).ok())
         << "bound=" << bound;
-    AssertSoundOnScalars(prog, rng, 4);
+    // The loop bound is concrete, so the cost pass must find the exact
+    // worst case: every concrete run then sits at or under it.
+    EXPECT_TRUE(facts.cost.bounded) << "bound=" << bound;
+    EXPECT_GT(facts.cost.wcet_insns, 0u);
+    AssertSoundOnScalars(prog, rng, 8, &facts);
   }
 }
 
