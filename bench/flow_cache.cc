@@ -322,6 +322,110 @@ ScenarioResult RunScenario(Hook hook, const std::string& policy_asm,
   return r;
 }
 
+// --- Sharded per-lane tables at the 1M-flow scale ---------------------------
+//
+// The sharded simulation engine gives each shard its own Syrupd dispatch
+// lane (Syrupd::ConfigureSharding): a private cache table and counter
+// cells per lane. This scenario drives a 1,000,000-flow universe
+// partitioned across 4 lanes — each lane dispatches only its quarter-
+// million-flow partition, under the same skewed 90/10 access the f100k
+// scenario uses — through the shard-qualified DispatchBatch, and reports
+// aggregate ns/packet plus the hit rate folded across lanes by
+// StatsSnapshot. Deliberately ungated: the acceptance bar is that the
+// 1M-flow scale *completes* with per-lane adaptive tables (no thrash, no
+// blowup), not a machine-dependent ratio.
+struct ShardedScaleResult {
+  double ns_per_packet = 0;
+  double hit_rate = 0;
+  uint64_t packets = 0;
+};
+
+ShardedScaleResult RunShardedMillionFlows(uint64_t iters) {
+  constexpr int kShards = 4;
+  constexpr uint32_t kFlows = 1'000'000;
+  constexpr uint32_t kPerShard = kFlows / kShards;
+  constexpr Hook kHook = Hook::kSocketSelect;
+  const std::vector<Packet> flows = MakeFlows(kFlows);
+
+  Harness h;
+  MapHandle load = PinLoadMap(h);
+  if (!h.syrupd.DeployPolicyFile(h.app, HashedTwoChoicePolicyAsm(), kHook)
+           .ok()) {
+    std::fprintf(stderr, "deploy failed for sharded_f1m\n");
+    std::exit(1);
+  }
+  h.syrupd.ConfigureSharding(kShards);
+
+  // Per-lane access sequence: 90% over the partition's 4096-flow hot set,
+  // 10% a one-shot cold tail sweeping the rest of the quarter-million.
+  std::vector<std::vector<PacketView>> access(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    Rng rng(0x5eedull + static_cast<uint64_t>(s));
+    const uint32_t base = static_cast<uint32_t>(s) * kPerShard;
+    constexpr uint32_t kHot = 4096;
+    uint32_t cold_cursor = 0;
+    access[s].reserve(size_t{1} << 17);
+    for (size_t i = 0; i < (size_t{1} << 17); ++i) {
+      uint32_t flow;
+      if (rng.NextBounded(10) != 0) {
+        flow = base + static_cast<uint32_t>(rng.NextBounded(kHot));
+      } else {
+        flow = base + kHot + cold_cursor;
+        cold_cursor = (cold_cursor + 1) % (kPerShard - kHot);
+      }
+      access[s].push_back(PacketView::Of(flows[flow]));
+    }
+  }
+
+  // Warm every lane so adaptive sizing observes its partition's live-flow
+  // estimate before the measured window.
+  constexpr size_t kBurst = 32;
+  Decision out[kBurst];
+  for (int s = 0; s < kShards; ++s) {
+    for (size_t pos = 0; pos < access[s].size(); pos += kBurst) {
+      const size_t n = std::min(kBurst, access[s].size() - pos);
+      h.syrupd.DispatchBatch(kHook,
+                             std::span<const PacketView>(&access[s][pos], n),
+                             std::span<Decision>(out, n), s);
+    }
+  }
+
+  const uint64_t hits0 = h.CacheCounter(kHook, "hits");
+  const uint64_t misses0 = h.CacheCounter(kHook, "misses");
+  uint64_t sink = 0;
+  uint64_t done = 0;
+  size_t pos[kShards] = {};
+  const auto start = std::chrono::steady_clock::now();
+  // Interleave lanes burst by burst so no lane's table goes cold.
+  while (done < iters) {
+    for (int s = 0; s < kShards && done < iters; ++s) {
+      const size_t n = std::min({kBurst, access[s].size() - pos[s],
+                                 static_cast<size_t>(iters - done)});
+      h.syrupd.DispatchBatch(
+          kHook, std::span<const PacketView>(&access[s][pos[s]], n),
+          std::span<Decision>(out, n), s);
+      sink += out[n - 1];
+      done += n;
+      pos[s] += n;
+      if (pos[s] == access[s].size()) {
+        pos[s] = 0;
+      }
+    }
+  }
+  const double elapsed = ElapsedNs(start);
+  if (sink == 0xFFFFFFFFFFFFFFFFull) {
+    std::printf("# sink %llu\n", static_cast<unsigned long long>(sink));
+  }
+  const uint64_t hits = h.CacheCounter(kHook, "hits") - hits0;
+  const uint64_t misses = h.CacheCounter(kHook, "misses") - misses0;
+  ShardedScaleResult r;
+  r.packets = done;
+  r.ns_per_packet = elapsed / static_cast<double>(done);
+  r.hit_rate = static_cast<double>(hits) /
+               static_cast<double>(hits + misses > 0 ? hits + misses : 1);
+  return r;
+}
+
 struct Scenario {
   const char* name;
   Hook hook;
@@ -392,6 +496,11 @@ int Run(bool quick, const char* out_path, const char* baseline_path) {
                 r.uncached_ns / r.cached_ns, r.hit_rate * 100.0);
   }
 
+  const ShardedScaleResult sharded = RunShardedMillionFlows(iters);
+  std::printf("%-22s %8.1f ns %11s %11s %9s %8.1f%%  (1M flows, 4 lanes)\n",
+              "sharded_f1m", sharded.ns_per_packet, "-", "-", "-",
+              sharded.hit_rate * 100.0);
+
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path);
@@ -413,7 +522,12 @@ int Run(bool quick, const char* out_path, const char* baseline_path) {
                  r.uncached_ns / r.batch_ns, r.hit_rate,
                  ++index == results.size() ? "" : ",");
   }
-  std::fprintf(out, "  }\n}\n");
+  std::fprintf(out,
+               "  },\n  \"sharded_f1m\": {\"ns_per_packet\": %.2f, "
+               "\"hit_rate\": %.4f, \"packets\": %llu, \"shards\": 4, "
+               "\"flows\": 1000000}\n}\n",
+               sharded.ns_per_packet, sharded.hit_rate,
+               static_cast<unsigned long long>(sharded.packets));
   std::fclose(out);
   std::printf("# wrote %s\n", out_path);
 

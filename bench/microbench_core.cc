@@ -256,6 +256,33 @@ void BM_ObsCounterIncAtomic(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsCounterIncAtomic);
 
+void BM_ObsCounterIncAtomicContended(benchmark::State& state) {
+  // All threads hammer ONE counter cell with IncAtomic: the cache-line
+  // ping-pong a sharded run would pay if shards shared metrics cells.
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  std::shared_ptr<obs::Counter> counter =
+      registry->GetCounter("bench", "hook", "contended");
+  for (auto _ : state) {
+    counter->IncAtomic();
+  }
+  benchmark::DoNotOptimize(counter->value);
+}
+BENCHMARK(BM_ObsCounterIncAtomicContended)->Threads(2)->Threads(4);
+
+void BM_ObsCounterIncSharded(benchmark::State& state) {
+  // Each thread bumps its own shard cell with the single-writer relaxed
+  // store (the sharded-sim emission path, src/sim/sharded.h); the registry
+  // folds the cells at snapshot. No shared cache lines on the hot path.
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  std::shared_ptr<obs::Counter> counter = registry->GetCounterShard(
+      "bench", "hook", "sharded", state.thread_index());
+  for (auto _ : state) {
+    counter->IncRelaxed();
+  }
+  benchmark::DoNotOptimize(counter->value);
+}
+BENCHMARK(BM_ObsCounterIncSharded)->Threads(2)->Threads(4);
+
 void BM_ObsHistogramRecord(benchmark::State& state) {
   obs::LatencyHistogram histogram;
   Rng rng(6);

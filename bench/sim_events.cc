@@ -12,6 +12,7 @@
 //   --baseline <file>  compare the wheel's ns/event against the checked-in
 //                      baseline; exit 1 on a >25% regression
 //   --out <file>       JSON output path (default BENCH_sim_events.json)
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/time.h"
@@ -126,6 +128,33 @@ ScenarioResult RunSteadyDeep(SimEngine engine, uint64_t events) {
   return RunSteady(engine, events, 16'384, 1'000'000);
 }
 
+// The steady-state workload with three more engines running the same thing
+// concurrently on their own threads — the per-shard shape of
+// src/sim/sharded.h. Each engine's alloc accounting is per instance
+// (EngineStats lives on the Simulator), so the measured engine's
+// internal_allocs delta must stay zero even while its neighbors warm up
+// and allocate; a nonzero count here means some engine state regressed to
+// process-global.
+ScenarioResult RunSteadyConcurrent(SimEngine engine, uint64_t events) {
+  constexpr int kNoise = 3;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> noise;
+  noise.reserve(kNoise);
+  for (int i = 0; i < kNoise; ++i) {
+    noise.emplace_back([engine, events, &stop]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        RunSteady(engine, events / 4, 1024, 10'000);
+      }
+    });
+  }
+  ScenarioResult r = RunSteady(engine, events, 1024, 10'000);
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : noise) {
+    t.join();
+  }
+  return r;
+}
+
 // Schedule batches of timers and cancel half before they fire: the
 // tail-latency-timer pattern (armed per request, cancelled on completion).
 ScenarioResult RunScheduleCancel(SimEngine engine, uint64_t events) {
@@ -208,6 +237,7 @@ int Run(bool quick, const char* out_path, const char* baseline_path) {
       {"steady_deep", RunSteadyDeep, 2'000'000},
       {"schedule_cancel", RunScheduleCancel, 1'000'000},
       {"far_timers", RunFarTimers, 480'000},
+      {"steady_concurrent", RunSteadyConcurrent, 1'000'000},
   };
 
   struct Row {

@@ -6,9 +6,18 @@
 //                  [--load RPS] [--get-fraction F] [--threads N] [--cores N]
 //                  [--seconds S] [--seed S] [--bytecode] [--late-binding]
 //                  [--stats-json]
+//                  [--shards N] [--lookahead-us US] [--pin]
+//                  [--cross-traffic F]
 //
 // --stats-json additionally prints the daemon's full metrics snapshot
 // (Syrupd::StatsSnapshot(), docs/OBSERVABILITY.md schema) after the run.
+//
+// --shards N runs the experiment on the sharded parallel engine
+// (src/sim/sharded.h): N replicated hosts, one per worker thread, with
+// --cross-traffic of each shard's load served east-west by the next shard.
+// --shards 1 is bit-identical to the default single-engine run.
+// --lookahead-us sets the conservative sync window; --pin pins worker
+// threads to CPUs.
 //
 // Examples:
 //   experiment_cli --policy sita --load 250000 --get-fraction 0.995
@@ -32,7 +41,9 @@ using namespace syrup;
                "          [--load RPS] [--get-fraction F] [--threads N] "
                "[--cores N]\n"
                "          [--seconds S] [--seed S] [--bytecode] "
-               "[--late-binding] [--stats-json]\n",
+               "[--late-binding] [--stats-json]\n"
+               "          [--shards N] [--lookahead-us US] [--pin] "
+               "[--cross-traffic F]\n",
                argv0);
   std::exit(2);
 }
@@ -95,6 +106,15 @@ int main(int argc, char** argv) {
       config.late_binding = true;
     } else if (arg == "--stats-json") {
       stats_json = true;
+    } else if (arg == "--shards") {
+      config.sharding.sim.shards = std::atoi(next());
+    } else if (arg == "--lookahead-us") {
+      config.sharding.sim.lookahead = static_cast<Duration>(
+          std::atof(next()) * static_cast<double>(kMicrosecond));
+    } else if (arg == "--pin") {
+      config.sharding.sim.pinning = true;
+    } else if (arg == "--cross-traffic") {
+      config.sharding.cross_traffic = std::atof(next());
     } else {
       Usage(argv[0]);
     }
@@ -109,6 +129,13 @@ int main(int argc, char** argv) {
               config.load_rps, config.get_fraction, config.num_threads,
               config.num_cores, config.use_bytecode ? " [bytecode]" : "",
               config.late_binding ? " [late-binding]" : "");
+  if (config.sharding.sim.shards >= 1) {
+    std::printf("shards=%d lookahead=%.1fus pin=%d cross_traffic=%.3f\n",
+                config.sharding.sim.shards,
+                static_cast<double>(config.sharding.sim.lookahead) / 1000.0,
+                config.sharding.sim.pinning ? 1 : 0,
+                config.sharding.cross_traffic);
+  }
 
   const RocksDbResult result = RunRocksDbExperiment(config);
   std::printf("throughput : %10.0f rps\n", result.throughput_rps);

@@ -4,6 +4,7 @@
 
 #include "src/apps/loadgen.h"
 #include "src/apps/rocksdb_server.h"
+#include "src/common/histogram.h"
 #include "src/common/logging.h"
 #include "src/core/syrup_api.h"
 #include "src/core/syrupd.h"
@@ -34,13 +35,46 @@ std::string_view SocketPolicyName(SocketPolicyKind kind) {
   return "?";
 }
 
-RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
-  Simulator sim;
+namespace {
+
+// One complete RocksDB host: every component lives on (and only touches) a
+// single Simulator, so a host maps 1:1 onto a shard of a ShardedSim run.
+// Members are declared in construction order; destruction runs in reverse,
+// so deployments (which reference syrupd) unwind before it.
+struct RocksDbHost {
+  std::unique_ptr<HostStack> stack;
+  std::unique_ptr<Syrupd> syrupd;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<GetPriorityGhostPolicy> ghost_policy;
+  std::shared_ptr<Map> thread_type_map;
+  std::shared_ptr<Map> scan_map;
+  std::vector<PolicyHandle> deployments;
+  std::unique_ptr<RocksDbServer> server;
+  std::unique_ptr<LoadGenerator> gen;
+
+  // Measurement-window bookkeeping (set by Mark/Snapshot below).
+  uint64_t sent_before = 0;
+  uint64_t drops_before = 0;
+  uint64_t completed_in_window = 0;
+  uint64_t completed_get_in_window = 0;
+  uint64_t completed_scan_in_window = 0;
+};
+
+// Builds one host on `sim` with all seeds derived from `seed` (the
+// construction and scheduling order matches the historical single-engine
+// body exactly, so seed == config.seed reproduces it bit for bit). A null
+// `sink` delivers generated packets straight into the host's own stack.
+std::unique_ptr<RocksDbHost> BuildRocksDbHost(
+    Simulator& sim, const RocksDbExperimentConfig& config, uint64_t seed,
+    LoadGenerator::SinkFn sink) {
+  auto host = std::make_unique<RocksDbHost>();
   StackConfig stack_config;
   stack_config.num_nic_queues = config.num_cores;
   stack_config.protocol_cold_penalty = config.protocol_cold_penalty;
-  HostStack stack(sim, stack_config);
-  Syrupd syrupd(sim, &stack, config.seed);
+  host->stack = std::make_unique<HostStack>(sim, stack_config);
+  host->syrupd = std::make_unique<Syrupd>(sim, host->stack.get(), seed);
+  Syrupd& syrupd = *host->syrupd;
   syrupd.set_exec_mode(config.exec_mode);
   // The deprecated bool still gates the cache: both knobs must say on.
   FlowCacheConfig cache_config = config.flow_cache_config;
@@ -49,28 +83,26 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   const AppId app =
       syrupd.RegisterApp("rocksdb", kAppUid, kRocksDbPort).value();
 
-  Machine machine(sim, config.num_cores);
-  std::unique_ptr<Scheduler> scheduler;
-  std::unique_ptr<GetPriorityGhostPolicy> ghost_policy;
-  std::shared_ptr<Map> thread_type_map;
+  host->machine = std::make_unique<Machine>(sim, config.num_cores);
+  Machine& machine = *host->machine;
 
   switch (config.thread_sched) {
     case ThreadSchedKind::kPinned:
-      scheduler = std::make_unique<PinnedScheduler>(machine);
-      machine.SetScheduler(scheduler.get());
+      host->scheduler = std::make_unique<PinnedScheduler>(machine);
+      machine.SetScheduler(host->scheduler.get());
       break;
     case ThreadSchedKind::kCfs:
-      scheduler = std::make_unique<CfsScheduler>(machine);
-      machine.SetScheduler(scheduler.get());
+      host->scheduler = std::make_unique<CfsScheduler>(machine);
+      machine.SetScheduler(host->scheduler.get());
       break;
     case ThreadSchedKind::kGhostGetPriority: {
       MapSpec spec;
       spec.type = MapType::kHash;
       spec.max_entries = 256;
       spec.name = "thread_type_map";
-      thread_type_map = CreateMap(spec).value();
+      host->thread_type_map = CreateMap(spec).value();
       SYRUP_CHECK_OK(syrupd.registry().Pin("/syrup/rocksdb/thread_type_map",
-                                           thread_type_map, kAppUid));
+                                           host->thread_type_map, kAppUid));
       GhostConfig ghost_config;
       ghost_config.num_managed_cores = config.num_cores - 1;
       if (config.use_bytecode) {
@@ -84,9 +116,9 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
                                machine, ghost_config)
                            .status());
       } else {
-        ghost_policy =
-            std::make_unique<GetPriorityGhostPolicy>(thread_type_map);
-        SYRUP_CHECK_OK(syrupd.DeployThreadPolicy(app, ghost_policy.get(),
+        host->ghost_policy =
+            std::make_unique<GetPriorityGhostPolicy>(host->thread_type_map);
+        SYRUP_CHECK_OK(syrupd.DeployThreadPolicy(app, host->ghost_policy.get(),
                                                  machine, ghost_config));
       }
       break;
@@ -94,33 +126,30 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   }
 
   // Socket-select policy deployment (the workflow of paper Fig. 3).
-  std::shared_ptr<Map> scan_map;
   const uint32_t n = static_cast<uint32_t>(config.num_threads);
-  auto policy_rng = std::make_shared<Rng>(config.seed ^ 0x5caf00dULL);
-  // Handles keep bytecode deployments attached for the whole run.
-  std::vector<PolicyHandle> deployments;
+  auto policy_rng = std::make_shared<Rng>(seed ^ 0x5caf00dULL);
   if (config.use_bytecode) {
     SyrupClient client(syrupd, app);
     switch (config.socket_policy) {
       case SocketPolicyKind::kVanilla:
         break;
       case SocketPolicyKind::kRoundRobin:
-        deployments.push_back(
+        host->deployments.push_back(
             client.DeployPolicy(RoundRobinPolicyAsm(n), Hook::kSocketSelect)
                 .value());
         break;
       case SocketPolicyKind::kScanAvoid: {
-        deployments.push_back(
+        host->deployments.push_back(
             client.DeployPolicy(ScanAvoidPolicyAsm(n), Hook::kSocketSelect)
                 .value());
         // The policy file declared scan_map; open the pin for the server's
         // userspace half.
-        scan_map =
+        host->scan_map =
             syrupd.registry().Open("/syrup/rocksdb/scan_map", kAppUid).value();
         break;
       }
       case SocketPolicyKind::kSita:
-        deployments.push_back(
+        host->deployments.push_back(
             client.DeployPolicy(SitaPolicyAsm(n), Hook::kSocketSelect)
                 .value());
         break;
@@ -138,12 +167,12 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
         spec.type = MapType::kArray;
         spec.max_entries = n;
         spec.name = "scan_map";
-        scan_map = CreateMap(spec).value();
+        host->scan_map = CreateMap(spec).value();
         SYRUP_CHECK_OK(
-            syrupd.registry().Pin("/syrup/rocksdb/scan_map", scan_map,
+            syrupd.registry().Pin("/syrup/rocksdb/scan_map", host->scan_map,
                                   kAppUid));
         policy = std::make_shared<ScanAvoidPolicy>(
-            n, scan_map, [policy_rng]() {
+            n, host->scan_map, [policy_rng]() {
               return static_cast<uint32_t>(policy_rng->Next());
             });
         break;
@@ -159,7 +188,7 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   }
 
   if (config.late_binding) {
-    stack.EnableLateBinding(kRocksDbPort);
+    host->stack->EnableLateBinding(kRocksDbPort);
   }
   if (config.cpu_redirect_spray) {
     SYRUP_CHECK(syrupd
@@ -174,10 +203,11 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   RocksDbConfig server_config;
   server_config.num_threads = config.num_threads;
   server_config.port = kRocksDbPort;
-  server_config.seed = config.seed * 31 + 5;
-  server_config.scan_map = scan_map;
-  server_config.thread_type_map = thread_type_map;
-  RocksDbServer server(sim, stack, machine, server_config);
+  server_config.seed = seed * 31 + 5;
+  server_config.scan_map = host->scan_map;
+  server_config.thread_type_map = host->thread_type_map;
+  host->server = std::make_unique<RocksDbServer>(sim, *host->stack, machine,
+                                                 server_config);
 
   LoadGenConfig gen_config;
   gen_config.rate_rps = config.load_rps;
@@ -190,48 +220,151 @@ RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
   if (config.get_fraction >= 1.0) {
     gen_config.mix = {{ReqType::kGet, 1.0}};
   }
-  gen_config.seed = config.seed * 77 + 1;
-  LoadGenerator gen(sim, stack, gen_config);
-  gen.Start(config.warmup + config.measure);
+  gen_config.seed = seed * 77 + 1;
+  if (sink != nullptr) {
+    host->gen = std::make_unique<LoadGenerator>(sim, std::move(sink),
+                                                gen_config);
+  } else {
+    host->gen = std::make_unique<LoadGenerator>(sim, *host->stack, gen_config);
+  }
+  host->gen->Start(config.warmup + config.measure);
+  return host;
+}
+
+void MarkRocksDbWindowStart(RocksDbHost& host) {
+  host.server->ResetStats();
+  host.sent_before = host.gen->sent();
+  host.drops_before = host.stack->stats().TotalDrops();
+}
+
+void SnapshotRocksDbWindow(RocksDbHost& host) {
+  host.completed_in_window = host.server->completed();
+  host.completed_get_in_window = host.server->completed(ReqType::kGet);
+  host.completed_scan_in_window = host.server->completed(ReqType::kScan);
+}
+
+// Folds per-host windows into one result (histograms merged in shard order,
+// counts summed). With one host this reproduces the historical single-host
+// arithmetic exactly.
+RocksDbResult AggregateRocksDb(
+    const RocksDbExperimentConfig& config,
+    const std::vector<std::unique_ptr<RocksDbHost>>& hosts) {
+  uint64_t completed = 0;
+  uint64_t completed_get = 0;
+  uint64_t completed_scan = 0;
+  uint64_t sent = 0;
+  uint64_t drops = 0;
+  Histogram overall;
+  Histogram get_latency;
+  Histogram scan_latency;
+  for (const auto& host : hosts) {
+    completed += host->completed_in_window;
+    completed_get += host->completed_get_in_window;
+    completed_scan += host->completed_scan_in_window;
+    sent += host->gen->sent() - host->sent_before;
+    drops += host->stack->stats().TotalDrops() - host->drops_before;
+    overall.Merge(host->server->overall_latency());
+    get_latency.Merge(host->server->latency(ReqType::kGet));
+    scan_latency.Merge(host->server->latency(ReqType::kScan));
+  }
+
+  const double window_sec = ToSeconds(config.measure);
+  RocksDbResult result;
+  result.load_rps = config.load_rps * static_cast<double>(hosts.size());
+  result.throughput_rps = static_cast<double>(completed) / window_sec;
+  result.get_throughput_rps = static_cast<double>(completed_get) / window_sec;
+  result.scan_throughput_rps =
+      static_cast<double>(completed_scan) / window_sec;
+  result.p50_us = ToUs(overall.Percentile(50));
+  result.p99_us = ToUs(overall.Percentile(99));
+  result.p99_get_us = ToUs(get_latency.Percentile(99));
+  result.p99_scan_us = ToUs(scan_latency.Percentile(99));
+  result.drop_fraction =
+      sent == 0 ? 0.0
+                : static_cast<double>(drops) / static_cast<double>(sent);
+  // Shard 0's daemon (the one an unsharded run would have).
+  result.stats_json = hosts.front()->syrupd->StatsSnapshot().ToJson();
+  return result;
+}
+
+RocksDbResult RunRocksDbShardedExperiment(
+    const RocksDbExperimentConfig& config) {
+  const ExperimentShardingConfig& sharding = config.sharding;
+  const int num_shards = sharding.sim.shards;
+  ShardedSim sharded(sharding.sim);
+  const bool cross = num_shards > 1 && sharding.cross_traffic > 0.0;
+  if (cross) {
+    SYRUP_CHECK_GE(sharding.cross_link_latency, sharded.lookahead())
+        << "east-west link latency below the sharded lookahead";
+  }
+  const uint32_t cross_mille =
+      static_cast<uint32_t>(sharding.cross_traffic * 1000.0 + 0.5);
+
+  std::vector<std::unique_ptr<RocksDbHost>> hosts(
+      static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    // Shard 0 reproduces the unsharded seeds exactly; replicas draw
+    // deterministically distinct streams.
+    const uint64_t seed =
+        config.seed + static_cast<uint64_t>(s) * uint64_t{1000003};
+    LoadGenerator::SinkFn sink;
+    if (cross) {
+      // East-west traffic: a fixed, flow-deterministic slice of each
+      // shard's requests is served by the next shard over an inter-shard
+      // link (ring topology), entering through its stack's channel port.
+      sink = [&sharded, &hosts, s, num_shards, cross_mille,
+              link = sharding.cross_link_latency](Packet pkt) {
+        if (pkt.tuple.Hash() % 1000 < cross_mille) {
+          const int dst = (s + 1) % num_shards;
+          hosts[static_cast<size_t>(dst)]->stack->PostRx(
+              s, sharded.shard(s).Now() + link, std::move(pkt));
+        } else {
+          hosts[static_cast<size_t>(s)]->stack->Rx(std::move(pkt));
+        }
+      };
+    }
+    hosts[static_cast<size_t>(s)] =
+        BuildRocksDbHost(sharded.shard(s), config, seed, std::move(sink));
+    if (cross) {
+      hosts[static_cast<size_t>(s)]->stack->BindShard(&sharded, s);
+    }
+  }
+
+  sharded.RunUntil(config.warmup);
+  for (auto& host : hosts) {
+    MarkRocksDbWindowStart(*host);
+  }
+  const Time end = config.warmup + config.measure;
+  for (int s = 0; s < num_shards; ++s) {
+    RocksDbHost* host = hosts[static_cast<size_t>(s)].get();
+    sharded.shard(s).ScheduleAt(end,
+                                [host]() { SnapshotRocksDbWindow(*host); });
+  }
+  sharded.RunUntil(end + kDrain);
+  return AggregateRocksDb(config, hosts);
+}
+
+}  // namespace
+
+RocksDbResult RunRocksDbExperiment(const RocksDbExperimentConfig& config) {
+  if (config.sharding.sim.shards >= 1) {
+    return RunRocksDbShardedExperiment(config);
+  }
+  Simulator sim;
+  std::vector<std::unique_ptr<RocksDbHost>> hosts;
+  hosts.push_back(BuildRocksDbHost(sim, config, config.seed, nullptr));
+  RocksDbHost& host = *hosts.front();
 
   sim.RunUntil(config.warmup);
-  server.ResetStats();
-  const uint64_t sent_before = gen.sent();
-  const uint64_t drops_before = stack.stats().TotalDrops();
+  MarkRocksDbWindowStart(host);
 
   // Snapshot completion counts at the end of the measurement window; the
   // drain period afterwards lets queued requests finish so tail latency is
   // not truncated.
-  uint64_t completed_in_window = 0;
-  uint64_t completed_get_in_window = 0;
-  uint64_t completed_scan_in_window = 0;
-  sim.ScheduleAt(config.warmup + config.measure, [&]() {
-    completed_in_window = server.completed();
-    completed_get_in_window = server.completed(ReqType::kGet);
-    completed_scan_in_window = server.completed(ReqType::kScan);
-  });
+  sim.ScheduleAt(config.warmup + config.measure,
+                 [&host]() { SnapshotRocksDbWindow(host); });
   sim.RunUntil(config.warmup + config.measure + kDrain);
-
-  const double window_sec = ToSeconds(config.measure);
-  RocksDbResult result;
-  result.load_rps = config.load_rps;
-  result.throughput_rps =
-      static_cast<double>(completed_in_window) / window_sec;
-  result.get_throughput_rps =
-      static_cast<double>(completed_get_in_window) / window_sec;
-  result.scan_throughput_rps =
-      static_cast<double>(completed_scan_in_window) / window_sec;
-  result.p50_us = ToUs(server.overall_latency().Percentile(50));
-  result.p99_us = ToUs(server.overall_latency().Percentile(99));
-  result.p99_get_us = ToUs(server.latency(ReqType::kGet).Percentile(99));
-  result.p99_scan_us = ToUs(server.latency(ReqType::kScan).Percentile(99));
-  const uint64_t sent = gen.sent() - sent_before;
-  const uint64_t drops = stack.stats().TotalDrops() - drops_before;
-  result.drop_fraction =
-      sent == 0 ? 0.0
-                : static_cast<double>(drops) / static_cast<double>(sent);
-  result.stats_json = syrupd.StatsSnapshot().ToJson();
-  return result;
+  return AggregateRocksDb(config, hosts);
 }
 
 TokenQosResult RunTokenQosExperiment(const TokenQosConfig& config) {
@@ -347,8 +480,29 @@ TokenQosResult RunTokenQosExperiment(const TokenQosConfig& config) {
   return result;
 }
 
-MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
-  Simulator sim;
+namespace {
+
+// One complete MICA host; see RocksDbHost for the ownership and destruction
+// order rules.
+struct MicaHost {
+  std::unique_ptr<HostStack> stack;
+  std::unique_ptr<Syrupd> syrupd;
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<PinnedScheduler> scheduler;
+  std::unique_ptr<MicaServer> server;
+  std::vector<PolicyHandle> deployments;
+  std::unique_ptr<LoadGenerator> gen;
+
+  uint64_t sent_before = 0;
+  uint64_t drops_before = 0;
+  uint64_t completed_in_window = 0;
+};
+
+std::unique_ptr<MicaHost> BuildMicaHost(Simulator& sim,
+                                        const MicaExperimentConfig& config,
+                                        uint64_t seed,
+                                        LoadGenerator::SinkFn sink) {
+  auto host = std::make_unique<MicaHost>();
   // Lighter per-packet costs than the RocksDB stack: MICA's receive path is
   // AF_XDP with busy-polled queues, and the paper's IRQs land on dedicated
   // hyperthread buddies.
@@ -361,27 +515,29 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
   stack_config.afxdp_deliver_cost = 200;
   stack_config.afxdp_copy_cost = 300;
   stack_config.socket_queue_depth = 256;
-  HostStack stack(sim, stack_config);
-  Syrupd syrupd(sim, &stack, config.seed);
+  host->stack = std::make_unique<HostStack>(sim, stack_config);
+  host->syrupd = std::make_unique<Syrupd>(sim, host->stack.get(), seed);
+  Syrupd& syrupd = *host->syrupd;
   syrupd.set_exec_mode(config.exec_mode);
   FlowCacheConfig cache_config = config.flow_cache_config;
   cache_config.enabled = cache_config.enabled && config.flow_cache;
   syrupd.set_flow_cache_config(cache_config);
   const AppId app = syrupd.RegisterApp("mica", kAppUid, kMicaPort).value();
 
-  Machine machine(sim, config.num_threads);
-  PinnedScheduler scheduler(machine);
-  machine.SetScheduler(&scheduler);
+  host->machine = std::make_unique<Machine>(sim, config.num_threads);
+  host->scheduler = std::make_unique<PinnedScheduler>(*host->machine);
+  host->machine->SetScheduler(host->scheduler.get());
 
   MicaConfig server_config;
   server_config.num_threads = config.num_threads;
   server_config.port = kMicaPort;
-  server_config.seed = config.seed * 13 + 3;
-  MicaServer server(sim, stack, machine, server_config, config.variant);
+  server_config.seed = seed * 13 + 3;
+  host->server = std::make_unique<MicaServer>(
+      sim, *host->stack, *host->machine, server_config, config.variant);
 
   const uint32_t n = static_cast<uint32_t>(config.num_threads);
   SyrupClient client(syrupd, app);
-  std::vector<PolicyHandle> deployments;
+  std::vector<PolicyHandle>& deployments = host->deployments;
   switch (config.variant) {
     case MicaVariant::kSwRedirect:
       break;  // no Syrup policies: kernel-default distribution
@@ -442,33 +598,121 @@ MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
   gen_config.user_id = 1;
   gen_config.mix = {{ReqType::kGet, config.get_fraction},
                     {ReqType::kPut, 1.0 - config.get_fraction}};
-  gen_config.seed = config.seed * 77 + 1;
-  LoadGenerator gen(sim, stack, gen_config);
-  const Time end = config.warmup + config.measure;
-  gen.Start(end);
+  gen_config.seed = seed * 77 + 1;
+  if (sink != nullptr) {
+    host->gen = std::make_unique<LoadGenerator>(sim, std::move(sink),
+                                                gen_config);
+  } else {
+    host->gen = std::make_unique<LoadGenerator>(sim, *host->stack, gen_config);
+  }
+  host->gen->Start(config.warmup + config.measure);
+  return host;
+}
 
-  sim.RunUntil(config.warmup);
-  server.ResetStats();
-  const uint64_t sent_before = gen.sent();
-  const uint64_t drops_before = stack.stats().TotalDrops();
-  uint64_t completed_in_window = 0;
-  sim.ScheduleAt(end, [&]() { completed_in_window = server.completed(); });
-  sim.RunUntil(end + kDrain);
+void MarkMicaWindowStart(MicaHost& host) {
+  host.server->ResetStats();
+  host.sent_before = host.gen->sent();
+  host.drops_before = host.stack->stats().TotalDrops();
+}
+
+MicaResult AggregateMica(const MicaExperimentConfig& config,
+                         const std::vector<std::unique_ptr<MicaHost>>& hosts) {
+  uint64_t completed = 0;
+  uint64_t sent = 0;
+  uint64_t drops = 0;
+  uint64_t redirected = 0;
+  Histogram latency;
+  for (const auto& host : hosts) {
+    completed += host->completed_in_window;
+    sent += host->gen->sent() - host->sent_before;
+    drops += host->stack->stats().TotalDrops() - host->drops_before;
+    redirected += host->server->redirected();
+    latency.Merge(host->server->latency());
+  }
 
   MicaResult result;
-  result.load_rps = config.load_rps;
-  result.throughput_rps = static_cast<double>(completed_in_window) /
-                          ToSeconds(config.measure);
-  result.p999_us = ToUs(server.latency().Percentile(99.9));
-  result.p50_us = ToUs(server.latency().Percentile(50));
-  const uint64_t sent = gen.sent() - sent_before;
-  const uint64_t drops = stack.stats().TotalDrops() - drops_before;
+  result.load_rps = config.load_rps * static_cast<double>(hosts.size());
+  result.throughput_rps =
+      static_cast<double>(completed) / ToSeconds(config.measure);
+  result.p999_us = ToUs(latency.Percentile(99.9));
+  result.p50_us = ToUs(latency.Percentile(50));
   result.drop_fraction =
       sent == 0 ? 0.0
                 : static_cast<double>(drops) / static_cast<double>(sent);
-  result.redirected = server.redirected();
-  result.stats_json = syrupd.StatsSnapshot().ToJson();
+  result.redirected = redirected;
+  result.stats_json = hosts.front()->syrupd->StatsSnapshot().ToJson();
   return result;
+}
+
+MicaResult RunMicaShardedExperiment(const MicaExperimentConfig& config) {
+  const ExperimentShardingConfig& sharding = config.sharding;
+  const int num_shards = sharding.sim.shards;
+  ShardedSim sharded(sharding.sim);
+  const bool cross = num_shards > 1 && sharding.cross_traffic > 0.0;
+  if (cross) {
+    SYRUP_CHECK_GE(sharding.cross_link_latency, sharded.lookahead())
+        << "east-west link latency below the sharded lookahead";
+  }
+  const uint32_t cross_mille =
+      static_cast<uint32_t>(sharding.cross_traffic * 1000.0 + 0.5);
+
+  std::vector<std::unique_ptr<MicaHost>> hosts(
+      static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    const uint64_t seed =
+        config.seed + static_cast<uint64_t>(s) * uint64_t{1000003};
+    LoadGenerator::SinkFn sink;
+    if (cross) {
+      sink = [&sharded, &hosts, s, num_shards, cross_mille,
+              link = sharding.cross_link_latency](Packet pkt) {
+        if (pkt.tuple.Hash() % 1000 < cross_mille) {
+          const int dst = (s + 1) % num_shards;
+          hosts[static_cast<size_t>(dst)]->stack->PostRx(
+              s, sharded.shard(s).Now() + link, std::move(pkt));
+        } else {
+          hosts[static_cast<size_t>(s)]->stack->Rx(std::move(pkt));
+        }
+      };
+    }
+    hosts[static_cast<size_t>(s)] =
+        BuildMicaHost(sharded.shard(s), config, seed, std::move(sink));
+    if (cross) {
+      hosts[static_cast<size_t>(s)]->stack->BindShard(&sharded, s);
+    }
+  }
+
+  sharded.RunUntil(config.warmup);
+  for (auto& host : hosts) {
+    MarkMicaWindowStart(*host);
+  }
+  const Time end = config.warmup + config.measure;
+  for (int s = 0; s < num_shards; ++s) {
+    MicaHost* host = hosts[static_cast<size_t>(s)].get();
+    sharded.shard(s).ScheduleAt(
+        end, [host]() { host->completed_in_window = host->server->completed(); });
+  }
+  sharded.RunUntil(end + kDrain);
+  return AggregateMica(config, hosts);
+}
+
+}  // namespace
+
+MicaResult RunMicaExperiment(const MicaExperimentConfig& config) {
+  if (config.sharding.sim.shards >= 1) {
+    return RunMicaShardedExperiment(config);
+  }
+  Simulator sim;
+  std::vector<std::unique_ptr<MicaHost>> hosts;
+  hosts.push_back(BuildMicaHost(sim, config, config.seed, nullptr));
+  MicaHost& host = *hosts.front();
+
+  const Time end = config.warmup + config.measure;
+  sim.RunUntil(config.warmup);
+  MarkMicaWindowStart(host);
+  sim.ScheduleAt(
+      end, [&host]() { host.completed_in_window = host.server->completed(); });
+  sim.RunUntil(end + kDrain);
+  return AggregateMica(config, hosts);
 }
 
 }  // namespace syrup

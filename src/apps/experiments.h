@@ -14,8 +14,28 @@
 #include "src/bpf/compiler.h"
 #include "src/common/time.h"
 #include "src/core/flow_cache.h"
+#include "src/sim/sharded.h"
 
 namespace syrup {
+
+// --- Sharded parallel runs ---------------------------------------------------
+//
+// sim.shards == 0 (the default) keeps the pre-existing single-engine path,
+// byte for byte. sim.shards >= 1 executes the experiment on a ShardedSim:
+// shard 0 hosts the original topology and shards 1..N-1 host replicas
+// (weak scaling — each shard runs the configured load against its own
+// complete host), with per-shard seeds derived so shard 0 reproduces the
+// unsharded run exactly; shards == 1 is therefore bit-identical to the
+// single-engine path. With shards > 1, `cross_traffic` of each shard's
+// requests is generated east-west: the packet enters the next shard's
+// stack through the inter-shard channels after `cross_link_latency` (which
+// must be >= sim.lookahead). Reported results aggregate all shards
+// deterministically (histograms merged in shard order).
+struct ExperimentShardingConfig {
+  ShardedSimConfig sim{.shards = 0};
+  double cross_traffic = 0.05;  // east-west fraction, shards > 1 only
+  Duration cross_link_latency = 5 * kMicrosecond;
+};
 
 // Socket-select policies of §5.2 (Fig. 2 / Fig. 6).
 enum class SocketPolicyKind {
@@ -62,12 +82,13 @@ struct RocksDbExperimentConfig {
 
   int num_threads = 6;
   int num_cores = 6;
-  double load_rps = 100'000;
+  double load_rps = 100'000;   // per shard when sharding.sim.shards >= 1
   double get_fraction = 1.0;   // remainder are SCANs
   uint32_t num_flows = 50;
   Duration warmup = 200 * kMillisecond;
   Duration measure = 1 * kSecond;
   uint64_t seed = 1;
+  ExperimentShardingConfig sharding;
 };
 
 struct RocksDbResult {
@@ -129,6 +150,7 @@ struct MicaExperimentConfig {
   Duration warmup = 100 * kMillisecond;
   Duration measure = 500 * kMillisecond;
   uint64_t seed = 1;
+  ExperimentShardingConfig sharding;
 };
 
 struct MicaResult {

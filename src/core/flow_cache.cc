@@ -77,6 +77,27 @@ FlowCacheCounters FlowCacheCounters::InRegistry(
   return c;
 }
 
+FlowCacheCounters FlowCacheCounters::InRegistryShard(
+    obs::MetricsRegistry& registry, std::string_view hook, int shard) {
+  FlowCacheCounters c;
+  c.hits = registry.GetCounterShard("syrupd", hook, "flow_cache.hits", shard);
+  c.misses =
+      registry.GetCounterShard("syrupd", hook, "flow_cache.misses", shard);
+  c.invalidations = registry.GetCounterShard("syrupd", hook,
+                                             "flow_cache.invalidations", shard);
+  c.uncacheable = registry.GetCounterShard("syrupd", hook,
+                                           "flow_cache.uncacheable", shard);
+  c.evictions =
+      registry.GetCounterShard("syrupd", hook, "flow_cache.evictions", shard);
+  c.admission_rejects = registry.GetCounterShard(
+      "syrupd", hook, "flow_cache.admission_rejects", shard);
+  c.resizes =
+      registry.GetCounterShard("syrupd", hook, "flow_cache.resizes", shard);
+  c.capacity =
+      registry.GetGaugeShard("syrupd", hook, "flow_cache.capacity", shard);
+  return c;
+}
+
 // --- FrequencySketch --------------------------------------------------------
 
 void FrequencySketch::Resize(size_t counters) {
@@ -299,14 +320,16 @@ void FlowDecisionCache::Insert(const Key& key, Decision decision,
     }
   }
 
-  // Probe window full of live entries: admission decides.
+  // Probe window full of live entries: admission decides. Accounting uses
+  // the single-writer IncRelaxed: each cache has exactly one dispatching
+  // thread (its shard), but a metrics snapshot may Load() concurrently.
   ++window_pressure_;
   if (config_.admission && victim_estimate != 0 &&
       sketch_.Estimate(key.hash) <= victim_estimate) {
-    counters_.admission_rejects->value += 1;
+    counters_.admission_rejects->IncRelaxed();
     return;
   }
-  counters_.evictions->value += 1;
+  counters_.evictions->IncRelaxed();
   Entry& entry = slots_[victim];
   entry.hash = key.hash;
   entry.version_sum = version_sum;
@@ -361,7 +384,7 @@ void FlowDecisionCache::Place(const Entry& entry, const uint8_t* key_bytes) {
   }
   // No room in the new table's probe window: the entry is dropped, which
   // is an eviction by resize.
-  counters_.evictions->value += 1;
+  counters_.evictions->IncRelaxed();
 }
 
 void FlowDecisionCache::ResizeTo(size_t new_slots) {
@@ -386,7 +409,7 @@ void FlowDecisionCache::ResizeTo(size_t new_slots) {
       Place(old[i], old_keys.data() + i * kMaxKeyBytes);
     }
   }
-  counters_.resizes->value += 1;
+  counters_.resizes->IncRelaxed();
   counters_.capacity->Set(static_cast<int64_t>(new_slots));
 }
 

@@ -120,6 +120,11 @@ struct FlowCacheCounters {
   static FlowCacheCounters Detached();
   static FlowCacheCounters InRegistry(obs::MetricsRegistry& registry,
                                       std::string_view hook);
+  // Shard-local cells under the same keys as InRegistry: the registry sums
+  // them into the hook's single snapshot entry, so a per-shard cache's
+  // accounting folds into the per-hook totals (Syrupd::ConfigureSharding).
+  static FlowCacheCounters InRegistryShard(obs::MetricsRegistry& registry,
+                                           std::string_view hook, int shard);
 };
 
 // TinyLFU-style frequency sketch: a single array of 4-bit saturating

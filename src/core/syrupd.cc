@@ -656,19 +656,76 @@ Decision Syrupd::Dispatch(Hook hook, const PacketView& pkt) {
 void Syrupd::DispatchBatch(Hook hook, std::span<const PacketView> pkts,
                            std::span<Decision> out) {
   SYRUP_CHECK_EQ(pkts.size(), out.size());
+  const size_t hook_index = HookIndex(hook);
   for (size_t offset = 0; offset < pkts.size();
        offset += kMaxDispatchBatch) {
     const size_t n = std::min(kMaxDispatchBatch, pkts.size() - offset);
-    DispatchChunk(hook, pkts.subspan(offset, n), out.subspan(offset, n));
+    DispatchChunk<false>(hook, pkts.subspan(offset, n),
+                         out.subspan(offset, n), hook_cells_[hook_index],
+                         flow_cache_[hook_index]);
   }
 }
 
-void Syrupd::DispatchChunk(Hook hook, std::span<const PacketView> pkts,
-                           std::span<Decision> out) {
+void Syrupd::ConfigureSharding(int shards) {
+  SYRUP_CHECK_GE(shards, 1);
+  shard_lanes_.clear();
+  shard_lanes_.reserve(static_cast<size_t>(shards - 1));
+  for (int s = 1; s < shards; ++s) {
+    auto lanes = std::make_unique<std::array<HookLane, kNumHooks>>();
+    for (size_t i = 0; i < kNumHooks; ++i) {
+      const std::string_view hook = HookName(HookFromIndex(i));
+      HookLane& lane = (*lanes)[i];
+      lane.cells.dispatched =
+          metrics_.GetCounterShard("syrupd", hook, "dispatched", s);
+      lane.cells.no_policy =
+          metrics_.GetCounterShard("syrupd", hook, "no_policy", s);
+      lane.cells.decision_steer =
+          metrics_.GetCounterShard("syrupd", hook, "decision_steer", s);
+      lane.cells.decision_pass =
+          metrics_.GetCounterShard("syrupd", hook, "decision_pass", s);
+      lane.cells.decision_drop =
+          metrics_.GetCounterShard("syrupd", hook, "decision_drop", s);
+      lane.cells.flow_cache =
+          FlowCacheCounters::InRegistryShard(metrics_, hook, s);
+      lane.cache.BindCounters(lane.cells.flow_cache);
+      lane.cache.Configure(flow_cache_config_);
+    }
+    shard_lanes_.push_back(std::move(lanes));
+  }
+}
+
+void Syrupd::DispatchBatch(Hook hook, std::span<const PacketView> pkts,
+                           std::span<Decision> out, int shard) {
+  SYRUP_CHECK_EQ(pkts.size(), out.size());
+  SYRUP_CHECK_GE(shard, 0);
+  SYRUP_CHECK_LT(shard, dispatch_shards());
   const size_t hook_index = HookIndex(hook);
-  HookCells& cells = hook_cells_[hook_index];
+  // Shard 0 reuses the base tables but — unlike the unsharded entry point —
+  // bumps through the sharded counter discipline (IncRelaxed + batched
+  // atomic app counts), so every shard-qualified dispatch, shard 0
+  // included, is race-free against concurrent snapshots and lane dispatch.
+  HookCells& cells =
+      shard == 0
+          ? hook_cells_[hook_index]
+          : (*shard_lanes_[static_cast<size_t>(shard - 1)])[hook_index].cells;
+  FlowDecisionCache& cache =
+      shard == 0
+          ? flow_cache_[hook_index]
+          : (*shard_lanes_[static_cast<size_t>(shard - 1)])[hook_index].cache;
+  for (size_t offset = 0; offset < pkts.size();
+       offset += kMaxDispatchBatch) {
+    const size_t n = std::min(kMaxDispatchBatch, pkts.size() - offset);
+    DispatchChunk<true>(hook, pkts.subspan(offset, n), out.subspan(offset, n),
+                        cells, cache);
+  }
+}
+
+template <bool kSharded>
+void Syrupd::DispatchChunk(Hook hook, std::span<const PacketView> pkts,
+                           std::span<Decision> out, HookCells& cells,
+                           FlowDecisionCache& cache) {
+  const size_t hook_index = HookIndex(hook);
   auto& table = dispatch_[hook_index];
-  FlowDecisionCache& cache = flow_cache_[hook_index];
   const bool cache_enabled = flow_cache_config_.enabled;
 
   // Phase 1 — hoisted per-packet prep. Only work that is a pure function
@@ -714,15 +771,46 @@ void Syrupd::DispatchChunk(Hook hook, std::span<const PacketView> pkts,
 
   // Phase 2 — in-order decide: identical, bump for bump, to dispatching
   // each packet alone.
+  //
+  // Counter discipline: shard 0's cells are single-writer with the
+  // simulation thread, so a plain bump stays exact and free; sharded lanes
+  // bump their own (shard-local) cells with IncRelaxed — race-free against
+  // a concurrent snapshot Load() — and batch the one genuinely shared cell,
+  // the per-app dispatched count, into a single atomic add per port run.
+  auto bump = [](const std::shared_ptr<obs::Counter>& c) {
+    if constexpr (kSharded) {
+      c->IncRelaxed();
+    } else {
+      c->value += 1;
+    }
+  };
+  PortEntry* app_run = nullptr;
+  uint64_t app_run_len = 0;
+  auto flush_app_run = [&] {
+    if constexpr (kSharded) {
+      if (app_run != nullptr && app_run_len > 0) {
+        app_run->app_dispatched->IncAtomic(app_run_len);
+      }
+      app_run_len = 0;
+    }
+  };
   for (size_t i = 0; i < pkts.size(); ++i) {
     PortEntry* entry = probes[i].entry;
     if (entry == nullptr) {
-      cells.no_policy->value += 1;
+      bump(cells.no_policy);
       out[i] = kPass;
       continue;
     }
-    cells.dispatched->value += 1;
-    entry->app_dispatched->value += 1;
+    bump(cells.dispatched);
+    if constexpr (kSharded) {
+      if (entry != app_run) {
+        flush_app_run();
+        app_run = entry;
+      }
+      app_run_len += 1;
+    } else {
+      entry->app_dispatched->value += 1;
+    }
 
     Decision d;
     if (probes[i].cached) {
@@ -733,36 +821,42 @@ void Syrupd::DispatchChunk(Hook hook, std::span<const PacketView> pkts,
       const uint64_t epoch = hook_epoch_[hook_index];
       bool stale = false;
       if (cache.Lookup(probes[i].key, epoch, version_sum, &d, &stale)) {
-        cells.flow_cache.hits->value += 1;
+        bump(cells.flow_cache.hits);
       } else {
         if (stale) {
-          cells.flow_cache.invalidations->value += 1;
+          bump(cells.flow_cache.invalidations);
         }
-        cells.flow_cache.misses->value += 1;
+        bump(cells.flow_cache.misses);
         d = entry->policy_raw->Schedule(pkts[i]);
         cache.Insert(probes[i].key, d, epoch, version_sum);
       }
     } else {
       if (cache_enabled) {
-        cells.flow_cache.uncacheable->value += 1;
+        bump(cells.flow_cache.uncacheable);
       }
       d = entry->policy_raw->Schedule(pkts[i]);
     }
     if (d == kPass) {
-      cells.decision_pass->value += 1;
+      bump(cells.decision_pass);
     } else if (d == kDrop) {
-      cells.decision_drop->value += 1;
+      bump(cells.decision_drop);
     } else {
-      cells.decision_steer->value += 1;
+      bump(cells.decision_steer);
     }
     out[i] = d;
   }
+  flush_app_run();
 }
 
 void Syrupd::set_flow_cache_config(const FlowCacheConfig& config) {
   flow_cache_config_ = config;
   for (size_t i = 0; i < kNumHooks; ++i) {
     flow_cache_[i].Configure(config);
+  }
+  for (auto& lanes : shard_lanes_) {
+    for (HookLane& lane : *lanes) {
+      lane.cache.Configure(config);
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #ifndef SYRUP_SRC_CORE_SYRUPD_H_
 #define SYRUP_SRC_CORE_SYRUPD_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <span>
@@ -196,6 +197,37 @@ class Syrupd {
   // state lives on the stack and prefetches land just ahead of use.
   static constexpr size_t kMaxDispatchBatch = 64;
 
+  // --- Sharded dispatch ----------------------------------------------------
+
+  // Gives each of `shards` dispatch shards its own flow-cache tables and
+  // dispatcher counter cells (shard 0 keeps the pre-existing per-hook
+  // state, so an unsharded daemon is exactly ConfigureSharding(1)). The
+  // shard-qualified DispatchBatch below may then be called concurrently
+  // from distinct shards' threads without sharing a cache table or a
+  // counter cache line; the registry folds the per-shard cells back into
+  // each hook's single StatsSnapshot() entry.
+  //
+  // Concurrency contract: concurrent shard dispatch is only valid when the
+  // attached policies are safe to execute in parallel — verifier-proven
+  // cacheable bytecode (pure by construction) or stateless native
+  // policies. Stateful native policies (e.g. round-robin) must instead run
+  // on per-shard Syrupd instances, which is what the sharded experiment
+  // paths do. Attach/remove and reconfiguration must be quiesced while
+  // shard threads are dispatching.
+  void ConfigureSharding(int shards);
+  int dispatch_shards() const {
+    return static_cast<int>(shard_lanes_.size()) + 1;
+  }
+
+  // Dispatches on behalf of dispatch shard `shard` (0-based; shard 0 uses
+  // the base tables). Identical decisions to the unsharded entry point —
+  // only the cache table consulted and the cells bumped differ. Every
+  // shard-qualified call, shard 0 included, uses the concurrent-safe
+  // counter discipline (IncRelaxed + batched atomic app counts), so any
+  // mix of shards may dispatch concurrently under the contract above.
+  void DispatchBatch(Hook hook, std::span<const PacketView> pkts,
+                     std::span<Decision> out, int shard);
+
   // --- Flow-decision cache -------------------------------------------------
 
   // Per-hook memoization of verifier-proven-cacheable policies (see
@@ -261,7 +293,13 @@ class Syrupd {
 
   DispatchStats dispatch_stats(Hook hook) const {
     const HookCells& cells = hook_cells_[HookIndex(hook)];
-    return DispatchStats{cells.dispatched->value, cells.no_policy->value};
+    DispatchStats s{cells.dispatched->value, cells.no_policy->value};
+    for (const auto& lanes : shard_lanes_) {
+      const HookCells& lane = (*lanes)[HookIndex(hook)].cells;
+      s.dispatched += lane.dispatched->Load();
+      s.no_policy += lane.no_policy->Load();
+    }
+    return s;
   }
   const GhostScheduler* ghost_scheduler() const { return ghost_.get(); }
 
@@ -363,13 +401,26 @@ class Syrupd {
                            const bpf::Program& prog,
                            const bpf::AnalysisFacts& facts,
                            const bpf::CompiledProgram* compiled);
+  // One dispatch shard's per-hook state beyond shard 0 (which lives in
+  // hook_cells_/flow_cache_): its own cache table plus shard-local counter
+  // cells, so concurrent shards never share a line on the bump path.
+  struct HookLane {
+    HookCells cells;
+    FlowDecisionCache cache;
+  };
+
   Status InstallStackHook(Hook hook);
   void MaybeUninstallStackHook(Hook hook);
   // Batch-of-1 wrapper around DispatchBatch (the single-packet hooks).
   Decision Dispatch(Hook hook, const PacketView& pkt);
-  // One ≤kMaxDispatchBatch chunk of a DispatchBatch call.
+  // One ≤kMaxDispatchBatch chunk of a DispatchBatch call. kSharded selects
+  // the thread-safe counter discipline: shard-local cells bump with
+  // IncRelaxed and the (cross-shard) per-app cell with one batched atomic
+  // add per port run, instead of shard 0's plain single-writer bumps.
+  template <bool kSharded>
   void DispatchChunk(Hook hook, std::span<const PacketView> pkts,
-                     std::span<Decision> out);
+                     std::span<Decision> out, HookCells& cells,
+                     FlowDecisionCache& cache);
   StatusOr<std::vector<std::shared_ptr<Map>>> ResolveMapSlots(
       AppId app, const std::vector<bpf::MapSlot>& slots);
 
@@ -394,6 +445,10 @@ class Syrupd {
   FlowDecisionCache flow_cache_[kNumHooks];
   uint64_t hook_epoch_[kNumHooks] = {};
   FlowCacheConfig flow_cache_config_;
+
+  // Dispatch shards 1..N-1 (ConfigureSharding). unique_ptr keeps lane
+  // addresses stable and each lane's tables well apart in memory.
+  std::vector<std::unique_ptr<std::array<HookLane, kNumHooks>>> shard_lanes_;
 
   std::map<uint64_t, std::shared_ptr<const bpf::Program>> programs_;
   // Per-prog-id compiled cache: filled at attach time, consulted by every

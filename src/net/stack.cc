@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/trace.h"
+#include "src/sim/sharded.h"
 
 namespace syrup {
 
@@ -115,6 +116,22 @@ void HostStack::Rx(Packet pkt) {
     d = hooks_.xdp_offload(PacketView::Of(pkt));
   }
   RouteToQueue(std::move(pkt), d);
+}
+
+void HostStack::BindShard(ShardedSim* sharded, int shard) {
+  SYRUP_CHECK(sharded != nullptr);
+  SYRUP_CHECK_GE(shard, 0);
+  SYRUP_CHECK_LT(shard, sharded->shards());
+  SYRUP_CHECK_EQ(&sharded->shard(shard), &sim_)
+      << "stack must be built on its owning shard's engine";
+  sharded_ = sharded;
+  shard_ = shard;
+}
+
+void HostStack::PostRx(int from_shard, Time when, Packet pkt) {
+  SYRUP_CHECK(sharded_ != nullptr) << "PostRx requires BindShard";
+  sharded_->Post(from_shard, shard_, when,
+                 [this, p = std::move(pkt)]() mutable { Rx(std::move(p)); });
 }
 
 void HostStack::RxBurst(std::span<Packet> pkts) {

@@ -31,6 +31,8 @@
 
 namespace syrup {
 
+class ShardedSim;
+
 // Hook callback: syrupd installs per-hook dispatchers here. The callback
 // receives the packet bytes and returns an executor index, kPass, or kDrop.
 using SteerHook = std::function<Decision(const PacketView&)>;
@@ -157,6 +159,23 @@ class HostStack {
   // Entry point: a packet arrives from the wire at the current sim time.
   void Rx(Packet pkt);
 
+  // --- Sharded runs (src/sim/sharded.h) -----------------------------------
+  //
+  // A sharded run gives every stack to exactly one shard; all of the
+  // stack's own events stay on that shard's engine (the `sim` it was
+  // constructed with must be ShardedSim::shard(shard)). Remote shards hand
+  // packets across with PostRx, the timestamped-channel form of Rx.
+
+  // Declares this stack's owning shard.
+  void BindShard(ShardedSim* sharded, int shard);
+  int shard() const { return shard_; }
+
+  // Cross-shard Rx handoff: `pkt` enters Rx() on the owning shard at
+  // absolute time `when`. Must be called from shard `from_shard` (or
+  // outside any Run), with `when` at least the sharded lookahead past the
+  // sender's clock; same-shard calls just schedule locally.
+  void PostRx(int from_shard, Time when, Packet pkt);
+
   // Burst entry point: a NIC DMA burst arrives at the current sim time.
   // All packets traverse the XDP Offload hook (batched through the
   // installed BatchSteerHook when present) before any enters its RX
@@ -262,6 +281,8 @@ class HostStack {
 
   Simulator& sim_;
   StackConfig config_;
+  ShardedSim* sharded_ = nullptr;  // set by BindShard; null when unsharded
+  int shard_ = 0;
   StackHooks hooks_;
   StackBatchHooks batch_hooks_;
   Metrics m_;

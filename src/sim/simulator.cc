@@ -253,6 +253,19 @@ bool Simulator::RefillReady(Time horizon) {
   return true;
 }
 
+Time Simulator::NextEventTime() {
+  if (engine_ == SimEngine::kReference) {
+    return ref_queue_.empty() ? kNoEventTime : ref_queue_.top().when;
+  }
+  // RefillReady with an unbounded horizon advances the wheel far enough to
+  // surface the globally-next event in the ready heap, making the bound
+  // exact rather than a bucket-window start.
+  if (ready_.empty() && !RefillReady(kNoEventTime)) {
+    return kNoEventTime;
+  }
+  return ready_.front().when;
+}
+
 uint64_t Simulator::RunImpl(Time horizon, bool advance_clock_on_idle) {
   stopped_ = false;
   uint64_t dispatched = 0;

@@ -147,6 +147,17 @@ class Simulator {
     return ScheduleAt(now_ + delay, std::forward<F>(fn));
   }
 
+  // Timestamp returned by NextEventTime() when no event is pending.
+  static constexpr Time kNoEventTime = ~Time{0};
+
+  // Exact timestamp of the next pending event (live or cancelled — a
+  // cancelled event is still a valid conservative lower bound, and popping
+  // it makes progress), or kNoEventTime when the queue is empty. The pooled
+  // engine may advance the wheel position to find it; that performs the
+  // same cascades a Run* call would and so never perturbs dispatch order.
+  // Used by the sharded engine to announce per-shard horizons.
+  Time NextEventTime();
+
   // Runs events until the queue empties or simulated time would pass
   // `horizon`. Returns the number of events dispatched.
   uint64_t RunUntil(Time horizon);

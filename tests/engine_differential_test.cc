@@ -103,5 +103,86 @@ TEST(EngineDifferential, Fig9MicaSyrupSwBitExact) {
   EXPECT_EQ(wheel.redirected, reference.redirected);
 }
 
+// --- Sharded engine (src/sim/sharded.h) -------------------------------------
+//
+// Contract one: `shards=1` wraps the very same engine in a ShardedSim and
+// must reproduce the single-engine run bit for bit. Contract two: for a
+// fixed shard count > 1, a run is bit-deterministic across repeats — the
+// (when, src_shard, seq) drain order erases any physical thread timing.
+
+void ExpectSameRocksDb(const RocksDbResult& a, const RocksDbResult& b) {
+  EXPECT_EQ(a.load_rps, b.load_rps);
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_EQ(a.p50_us, b.p50_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.p99_get_us, b.p99_get_us);
+  EXPECT_EQ(a.p99_scan_us, b.p99_scan_us);
+  EXPECT_EQ(a.drop_fraction, b.drop_fraction);
+  EXPECT_EQ(a.get_throughput_rps, b.get_throughput_rps);
+  EXPECT_EQ(a.scan_throughput_rps, b.scan_throughput_rps);
+}
+
+void ExpectSameMica(const MicaResult& a, const MicaResult& b) {
+  EXPECT_EQ(a.load_rps, b.load_rps);
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_EQ(a.p50_us, b.p50_us);
+  EXPECT_EQ(a.p999_us, b.p999_us);
+  EXPECT_EQ(a.drop_fraction, b.drop_fraction);
+  EXPECT_EQ(a.redirected, b.redirected);
+}
+
+MicaExperimentConfig SmallMicaConfig() {
+  MicaExperimentConfig config;
+  config.variant = MicaVariant::kSwRedirect;
+  config.load_rps = 400'000;
+  config.warmup = 50 * kMillisecond;
+  config.measure = 200 * kMillisecond;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ShardedDifferential, Fig2RocksDbOneShardBitExact) {
+  const RocksDbExperimentConfig single = SmallRocksDbConfig();
+  RocksDbExperimentConfig sharded = single;
+  sharded.sharding.sim.shards = 1;
+  ExpectSameRocksDb(RunRocksDbExperiment(single),
+                    RunRocksDbExperiment(sharded));
+}
+
+TEST(ShardedDifferential, Fig9MicaOneShardBitExact) {
+  const MicaExperimentConfig single = SmallMicaConfig();
+  MicaExperimentConfig sharded = single;
+  sharded.sharding.sim.shards = 1;
+  ExpectSameMica(RunMicaExperiment(single), RunMicaExperiment(sharded));
+}
+
+TEST(ShardedDifferential, Fig2RocksDbFourShardsRepeatable) {
+  RocksDbExperimentConfig config = SmallRocksDbConfig();
+  config.load_rps = 30'000;
+  config.measure = 100 * kMillisecond;
+  config.sharding.sim.shards = 4;
+  for (uint64_t seed : {7u, 11u, 42u}) {
+    config.seed = seed;
+    const RocksDbResult first = RunRocksDbExperiment(config);
+    const RocksDbResult second = RunRocksDbExperiment(config);
+    SCOPED_TRACE(seed);
+    ExpectSameRocksDb(first, second);
+  }
+}
+
+TEST(ShardedDifferential, Fig9MicaFourShardsRepeatable) {
+  MicaExperimentConfig config = SmallMicaConfig();
+  config.load_rps = 200'000;
+  config.measure = 100 * kMillisecond;
+  config.sharding.sim.shards = 4;
+  for (uint64_t seed : {7u, 11u, 42u}) {
+    config.seed = seed;
+    const MicaResult first = RunMicaExperiment(config);
+    const MicaResult second = RunMicaExperiment(config);
+    SCOPED_TRACE(seed);
+    ExpectSameMica(first, second);
+  }
+}
+
 }  // namespace
 }  // namespace syrup

@@ -25,11 +25,15 @@
 
 #if SYRUP_COUNT_GLOBAL_ALLOCS
 namespace {
-std::atomic<uint64_t> g_global_allocs{0};
+// Per-thread, not process-global: the zero-alloc gate below must only see
+// allocations made by the engine under test, and sharded runs put other
+// engines on other threads of this process (src/sim/sharded.h). Counting
+// per thread scopes the assertion to the instance the test drives.
+thread_local uint64_t t_thread_allocs = 0;
 }  // namespace
 
 void* operator new(std::size_t size) {
-  g_global_allocs.fetch_add(1, std::memory_order_relaxed);
+  ++t_thread_allocs;
   if (void* ptr = std::malloc(size > 0 ? size : 1)) {
     return ptr;
   }
@@ -45,9 +49,9 @@ void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
 namespace syrup {
 namespace {
 
-uint64_t GlobalAllocs() {
+uint64_t ThreadAllocs() {
 #if SYRUP_COUNT_GLOBAL_ALLOCS
-  return g_global_allocs.load(std::memory_order_relaxed);
+  return t_thread_allocs;
 #else
   return 0;
 #endif
@@ -345,13 +349,14 @@ TEST(SimulatorPool, SteadyStateDispatchDoesNotAllocate) {
     sim.RunUntil(sim.Now() + 100 * kMicrosecond);
   }
   const uint64_t internal_before = sim.engine_stats().internal_allocs();
-  const uint64_t global_before = GlobalAllocs();
+  const uint64_t global_before = ThreadAllocs();
   sim.RunToCompletion();
   EXPECT_GT(sim.engine_stats().dispatched, 19'000u);
-  // The engine's own accounting and the process-wide operator new both
-  // agree: a steady-state schedule/dispatch window allocates nothing.
+  // The engine's own accounting and this thread's operator new both agree:
+  // a steady-state schedule/dispatch window allocates nothing. (Per-thread
+  // so engines running on other shards' threads can't trip this gate.)
   EXPECT_EQ(sim.engine_stats().internal_allocs(), internal_before);
-  EXPECT_EQ(GlobalAllocs(), global_before);
+  EXPECT_EQ(ThreadAllocs(), global_before);
 }
 
 TEST(SimulatorPool, LargeCallbacksSpillToHeapAndStillRun) {
