@@ -57,9 +57,10 @@ double MeasureNs(Map& map, OpKind op, int iters,
          iters;
 }
 
-// Antagonist mix matters since the hash map's buckets moved to reader/
-// writer locks: a read-only antagonist shares every bucket lock with the
-// measured thread, a mixed one still takes them exclusive half the time.
+// Antagonist mix matters: the hash map's readers are lock-free (per-group
+// seqlock + epoch reclamation), so a read-only antagonist shares nothing
+// but cache lines with the measured thread, while a mixed one forces
+// seqlock retries on the groups it rewrites half the time.
 // kBump models the datapath: per-packet atomic counter increments through
 // the value pointer, dirtying the counters' cache lines continuously.
 enum class Antagonist { kNone, kReadOnly, kMixed, kBump };
@@ -157,9 +158,9 @@ void Run() {
   };
   Row rows[] = {
       {"Host", "host", *host, kHostIters, Antagonist::kNone},
-      // Read-contended: pure-reader antagonist. The buckets' shared locks
-      // let concurrent gets proceed in parallel, so this row should stay
-      // close to the uncontended one.
+      // Read-contended: pure-reader antagonist. Lookups take no lock at
+      // all — both threads probe the swiss table concurrently — so this
+      // row should sit on top of the uncontended one.
       {"Host Rd-Contended", "host_read_contended", *host, kHostIters,
        Antagonist::kReadOnly},
       {"Host Contended", "host_contended", *host, kHostIters,
@@ -221,8 +222,9 @@ void Run() {
       "# contention sensitivity; offload ~24-25us/op, dominated by the PCIe "
       "crossing.\n"
       "# Rd-Contended (reader-only antagonist) tracks the uncontended row: "
-      "bucket locks are\n"
-      "# shared_mutex, so concurrent lookups do not serialize.\n"
+      "lookups are\n"
+      "# lock-free (seqlock-validated swiss-table probes), so concurrent "
+      "readers never serialize.\n"
       "# Array vs PerCPU Rd-Contended: reads against a datapath thread "
       "bumping the same 64\n"
       "# counters. The per-CPU array shards values per thread, so the "

@@ -111,6 +111,7 @@ std::optional<HelperId> HelperByName(std::string_view name) {
   if (name == "get_prandom_u32") return HelperId::kGetPrandomU32;
   if (name == "ktime_get_ns") return HelperId::kKtimeGetNs;
   if (name == "tail_call") return HelperId::kTailCall;
+  if (name == "map_lookup_batch") return HelperId::kMapLookupBatch;
   return std::nullopt;
 }
 

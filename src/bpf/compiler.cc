@@ -483,6 +483,11 @@ StatusOr<CompiledProgram> Compile(const Program& prog, ProgramContext context,
           s.c.op = options.paranoid ? COp::kCallDeleteChk : COp::kCallDelete;
           if (!options.paranoid) ++stats.elided_checks;  // key bounds
           break;
+        case HelperId::kMapLookupBatch:
+          s.c.op = options.paranoid ? COp::kCallLookupBatchChk
+                                    : COp::kCallLookupBatch;
+          if (!options.paranoid) stats.elided_checks += 2;  // keys + out
+          break;
         case HelperId::kGetPrandomU32:
           s.c.op = COp::kCallRandom;
           break;
@@ -599,7 +604,9 @@ StatusOr<CompiledProgram> Compile(const Program& prog, ProgramContext context,
   X(kJsltReg) X(kJsltImm) X(kJsleReg) X(kJsleImm)                            \
   X(kJsetReg) X(kJsetImm)                                                    \
   X(kCallLookup) X(kCallLookupChk) X(kCallUpdate) X(kCallUpdateChk)          \
-  X(kCallDelete) X(kCallDeleteChk) X(kCallRandom) X(kCallKtime)              \
+  X(kCallDelete) X(kCallDeleteChk)                                           \
+  X(kCallLookupBatch) X(kCallLookupBatchChk)                                 \
+  X(kCallRandom) X(kCallKtime)                                               \
   X(kCallTailCall) X(kLdMapPtr) X(kExit)
 
 namespace {
@@ -929,6 +936,33 @@ restart:  // tail-call target: rerun with fresh ip but original context args
     }
     const Status s = map->Delete(reinterpret_cast<const void*>(key));
     regs[0] = s.ok() ? 0 : static_cast<uint64_t>(-1);
+    SYRUP_CLOBBER_ARGS();
+    ++ip;
+  } VM_NEXT();
+  VM_CASE(kCallLookupBatch) : {
+    ++result.helper_calls;
+    auto* map = reinterpret_cast<Map*>(regs[1]);
+    regs[0] = map->LookupBatchU64(static_cast<uint32_t>(regs[4]),
+                                  reinterpret_cast<const void*>(regs[2]),
+                                  reinterpret_cast<uint64_t*>(regs[3]));
+    SYRUP_CLOBBER_ARGS();
+    ++ip;
+  } VM_NEXT();
+  VM_CASE(kCallLookupBatchChk) : {
+    ++result.helper_calls;
+    auto* map = reinterpret_cast<Map*>(regs[1]);
+    const uint64_t keys = regs[2];
+    const uint64_t out = regs[3];
+    const uint64_t n = regs[4];
+    if (map == nullptr || n == 0 || n > Map::kMaxLookupBatch ||
+        map->spec().value_size != sizeof(uint64_t) ||
+        !readable(keys, n * map->spec().key_size) ||
+        !writable(out, n * sizeof(uint64_t))) {
+      return OutOfRangeError("map_lookup_batch: bad map/keys/out/n");
+    }
+    regs[0] = map->LookupBatchU64(static_cast<uint32_t>(n),
+                                  reinterpret_cast<const void*>(keys),
+                                  reinterpret_cast<uint64_t*>(out));
     SYRUP_CLOBBER_ARGS();
     ++ip;
   } VM_NEXT();

@@ -128,6 +128,7 @@ enum class COp : uint8_t {
   kCallLookup, kCallLookupChk,
   kCallUpdate, kCallUpdateChk,
   kCallDelete, kCallDeleteChk,
+  kCallLookupBatch, kCallLookupBatchChk,
   kCallRandom, kCallKtime, kCallTailCall,
 
   kLdMapPtr,  // imm carries the resolved Map* (maps vector keeps it alive)

@@ -33,7 +33,8 @@ CostTier CostTierOf(ExecMode mode) {
   return CostTier::kInterpret;
 }
 
-double CostModel::HelperNs(HelperId helper, MapType map_type) const {
+double CostModel::HelperNs(HelperId helper, MapType map_type,
+                           uint32_t batch_count) const {
   const auto kind = static_cast<size_t>(map_type);
   switch (helper) {
     case HelperId::kMapLookupElem: return lookup_ns[kind];
@@ -42,15 +43,20 @@ double CostModel::HelperNs(HelperId helper, MapType map_type) const {
     case HelperId::kGetPrandomU32: return random_ns;
     case HelperId::kKtimeGetNs: return ktime_ns;
     case HelperId::kTailCall: return tail_call_ns;
+    case HelperId::kMapLookupBatch:
+      // n independent probes is the upper bound; the pipeline only hides
+      // memory latency, it never does more work than n single lookups.
+      return lookup_ns[kind] * batch_count;
   }
   return 0;
 }
 
 double CostModel::InsnNs(const Insn& insn, MapType helper_map_type,
-                         CostTier tier) const {
+                         CostTier tier, uint32_t batch_count) const {
   double ns = op_ns[static_cast<size_t>(tier)][static_cast<size_t>(insn.op)];
   if (insn.op == Op::kCall) {
-    ns += HelperNs(static_cast<HelperId>(insn.imm), helper_map_type);
+    ns += HelperNs(static_cast<HelperId>(insn.imm), helper_map_type,
+                   batch_count);
   }
   return ns;
 }

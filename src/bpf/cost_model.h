@@ -66,12 +66,17 @@ struct CostModel {
   double tail_call_ns = 0;
 
   // Body cost of `helper` against a map of kind `map_type` (ignored for
-  // non-map helpers).
-  double HelperNs(HelperId helper, MapType map_type) const;
+  // non-map helpers). `batch_count` scales the batched lookup helper: the
+  // batch is priced as n independent probes, a sound upper bound since the
+  // software pipeline only overlaps their memory latencies.
+  double HelperNs(HelperId helper, MapType map_type,
+                  uint32_t batch_count = 1) const;
 
   // Full cost of executing `insn` once at `tier`: opcode dispatch cost plus,
-  // for kCall, the helper body (map helpers priced by `helper_map_type`).
-  double InsnNs(const Insn& insn, MapType helper_map_type, CostTier tier) const;
+  // for kCall, the helper body (map helpers priced by `helper_map_type`;
+  // `batch_count` is the proven r4 constant for map_lookup_batch).
+  double InsnNs(const Insn& insn, MapType helper_map_type, CostTier tier,
+                uint32_t batch_count = 1) const;
 };
 
 // Checked-in calibration constants: deterministic (identical on every host),

@@ -85,6 +85,14 @@ enum class HelperId : int32_t {
   kGetPrandomU32 = 4,  // -> r0 = random u32
   kKtimeGetNs = 5,     // -> r0 = current (simulated or wall) time in ns
   kTailCall = 6,       // r1=ctx(unused), r2=prog_array map, r3=index
+  // Batched lookup over n contiguous keys (value_size==8 maps only):
+  // r1=map, r2=keys ptr (n * key_size bytes), r3=out ptr (n * 8 bytes,
+  // stack), r4=n (constant 1..Map::kMaxLookupBatch). Copies each hit's
+  // u64 value into out[i] (0 on miss) and returns the hit bitmap in r0.
+  // Copy-out semantics on purpose: the verifier tracks maybe-null value
+  // pointers in registers, not spilled through memory, so the batch form
+  // returns values, never pointers.
+  kMapLookupBatch = 7,
 };
 
 struct Insn {

@@ -234,6 +234,23 @@ restart:  // tail-call target: rerun with fresh pc but original context args
             regs[0] = s.ok() ? 0 : static_cast<uint64_t>(-1);
             break;
           }
+          case HelperId::kMapLookupBatch: {
+            auto* map = reinterpret_cast<Map*>(regs[1]);
+            const uint64_t keys = regs[2];
+            const uint64_t out = regs[3];
+            const uint64_t n = regs[4];
+            if (map == nullptr || n == 0 || n > Map::kMaxLookupBatch ||
+                map->spec().value_size != sizeof(uint64_t) ||
+                !readable(keys, n * map->spec().key_size) ||
+                !writable(out, n * sizeof(uint64_t))) {
+              return OutOfRangeError("map_lookup_batch: bad map/keys/out/n");
+            }
+            regs[0] = map->LookupBatchU64(
+                static_cast<uint32_t>(n),
+                reinterpret_cast<const void*>(keys),
+                reinterpret_cast<uint64_t*>(out));
+            break;
+          }
           case HelperId::kGetPrandomU32:
             regs[0] = env_.random_u32 ? env_.random_u32() : 0;
             break;

@@ -68,6 +68,13 @@ extern "C" uint64_t SyrupJitMapDelete(uint64_t map, uint64_t key) {
   return s.ok() ? 0 : static_cast<uint64_t>(-1);
 }
 
+extern "C" uint64_t SyrupJitMapLookupBatch(uint64_t map, uint64_t keys,
+                                           uint64_t out, uint64_t n) {
+  return reinterpret_cast<Map*>(map)->LookupBatchU64(
+      static_cast<uint32_t>(n), reinterpret_cast<const void*>(keys),
+      reinterpret_cast<uint64_t*>(out));
+}
+
 extern "C" uint64_t SyrupJitRandom(JitRuntime* rt) {
   return rt->env->random_u32 ? rt->env->random_u32() : 0;
 }
@@ -202,6 +209,8 @@ constexpr Stencil kStencilTable[static_cast<size_t>(COp::kNumCOps)] = {
     /*kCallUpdateChk*/ {SK::kUnsupported},
     /*kCallDelete*/ {SK::kHelper, 2},
     /*kCallDeleteChk*/ {SK::kUnsupported},
+    /*kCallLookupBatch*/ {SK::kHelper, 5},
+    /*kCallLookupBatchChk*/ {SK::kUnsupported},
     /*kCallRandom*/ {SK::kHelper, 3},
     /*kCallKtime*/ {SK::kHelper, 4},
     /*kCallTailCall*/ {SK::kUnsupported},
@@ -687,14 +696,15 @@ Status Emitter::EmitStencil(const CInsn& insn) {
           reinterpret_cast<uint64_t>(&SyrupJitMapDelete),
           reinterpret_cast<uint64_t>(&SyrupJitRandom),
           reinterpret_cast<uint64_t>(&SyrupJitKtime),
+          reinterpret_cast<uint64_t>(&SyrupJitMapLookupBatch),
       };
       // inc qword [r12 + helper_calls]
       U8(0x49); U8(0xFF);
       MemModRM(0, R12, kRtHelperCallsOff);
-      if (st.a >= 3) {  // random/ktime take the JitRuntime*, not r1
+      if (st.a == 3 || st.a == 4) {  // random/ktime take the JitRuntime*
         U8(0x4C); U8(0x89); U8(0xE7);  // mov rdi, r12
       }
-      // Map helper arguments are already in place: r1..r3 = rdi/rsi/rdx.
+      // Map helper arguments are already in place: r1..r4 = rdi/rsi/rdx/rcx.
       MovImm64(RAX, kHelperTargets[st.a]);  // target burned in as imm64
       U8(0xFF); U8(0xD0);                   // call rax; result -> rax = r0
       // Clobber r1..r5 to zero, as the other tiers do after a helper.

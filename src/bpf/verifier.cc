@@ -1126,21 +1126,32 @@ class Verifier {
     const Insn& insn = prog_.insns[st.pc];
     st.cost_insns += 1;
     MapType map_type = MapType::kArray;
+    uint32_t batch_count = 1;
     if (insn.op == Op::kCall) {
       const auto helper = static_cast<HelperId>(insn.imm);
       if (helper == HelperId::kMapLookupElem ||
           helper == HelperId::kMapUpdateElem ||
-          helper == HelperId::kMapDeleteElem) {
+          helper == HelperId::kMapDeleteElem ||
+          helper == HelperId::kMapLookupBatch) {
         const RegState& r1 = st.regs[1];
         if (r1.kind == RegKind::kConstMapPtr && r1.map_index >= 0 &&
             static_cast<size_t>(r1.map_index) < prog_.maps.size()) {
           map_type = prog_.maps[r1.map_index]->spec().type;
         }
       }
+      if (helper == HelperId::kMapLookupBatch) {
+        // ApplyCall (later this step) rejects non-constant counts; price
+        // the worst case if the program is about to fail anyway.
+        const RegState& r4 = st.regs[4];
+        batch_count = r4.IsConst() && r4.ConstVal() <= Map::kMaxLookupBatch
+                          ? static_cast<uint32_t>(r4.ConstVal())
+                          : Map::kMaxLookupBatch;
+      }
     }
     for (size_t t = 0; t < kNumCostTiers; ++t) {
-      st.cost_ns[t] +=
-          cost_model_->InsnNs(insn, map_type, static_cast<CostTier>(t));
+      st.cost_ns[t] += cost_model_->InsnNs(insn, map_type,
+                                           static_cast<CostTier>(t),
+                                           batch_count);
     }
     path_arena_.push_back({st.path_node, static_cast<uint32_t>(st.pc)});
     st.path_node = static_cast<int32_t>(path_arena_.size() - 1);
@@ -1650,6 +1661,52 @@ class Verifier {
         write_maps_.insert(st.regs[1].map_index);
         break;
       }
+      case HelperId::kMapLookupBatch: {
+        SYRUP_RETURN_IF_ERROR(require_map_arg(1, nullptr));
+        lookup_map = st.regs[1].map_index;
+        const auto& spec = prog_.maps[lookup_map]->spec();
+        if (spec.value_size != sizeof(uint64_t)) {
+          return Fail(pc, "map_lookup_batch requires a u64-value map "
+                          "(value_size == 8); this map's value_size is " +
+                              std::to_string(spec.value_size));
+        }
+        // r4 must be a compile-time-known batch size so the keys/out spans
+        // below are constant-width (the whole point: the verifier proves
+        // the copy-out region, so no per-element NULL checks survive to
+        // runtime).
+        const RegState& n_reg = st.regs[4];
+        if (!n_reg.IsConst()) {
+          return Fail(pc, "map_lookup_batch count (r4) must be a known "
+                          "constant");
+        }
+        const uint64_t n = n_reg.ConstVal();
+        if (n == 0 || n > Map::kMaxLookupBatch) {
+          return Fail(pc, "map_lookup_batch count must be 1.." +
+                              std::to_string(Map::kMaxLookupBatch) +
+                              ", got " + std::to_string(n));
+        }
+        SYRUP_RETURN_IF_ERROR(CheckHelperKeyArg(
+            st, pc, 2, static_cast<uint32_t>(n) * spec.key_size));
+        // r3 is written by the helper: a stack pointer at a constant
+        // offset, n*8 bytes in bounds. The span becomes initialized.
+        const RegState& out = st.regs[3];
+        if (out.kind != RegKind::kStackPtr || out.off_min != out.off_max) {
+          return Fail(pc, "map_lookup_batch out (r3) must be a stack "
+                          "pointer at a constant offset");
+        }
+        const int64_t out_bytes = static_cast<int64_t>(n) * 8;
+        if (out.off_min < -kStackSize || out.off_min + out_bytes > 0) {
+          return Fail(pc, "map_lookup_batch out span outside the stack");
+        }
+        const size_t first = static_cast<size_t>(out.off_min + kStackSize);
+        const size_t last = first + static_cast<size_t>(out_bytes);
+        for (size_t i = first; i < last; ++i) {
+          st.stack_init.set(i);
+        }
+        NoteStackWrite(pc, first, last);
+        read_maps_.insert(lookup_map);
+        break;
+      }
       case HelperId::kGetPrandomU32:
       case HelperId::kKtimeGetNs:
         break;
@@ -1671,6 +1728,7 @@ class Verifier {
     // a tail call's target program is outside this analysis.
     switch (helper) {
       case HelperId::kMapLookupElem:
+      case HelperId::kMapLookupBatch:  // pure read, like a single lookup
         break;
       case HelperId::kMapUpdateElem:
         cacheable_ = false;
@@ -1702,6 +1760,10 @@ class Verifier {
     if (helper == HelperId::kMapUpdateElem ||
         helper == HelperId::kMapDeleteElem) {
       st.last_lookup_map = -1;
+    } else if (helper == HelperId::kMapLookupBatch) {
+      // The helper writes the out span; if the tracked key bytes sit in
+      // it, the window is stale. Cheaper to just end the window.
+      st.last_lookup_map = -1;
     } else if (helper == HelperId::kMapLookupElem) {
       const RegState& key = st.regs[2];
       const auto& spec = prog_.maps[lookup_map]->spec();
@@ -1728,6 +1790,12 @@ class Verifier {
       st.regs[0] = RegState::Pointer(RegKind::kMapValueOrNull, lookup_map);
       st.regs[0].origin_pc = static_cast<int32_t>(pc);
       lookup_sites_.insert(pc);
+    } else if (helper == HelperId::kMapLookupBatch) {
+      // Hit bitmap: bit i set iff keys[i] was present; n was proven
+      // constant above, so the range is exact.
+      const uint64_t n = st.regs[4].ConstVal();
+      st.regs[0] = RegState::Range(
+          0, n >= 64 ? kU64Max : (uint64_t{1} << n) - 1);
     } else if (helper == HelperId::kGetPrandomU32) {
       st.regs[0] = RegState::Range(0, kU32Max);
     } else {

@@ -10,6 +10,7 @@
 #include "src/bpf/jit.h"
 #include "src/common/logging.h"
 #include "src/common/trace.h"
+#include "src/map/epoch.h"
 
 namespace syrup {
 
@@ -724,6 +725,12 @@ template <bool kSharded>
 void Syrupd::DispatchChunk(Hook hook, std::span<const PacketView> pkts,
                            std::span<Decision> out, HookCells& cells,
                            FlowDecisionCache& cache) {
+  // Pin the reclamation epoch once per chunk: every lock-free map lookup a
+  // policy performs below (including LookupBatch on the flow-cache miss
+  // path) reads slot and slab memory that writers may only recycle after
+  // this guard drops. One pin per ≤64-packet chunk keeps the epoch-advance
+  // rate bounded by batch rate, not packet rate.
+  epoch::ReadGuard epoch_guard;
   const size_t hook_index = HookIndex(hook);
   auto& table = dispatch_[hook_index];
   const bool cache_enabled = flow_cache_config_.enabled;
@@ -1079,9 +1086,10 @@ StatusOr<int> Syrupd::MapCreate(AppId app, const MapSpec& spec,
     return NotFoundError("unknown app");
   }
   SYRUP_ASSIGN_OR_RETURN(std::shared_ptr<Map> map, CreateMap(spec));
-  map->BindCounters(MapOpCounters::InRegistry(
-      metrics_, it->second.name,
-      spec.name.empty() ? pin_path : spec.name));
+  const std::string map_name = spec.name.empty() ? pin_path : spec.name;
+  map->BindCounters(
+      MapOpCounters::InRegistry(metrics_, it->second.name, map_name));
+  TrackMapGauges(map, it->second.name, map_name);
   SYRUP_RETURN_IF_ERROR(registry_.Pin(pin_path, map, it->second.uid, mode));
   const int fd = next_fd_++;
   fds_[fd] = FdEntry{app, std::move(map), MapAccess::kWrite};
@@ -1098,13 +1106,48 @@ StatusOr<int> Syrupd::MapOpen(AppId app, const std::string& path,
                          registry_.Open(path, it->second.uid, access));
   // First binding wins: a map pinned by its owning app already accounts
   // there; an unbound (externally created) map lands under the opener.
-  map->BindCounters(MapOpCounters::InRegistry(metrics_, it->second.name,
-                                              map->spec().name.empty()
-                                                  ? path
-                                                  : map->spec().name));
+  const std::string map_name =
+      map->spec().name.empty() ? path : map->spec().name;
+  map->BindCounters(
+      MapOpCounters::InRegistry(metrics_, it->second.name, map_name));
+  TrackMapGauges(map, it->second.name, map_name);
   const int fd = next_fd_++;
   fds_[fd] = FdEntry{app, std::move(map), access};
   return fd;
+}
+
+void Syrupd::TrackMapGauges(const std::shared_ptr<Map>& map,
+                            std::string_view app_name,
+                            const std::string& map_name) {
+  for (const MapGaugeEntry& entry : map_gauges_) {
+    if (entry.map.lock() == map) {
+      return;  // already tracked (re-opened pinned map)
+    }
+  }
+  MapGaugeEntry entry;
+  entry.map = map;
+  entry.occupancy = metrics_.GetGauge(app_name, "map", map_name + ".occupancy");
+  entry.max_probe_len =
+      metrics_.GetGauge(app_name, "map", map_name + ".max_probe_len");
+  entry.tombstones =
+      metrics_.GetGauge(app_name, "map", map_name + ".tombstones");
+  entry.epoch_lag = metrics_.GetGauge(app_name, "map", map_name + ".epoch_lag");
+  map_gauges_.push_back(std::move(entry));
+}
+
+void Syrupd::RefreshMapGauges() const {
+  std::erase_if(map_gauges_, [](const MapGaugeEntry& entry) {
+    std::shared_ptr<Map> map = entry.map.lock();
+    if (map == nullptr) {
+      return true;  // map died; drop the row, gauges keep their last value
+    }
+    const MapRuntimeStats stats = map->RuntimeStats();
+    entry.occupancy->Set(static_cast<int64_t>(stats.occupancy));
+    entry.max_probe_len->Set(static_cast<int64_t>(stats.max_probe_len));
+    entry.tombstones->Set(static_cast<int64_t>(stats.tombstones));
+    entry.epoch_lag->Set(static_cast<int64_t>(stats.epoch_lag));
+    return false;
+  });
 }
 
 Status Syrupd::MapClose(int fd) {

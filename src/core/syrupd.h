@@ -287,9 +287,14 @@ class Syrupd {
   obs::MetricsRegistry& metrics() { return metrics_; }
 
   // One coherent snapshot of everything: stack counters, per-hook dispatch
-  // and decision counts, per-app policy VM counters, per-map op counts,
-  // and the ghOSt agent. Serializable with Snapshot::ToJson().
-  obs::Snapshot StatsSnapshot() const { return metrics_.TakeSnapshot(); }
+  // and decision counts, per-app policy VM counters, per-map op counts and
+  // runtime gauges (map.{occupancy,max_probe_len,tombstones,epoch_lag},
+  // refreshed here), and the ghOSt agent. Serializable with
+  // Snapshot::ToJson().
+  obs::Snapshot StatsSnapshot() const {
+    RefreshMapGauges();
+    return metrics_.TakeSnapshot();
+  }
 
   DispatchStats dispatch_stats(Hook hook) const {
     const HookCells& cells = hook_cells_[HookIndex(hook)];
@@ -424,6 +429,22 @@ class Syrupd {
   StatusOr<std::vector<std::shared_ptr<Map>>> ResolveMapSlots(
       AppId app, const std::vector<bpf::MapSlot>& slots);
 
+  // Per-map runtime gauge row: registered once per distinct map on
+  // MapCreate/MapOpen, refreshed from Map::RuntimeStats() on every
+  // StatsSnapshot(). weak_ptr so a tracked map's lifetime stays owned by
+  // its fds/registry pins; expired rows are pruned during refresh (their
+  // gauges keep the last observed value in the registry).
+  struct MapGaugeEntry {
+    std::weak_ptr<Map> map;
+    std::shared_ptr<obs::Gauge> occupancy;
+    std::shared_ptr<obs::Gauge> max_probe_len;
+    std::shared_ptr<obs::Gauge> tombstones;
+    std::shared_ptr<obs::Gauge> epoch_lag;
+  };
+  void TrackMapGauges(const std::shared_ptr<Map>& map,
+                      std::string_view app_name, const std::string& map_name);
+  void RefreshMapGauges() const;
+
   Simulator& sim_;
   HostStack* stack_;
   MapRegistry registry_;
@@ -465,6 +486,10 @@ class Syrupd {
 
   std::map<int, FdEntry> fds_;
   int next_fd_ = 3;
+
+  // mutable: RefreshMapGauges() prunes expired rows from the const
+  // StatsSnapshot() path.
+  mutable std::vector<MapGaugeEntry> map_gauges_;
 
   std::unique_ptr<GhostScheduler> ghost_;
   // Keeps a DeployThreadPolicyFile bytecode policy alive for the agent,

@@ -1,0 +1,180 @@
+// Epoch-based reclamation for the lock-free map read path.
+//
+// The swiss-table HashMap (src/map/hash_map.h) never frees value storage
+// while the map lives, so a stale pointer can never touch unmapped memory.
+// What epochs gate is *reuse*: a deleted slot (and its spilled slab cell)
+// must not be handed to a new key while a reader that found the old entry
+// may still dereference the pointer it got. The protocol is classic EBR:
+//
+//   * readers Pin() the global epoch before probing and Unpin() after the
+//     last dereference (Syrupd pins once per dispatch batch; the VM helper
+//     paths pin around each program run via the same guard),
+//   * Delete marks the slot as a tombstone, records the current epoch as
+//     the slot's retire epoch, then Advance()s the global epoch,
+//   * a writer may reuse a retired slot only once every pinned reader's
+//     epoch is strictly greater than the retire epoch (MinPinned() > R).
+//
+// Safety argument, matching the two ways a reader can hold a pointer:
+//   - pinned at epoch <= R: the reader's pin slot is visible to the
+//     writer's MinPinned() scan (the pin confirms the global epoch with a
+//     seq_cst store/load pair), so the writer waits.
+//   - pinned at epoch  > R: the confirming load observed Advance()'s
+//     seq_cst increment, which the deleting writer issued only after
+//     publishing the tombstone; the reader's probe therefore sees the
+//     tombstone and never obtains the dead entry's pointer.
+// Unpinned readers get eBPF preallocated-map semantics: the memory stays
+// valid (never freed), but a long-held pointer may observe a slot recycled
+// for a different key. DESIGN.md "Map data plane" spells out the contract.
+//
+// One process-wide domain keeps the read side trivial: Pin() is two
+// uncontended atomic stores on a thread-private cache line, which is cheap
+// enough to take once per 64-packet dispatch batch without showing up in
+// Table 3.
+#ifndef SYRUP_SRC_MAP_EPOCH_H_
+#define SYRUP_SRC_MAP_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace syrup::epoch {
+
+inline constexpr uint64_t kNoReaders = ~uint64_t{0};
+
+class Domain {
+ public:
+  static Domain& Global() {
+    static Domain domain;
+    return domain;
+  }
+
+  // Pins the calling thread at the current epoch; nestable (inner pins
+  // keep the outermost epoch, which is the conservative one). Returns the
+  // pinned epoch.
+  uint64_t Pin() {
+    ThreadSlot& t = Slot();
+    if (t.index == kNoSlot) {  // registry exhausted: run unpinned
+      return epoch_.load(std::memory_order_seq_cst);
+    }
+    if (t.depth++ > 0) {
+      return slots_[t.index].epoch.load(std::memory_order_relaxed);
+    }
+    uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slots_[t.index].epoch.store(e, std::memory_order_seq_cst);
+      const uint64_t again = epoch_.load(std::memory_order_seq_cst);
+      if (again == e) {
+        return e;
+      }
+      e = again;  // raced an Advance: re-confirm so MinPinned stays sound
+    }
+  }
+
+  void Unpin() {
+    ThreadSlot& t = Slot();
+    if (t.index == kNoSlot) {
+      return;
+    }
+    if (--t.depth == 0) {
+      slots_[t.index].epoch.store(0, std::memory_order_release);
+    }
+  }
+
+  uint64_t current() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  // Bumps the global epoch (writers call this after retiring storage).
+  uint64_t Advance() {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  // Smallest epoch any reader is pinned at; kNoReaders when none are.
+  // Storage retired at epoch R is reusable once MinPinned() > R.
+  uint64_t MinPinned() const {
+    uint64_t min = kNoReaders;
+    for (const PinSlot& s : slots_) {
+      const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min) {
+        min = e;
+      }
+    }
+    return min;
+  }
+
+  // How far the slowest pinned reader trails the global epoch (0 when no
+  // reader is pinned). Published as the per-map `epoch_lag` gauge.
+  uint64_t Lag() const {
+    const uint64_t min = MinPinned();
+    if (min == kNoReaders) {
+      return 0;
+    }
+    const uint64_t cur = current();
+    return cur > min ? cur - min : 0;
+  }
+
+ private:
+  // Bounded reader registry: each thread claims one pin slot exclusively on
+  // first Pin() and releases it at thread exit, so slots recycle under
+  // thread churn. A slot is never shared — two writers on one slot would
+  // overwrite each other's pin and make MinPinned() under-conservative.
+  // kSlots comfortably exceeds the thread counts the sharded sim and the
+  // contended benches run; a thread that finds every slot claimed runs
+  // unpinned (eBPF preallocated-map semantics, see the header comment).
+  static constexpr size_t kSlots = 128;
+  static constexpr size_t kNoSlot = ~size_t{0};
+
+  struct alignas(64) PinSlot {
+    std::atomic<uint64_t> epoch{0};  // 0 = not pinned
+    std::atomic<bool> owned{false};
+  };
+
+  struct ThreadSlot {
+    explicit ThreadSlot(Domain& dom) : domain(dom) {
+      for (size_t i = 0; i < kSlots; ++i) {
+        bool expected = false;
+        if (domain.slots_[i].owned.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          index = i;
+          return;
+        }
+      }
+    }
+    ~ThreadSlot() {
+      if (index != kNoSlot) {
+        domain.slots_[index].epoch.store(0, std::memory_order_release);
+        domain.slots_[index].owned.store(false, std::memory_order_release);
+      }
+    }
+
+    Domain& domain;
+    size_t index = kNoSlot;
+    uint32_t depth = 0;
+  };
+
+  Domain() = default;
+
+  ThreadSlot& Slot() {
+    thread_local ThreadSlot slot(*this);
+    return slot;
+  }
+
+  // Epoch 1-based so 0 can mean "not pinned" in the slots.
+  std::atomic<uint64_t> epoch_{1};
+  PinSlot slots_[kSlots];
+};
+
+// RAII pin on the global domain. Syrupd holds one across each dispatch
+// batch; standalone map users (tests, benches, userspace agents) take one
+// around any window where a Lookup pointer outlives the call.
+class ReadGuard {
+ public:
+  ReadGuard() { Domain::Global().Pin(); }
+  ~ReadGuard() { Domain::Global().Unpin(); }
+
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+};
+
+}  // namespace syrup::epoch
+
+#endif  // SYRUP_SRC_MAP_EPOCH_H_

@@ -1,52 +1,185 @@
-// Hash map: arbitrary fixed-size key -> fixed-size value.
+// Swiss-table hash map with a lock-free read path.
 //
-// Matches BPF_MAP_TYPE_HASH semantics: entries are created by Update and
-// removed by Delete; value storage is per-node and stable for the life of
-// the entry. Buckets are sharded under fine-grained mutexes so concurrent
-// userspace/policy access (Table 3's contended case) is safe.
+// Layout (all contiguous, zero per-entry allocations):
+//
+//   ctrl_    [slot]  1 byte:  0x80 empty | 0xFE tombstone | 0..127 = H2(hash)
+//   stamps_  [group] u32 seqlock stamp, one per 16-slot group
+//   keys_    [slot]  key bytes, stride = key_size rounded up to 8
+//   values_  [slot]  value bytes inline when value_size <= 16 (stride
+//                    rounded to 8 so u64 values take atomic loads/stores);
+//                    larger values spill to slab chunks that are never
+//                    freed or moved, so the BPF "value pointer stable for
+//                    the entry's lifetime" contract holds either way.
+//
+// Probing: H1(hash) picks a 16-slot group; groups are scanned whole (SSE2
+// byte-compare on x86-64, SWAR over two u64 lanes elsewhere) and probing
+// advances linearly group-by-group. A group containing an empty slot ends
+// the probe — tombstones never convert back to empty (that would break
+// probe chains), they are only *reused* for new inserts once reclamation
+// says no reader can still hold the old entry.
+//
+// Concurrency:
+//   * writers (Update/Delete/Visit) serialize on one mutex per map; the
+//     sharded engine gives each shard its own maps, so this is per-shard
+//     serialization in the deployment that matters.
+//   * readers take no lock ever. Each group mutation is bracketed by its
+//     seqlock stamp (odd = writer inside); readers snapshot the group,
+//     compare keys, capture the value pointer, then validate the stamp and
+//     retry on interference. The SSE2/memcmp snapshot is intentionally
+//     racy-but-validated; under TSan the same algorithm runs on per-byte
+//     relaxed atomics so the race tests certify the protocol itself.
+//   * reclamation is epoch-based (src/map/epoch.h). Delete publishes the
+//     tombstone, then advances the global epoch and records the advanced
+//     epoch as the slot's (and spilled cell's) retire epoch. The slot or
+//     cell is handed to a new key only once every pinned reader sits at
+//     an epoch >= the retire epoch: readers pinned earlier are visible to
+//     the writer's MinPinned() scan, and a reader whose pin observed the
+//     retire epoch (or later) was fenced after the tombstone was globally
+//     visible, so its probe can never return the dead entry. Value memory
+//     itself is never freed while the map lives, which is what closes the
+//     chained map's lookup/delete use-after-free by construction.
+//
+// Readers that hold a value pointer across calls must pin the epoch
+// (epoch::ReadGuard); Syrupd pins once per dispatch batch. Unpinned
+// readers keep eBPF preallocated-map semantics: memory stays valid but a
+// long-held pointer may observe the slot recycled for another key.
 #ifndef SYRUP_SRC_MAP_HASH_MAP_H_
 #define SYRUP_SRC_MAP_HASH_MAP_H_
 
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "src/common/hash.h"
+#include "src/map/epoch.h"
 #include "src/map/map.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define SYRUP_MAP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SYRUP_MAP_TSAN 1
+#endif
+#endif
+#ifndef SYRUP_MAP_TSAN
+#define SYRUP_MAP_TSAN 0
+#endif
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace syrup {
 
 class HashMap : public Map {
  public:
-  explicit HashMap(MapSpec spec)
-      : Map(std::move(spec)),
-        bucket_count_(
-            NextPow2(2 * static_cast<uint64_t>(this->spec().max_entries))),
-        buckets_(bucket_count_) {}
-
-  void* DoLookup(const void* key) override {
-    const uint64_t hash = HashKey(key);
-    Bucket& bucket = BucketFor(hash);
-    // Read-mostly path: lookups only walk the chain, so they share the
-    // bucket; value mutation goes through Map::Atomic* after release.
-    std::shared_lock<std::shared_mutex> lock(bucket.mu);
-    Node* node = FindLocked(bucket, key, hash);
-    return node != nullptr ? node->value.get() : nullptr;
+  explicit HashMap(MapSpec spec) : Map(std::move(spec)) {
+    const uint64_t want =
+        2 * static_cast<uint64_t>(this->spec().max_entries);
+    uint64_t slots = kGroupWidth;
+    while (slots < want && slots < kMaxSlots) {
+      slots <<= 1;
+    }
+    slots_ = slots;
+    group_mask_ = slots_ / kGroupWidth - 1;
+    key_stride_ = RoundUp8(this->spec().key_size);
+    value_stride_ = RoundUp8(this->spec().value_size);
+    inline_values_ = this->spec().value_size <= kInlineValueBytes;
+    ctrl_ = std::make_unique<uint8_t[]>(slots_);
+    std::memset(ctrl_.get(), kEmpty, slots_);
+    stamps_ = std::make_unique<std::atomic<uint32_t>[]>(NumGroups());
+    keys_ = std::make_unique<uint64_t[]>(slots_ * key_stride_ / 8);
+    if (inline_values_) {
+      values_ = std::make_unique<uint64_t[]>(slots_ * value_stride_ / 8);
+    } else {
+      cell_stride_u64_ = value_stride_ / 8;
+      slot_cell_ = std::make_unique<std::atomic<uint32_t>[]>(slots_);
+    }
+    if (want > kMaxSlots) {
+      NoteBucketClamp(slots_);
+    }
   }
 
-  Status DoUpdate(const void* key, const void* value, UpdateFlag flag) override {
+  uint32_t Size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  MapRuntimeStats RuntimeStats() const override {
+    MapRuntimeStats stats;
+    stats.occupancy = size_.load(std::memory_order_relaxed);
+    stats.max_probe_len = max_probe_groups_.load(std::memory_order_relaxed);
+    stats.tombstones = tombstones_.load(std::memory_order_relaxed);
+    stats.epoch_lag = epoch::Domain::Global().Lag();
+    return stats;
+  }
+
+  void Visit(const VisitFn& fn) override {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    for (size_t slot = 0; slot < slots_; ++slot) {
+      if (IsFull(GetCtrl(slot))) {
+        fn(KeyPtr(slot), ValuePtr(slot));
+      }
+    }
+  }
+
+  // Total slot capacity (tests assert the clamp; benches size scenarios).
+  uint64_t slot_count() const { return slots_; }
+
+  // The slot table stops doubling at 2^22 slots (2^18 groups). Specs past
+  // the clamp (> 2^21 max_entries) still work but run at higher load
+  // factor with longer probes; the constructor reports the clamp instead
+  // of degrading quietly.
+  static constexpr uint64_t kMaxSlots = uint64_t{1} << 22;
+
+ protected:
+  void* DoLookup(const void* key) override {
+    return FindValue(key, HashKey(key));
+  }
+
+  // Software-pipelined batch probe: hash and prefetch run kPipe keys ahead
+  // of the probe loop, so the control-group cache miss of key j+kPipe
+  // overlaps the tag/key compares of key j. This is the miss-path
+  // amortization DispatchBatch rides: one batch walks n independent probe
+  // chains with their memory latencies stacked, not serialized.
+  void DoLookupBatch(uint32_t n, const void* keys, void** out) override {
+    const auto* kb = static_cast<const uint8_t*>(keys);
+    const size_t ks = spec().key_size;
+    constexpr uint32_t kPipe = 8;
+    uint64_t hashes[kPipe];
+    const uint32_t lead = n < kPipe ? n : kPipe;
+    for (uint32_t i = 0; i < lead; ++i) {
+      hashes[i] = HashKey(kb + i * ks);
+      PrefetchGroup(hashes[i]);
+    }
+    for (uint32_t j = 0; j < n; ++j) {
+      // Consume slot j before the look-ahead reuses it: the ring is
+      // exactly kPipe deep, so hashes[(j + kPipe) % kPipe] IS hashes[j].
+      const uint64_t hash = hashes[j % kPipe];
+      const uint32_t ahead = j + kPipe;
+      if (ahead < n) {
+        hashes[ahead % kPipe] = HashKey(kb + ahead * ks);
+        PrefetchGroup(hashes[ahead % kPipe]);
+      }
+      out[j] = FindValue(kb + j * ks, hash);
+    }
+  }
+
+  Status DoUpdate(const void* key, const void* value,
+                  UpdateFlag flag) override {
     const uint64_t hash = HashKey(key);
-    Bucket& bucket = BucketFor(hash);
-    std::unique_lock<std::shared_mutex> lock(bucket.mu);
-    Node* node = FindLocked(bucket, key, hash);
-    if (node != nullptr) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const WriteProbe probe = ProbeForWrite(key, hash);
+    if (probe.existing != kNpos) {
       if (flag == UpdateFlag::kNoExist) {
         return AlreadyExistsError("key already present");
       }
-      std::memcpy(node->value.get(), value, spec().value_size);
+      StoreValueInPlace(ValuePtr(probe.existing), value);
       return OkStatus();
     }
     if (flag == UpdateFlag::kExist) {
@@ -55,102 +188,453 @@ class HashMap : public Map {
     if (size_.load(std::memory_order_relaxed) >= spec().max_entries) {
       return ResourceExhaustedError("map full");
     }
-    auto fresh = std::make_unique<Node>();
-    fresh->hash = hash;
-    fresh->key.assign(static_cast<const uint8_t*>(key),
-                      static_cast<const uint8_t*>(key) + spec().key_size);
-    fresh->value = std::make_unique<uint8_t[]>(spec().value_size);
-    std::memcpy(fresh->value.get(), value, spec().value_size);
-    fresh->next = std::move(bucket.head);
-    bucket.head = std::move(fresh);
+    if (probe.insert == kNpos) {
+      // Only reachable on clamped tables where every probeable slot is
+      // live or an unreclaimable tombstone (a pinned reader holds the
+      // epoch back). Capacity itself was checked above.
+      return ResourceExhaustedError(
+          "map slots saturated (clamped table, tombstones pinned by "
+          "readers)");
+    }
+    if (probe.groups_probed >
+        max_probe_groups_.load(std::memory_order_relaxed)) {
+      max_probe_groups_.store(probe.groups_probed,
+                              std::memory_order_relaxed);
+    }
+    const size_t slot = probe.insert;
+    const bool reused_tombstone = GetCtrl(slot) == kDeleted;
+    uint32_t cell = 0;
+    if (!inline_values_) {
+      cell = AllocCell();
+    }
+    const size_t group = GroupOf(slot);
+    BeginWrite(group);
+    StoreBytesRelaxed(KeyPtr(slot), key, spec().key_size);
+    if (inline_values_) {
+      StoreValueInPlace(InlineValuePtr(slot), value);
+    } else {
+      StoreValueInPlace(CellPtr(cell), value);
+      slot_cell_[slot].store(cell, std::memory_order_relaxed);
+    }
+    SetCtrl(slot, H2(hash));
+    EndWrite(group);
     size_.fetch_add(1, std::memory_order_relaxed);
+    if (reused_tombstone) {
+      tombstones_.fetch_sub(1, std::memory_order_relaxed);
+    }
     return OkStatus();
   }
 
   Status DoDelete(const void* key) override {
     const uint64_t hash = HashKey(key);
-    Bucket& bucket = BucketFor(hash);
-    std::unique_lock<std::shared_mutex> lock(bucket.mu);
-    std::unique_ptr<Node>* link = &bucket.head;
-    while (*link != nullptr) {
-      if ((*link)->hash == hash &&
-          std::memcmp((*link)->key.data(), key, spec().key_size) == 0) {
-        *link = std::move((*link)->next);
-        size_.fetch_sub(1, std::memory_order_relaxed);
-        return OkStatus();
-      }
-      link = &(*link)->next;
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const WriteProbe probe = ProbeForWrite(key, hash);
+    if (probe.existing == kNpos) {
+      return NotFoundError("key absent");
     }
-    return NotFoundError("key absent");
-  }
-
-  uint32_t Size() const override {
-    return size_.load(std::memory_order_relaxed);
-  }
-
-  uint32_t bucket_count() const { return bucket_count_; }
-
-  void Visit(const VisitFn& fn) override {
-    for (Bucket& bucket : buckets_) {
-      std::unique_lock<std::shared_mutex> lock(bucket.mu);
-      for (Node* node = bucket.head.get(); node != nullptr;
-           node = node->next.get()) {
-        fn(node->key.data(), node->value.get());
-      }
+    const size_t slot = probe.existing;
+    if (retire_epochs_.empty()) {
+      retire_epochs_.assign(slots_, 0);
     }
+    const size_t group = GroupOf(slot);
+    BeginWrite(group);
+    SetCtrl(slot, kDeleted);
+    EndWrite(group);
+    // Advance AFTER the tombstone is published: the fetch_add is a full
+    // fence, so any reader whose pin observes the advanced epoch (the
+    // value this RMW created, or later) also sees the tombstone. Readers
+    // pinned at strictly older epochs are caught by the MinPinned() scan.
+    const uint64_t retire_epoch = epoch::Domain::Global().Advance();
+    retire_epochs_[slot] = retire_epoch;
+    if (!inline_values_) {
+      retired_cells_.emplace_back(
+          slot_cell_[slot].load(std::memory_order_relaxed), retire_epoch);
+    }
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    tombstones_.fetch_add(1, std::memory_order_relaxed);
+    return OkStatus();
   }
 
  private:
-  struct Node {
-    // Full FNV-1a hash of `key`, computed once at insert. Chain walks
-    // compare it before touching key bytes: a 64-bit mismatch rejects
-    // non-matching nodes without a memcmp, so collision chains cost one
-    // integer compare per wrong node for keys of any size.
-    uint64_t hash = 0;
-    std::vector<uint8_t> key;
-    std::unique_ptr<uint8_t[]> value;
-    std::unique_ptr<Node> next;
+  static constexpr size_t kGroupWidth = 16;
+  static constexpr uint8_t kEmpty = 0x80;
+  static constexpr uint8_t kDeleted = 0xFE;
+  static constexpr size_t kNpos = ~size_t{0};
+  static constexpr uint32_t kInlineValueBytes = 16;
+  static constexpr uint32_t kCellsPerChunk = 1024;
+
+  struct GroupBits {
+    uint32_t match = 0;
+    uint32_t empty = 0;
   };
 
-  struct Bucket {
-    std::shared_mutex mu;
-    std::unique_ptr<Node> head;
+  struct WriteProbe {
+    size_t existing = kNpos;
+    size_t insert = kNpos;
+    uint64_t groups_probed = 0;
   };
 
-  // 64-bit on purpose: max_entries is a u32, so `2 * max_entries` computed
-  // in u32 wraps for specs of 2^31 entries and beyond, collapsing the
-  // table to a single bucket (every operation then contends on one lock
-  // and walks one chain). The cap bounds memory for absurd specs.
-  static uint32_t NextPow2(uint64_t n) {
-    uint64_t p = 1;
-    while (p < n && p < (1u << 20)) {
-      p <<= 1;
-    }
-    return static_cast<uint32_t>(p);
+  static uint32_t RoundUp8(uint32_t n) { return (n + 7u) & ~7u; }
+  static bool IsFull(uint8_t ctrl) { return (ctrl & 0x80u) == 0; }
+  static uint8_t H2(uint64_t hash) {
+    return static_cast<uint8_t>(hash & 0x7Fu);
   }
+  static size_t GroupOf(size_t slot) { return slot / kGroupWidth; }
+
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+
+  size_t NumGroups() const { return slots_ / kGroupWidth; }
 
   uint64_t HashKey(const void* key) const {
-    return Fnv1a64(key, spec().key_size);
+    const uint32_t n = spec().key_size;
+    if (n == sizeof(uint32_t) || n == sizeof(uint64_t)) {
+      uint64_t k = 0;
+      std::memcpy(&k, key, n);
+      return Mix64(k);
+    }
+    return Fnv1a64(key, n);
   }
 
-  Bucket& BucketFor(uint64_t hash) {
-    return buckets_[hash & (bucket_count_ - 1)];
+  size_t HomeGroup(uint64_t hash) const {
+    return (hash >> 7) & group_mask_;
   }
 
-  Node* FindLocked(Bucket& bucket, const void* key, uint64_t hash) {
-    for (Node* node = bucket.head.get(); node != nullptr;
-         node = node->next.get()) {
-      if (node->hash == hash &&
-          std::memcmp(node->key.data(), key, spec().key_size) == 0) {
-        return node;
+  // --- shared-array accessors (readers race writers; see file comment) ---
+
+  uint8_t GetCtrl(size_t slot) const {
+    return std::atomic_ref<uint8_t>(ctrl_[slot])
+        .load(std::memory_order_relaxed);
+  }
+  void SetCtrl(size_t slot, uint8_t v) {
+    std::atomic_ref<uint8_t>(ctrl_[slot]).store(v,
+                                                std::memory_order_relaxed);
+  }
+
+  uint8_t* KeyPtr(size_t slot) const {
+    return reinterpret_cast<uint8_t*>(keys_.get()) + slot * key_stride_;
+  }
+  uint8_t* InlineValuePtr(size_t slot) const {
+    return reinterpret_cast<uint8_t*>(values_.get()) + slot * value_stride_;
+  }
+  uint8_t* CellPtr(uint32_t cell) const {
+    return reinterpret_cast<uint8_t*>(chunks_[cell / kCellsPerChunk].get()) +
+           static_cast<size_t>(cell % kCellsPerChunk) * value_stride_;
+  }
+  uint8_t* ValuePtr(size_t slot) const {
+    if (inline_values_) {
+      return InlineValuePtr(slot);
+    }
+    return CellPtr(slot_cell_[slot].load(std::memory_order_relaxed));
+  }
+
+  // Relaxed-atomic byte copy: 8-byte chunks where alignment and size
+  // allow, per-byte for the tail. Used for every store into slot storage
+  // a racing reader may scan; relaxed atomic stores compile to the same
+  // plain moves as memcpy, so this costs nothing over a memcpy while
+  // keeping the protocol expressible to TSan.
+  static void StoreBytesRelaxed(void* dst, const void* src, size_t n) {
+    auto* d = static_cast<uint8_t*>(dst);
+    const auto* s = static_cast<const uint8_t*>(src);
+    size_t i = 0;
+    if (reinterpret_cast<uintptr_t>(d) % 8 == 0) {
+      for (; i + 8 <= n; i += 8) {
+        uint64_t word;
+        std::memcpy(&word, s + i, 8);
+        std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(d + i))
+            .store(word, std::memory_order_relaxed);
       }
+    }
+    for (; i < n; ++i) {
+      std::atomic_ref<uint8_t>(d[i]).store(s[i], std::memory_order_relaxed);
+    }
+  }
+
+  // In-place value store on (possibly live) storage. u64 values take one
+  // atomic store so readers doing AtomicLoad never see a torn value;
+  // wider values are chunk-wise relaxed (callers of multi-word values
+  // coordinate content consistency themselves, as with eBPF map values).
+  void StoreValueInPlace(uint8_t* dst, const void* value) {
+    if (spec().value_size == sizeof(uint64_t)) {
+      uint64_t v;
+      std::memcpy(&v, value, sizeof(v));
+      AtomicStore(dst, v);
+      return;
+    }
+    StoreBytesRelaxed(dst, value, spec().value_size);
+  }
+
+  // --- group scanning ----------------------------------------------------
+
+  // SWAR equal-byte detect over one 8-byte lane: high bit set per byte
+  // equal to `tag`. Can false-positive on bytes ABOVE a true match in the
+  // lane (borrow propagation) — benign here: match candidates are
+  // re-checked by key compare, and a false "empty" bit implies a true
+  // empty byte below it in the same lane, so the probe-stop verdict holds.
+  static uint64_t MatchBytes(uint64_t lane, uint8_t tag) {
+    const uint64_t pattern = 0x0101010101010101ULL * tag;
+    const uint64_t x = lane ^ pattern;
+    return (x - 0x0101010101010101ULL) & ~x & 0x8080808080808080ULL;
+  }
+  static uint32_t Mask8(uint64_t marked, int base) {
+    uint32_t bits = 0;
+    while (marked != 0) {
+      bits |= 1u << (base + (std::countr_zero(marked) >> 3));
+      marked &= marked - 1;
+    }
+    return bits;
+  }
+
+  GroupBits ScanGroup(size_t group, uint8_t tag) const {
+    const uint8_t* base = ctrl_.get() + group * kGroupWidth;
+    GroupBits out;
+#if defined(__SSE2__) && !SYRUP_MAP_TSAN
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(base));
+    out.match = static_cast<uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(bytes, _mm_set1_epi8(static_cast<char>(tag)))));
+    out.empty = static_cast<uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(bytes, _mm_set1_epi8(static_cast<char>(kEmpty)))));
+#else
+    uint64_t lo;
+    uint64_t hi;
+#if SYRUP_MAP_TSAN
+    uint8_t snap[kGroupWidth];
+    for (size_t i = 0; i < kGroupWidth; ++i) {
+      snap[i] = std::atomic_ref<uint8_t>(const_cast<uint8_t&>(base[i]))
+                    .load(std::memory_order_relaxed);
+    }
+    std::memcpy(&lo, snap, 8);
+    std::memcpy(&hi, snap + 8, 8);
+#else
+    std::memcpy(&lo, base, 8);
+    std::memcpy(&hi, base + 8, 8);
+#endif
+    out.match = Mask8(MatchBytes(lo, tag), 0) | Mask8(MatchBytes(hi, tag), 8);
+    out.empty =
+        Mask8(MatchBytes(lo, kEmpty), 0) | Mask8(MatchBytes(hi, kEmpty), 8);
+#endif
+    return out;
+  }
+
+  bool KeyMatchesReader(size_t slot, const void* key) const {
+#if SYRUP_MAP_TSAN
+    const uint8_t* stored = KeyPtr(slot);
+    const auto* probe = static_cast<const uint8_t*>(key);
+    for (uint32_t i = 0; i < spec().key_size; ++i) {
+      const uint8_t b =
+          std::atomic_ref<uint8_t>(const_cast<uint8_t&>(stored[i]))
+              .load(std::memory_order_relaxed);
+      if (b != probe[i]) {
+        return false;
+      }
+    }
+    return true;
+#else
+    return std::memcmp(KeyPtr(slot), key, spec().key_size) == 0;
+#endif
+  }
+
+  // --- seqlock -----------------------------------------------------------
+
+  void BeginWrite(size_t group) {
+    std::atomic<uint32_t>& stamp = stamps_[group];
+#if SYRUP_MAP_TSAN
+    // TSan doesn't model thread fences; under it every slot access is an
+    // atomic in its own right, so a seq_cst stamp bump carries the
+    // ordering the fence provides in the fast build.
+    stamp.fetch_add(1, std::memory_order_seq_cst);
+#else
+    stamp.store(stamp.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    // Order the odd stamp before the slot mutations: a reader that sees
+    // any of them also sees the stamp and retries.
+    std::atomic_thread_fence(std::memory_order_release);
+#endif
+  }
+  void EndWrite(size_t group) {
+    std::atomic<uint32_t>& stamp = stamps_[group];
+    stamp.store(stamp.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  // Lock-free probe. Returns the live value pointer or nullptr; never
+  // blocks on writers (it spins only while a writer is inside the one
+  // group it is currently scanning).
+  void* FindValue(const void* key, uint64_t hash) const {
+    const uint8_t tag = H2(hash);
+    size_t group = HomeGroup(hash);
+    for (size_t probe = 0; probe <= group_mask_; ++probe) {
+      for (;;) {
+        const uint32_t s1 = stamps_[group].load(std::memory_order_acquire);
+        if ((s1 & 1u) != 0) {
+          CpuRelax();
+          continue;
+        }
+        const GroupBits bits = ScanGroup(group, tag);
+        void* found = nullptr;
+        for (uint32_t m = bits.match; m != 0; m &= m - 1) {
+          const size_t slot = group * kGroupWidth +
+                              static_cast<size_t>(std::countr_zero(m));
+          if (KeyMatchesReader(slot, key)) {
+            found = ValuePtr(slot);
+            break;
+          }
+        }
+        // Canonical seqlock validation: the acquire fence keeps the data
+        // reads above from drifting past the second stamp load. (TSan
+        // doesn't model fences; there the per-byte atomic data reads plus
+        // an acquire stamp load carry the same ordering.)
+#if SYRUP_MAP_TSAN
+        const uint32_t s2 = stamps_[group].load(std::memory_order_acquire);
+#else
+        std::atomic_thread_fence(std::memory_order_acquire);
+        const uint32_t s2 = stamps_[group].load(std::memory_order_relaxed);
+#endif
+        if (s2 != s1) {
+          continue;  // writer touched this group mid-scan: rescan
+        }
+        if (found != nullptr) {
+          return found;
+        }
+        if (bits.empty != 0) {
+          return nullptr;  // an empty slot ends every probe chain
+        }
+        break;  // stable group, no match, no empty: next group
+      }
+      group = (group + 1) & group_mask_;
     }
     return nullptr;
   }
 
-  uint32_t bucket_count_;
-  std::vector<Bucket> buckets_;
+  void PrefetchGroup(uint64_t hash) const {
+    const size_t group = HomeGroup(hash);
+    __builtin_prefetch(ctrl_.get() + group * kGroupWidth, 0, 3);
+    __builtin_prefetch(KeyPtr(group * kGroupWidth), 0, 2);
+    if (inline_values_) {
+      __builtin_prefetch(InlineValuePtr(group * kGroupWidth), 0, 1);
+    }
+  }
+
+  // --- writer-side probing (serialized by writer_mu_) --------------------
+
+  // Byte-wise on purpose: writers are the slow path, and the SWAR false
+  // positives documented on MatchBytes must not leak into the *choice* of
+  // an insert slot (inserting into a false "empty" would corrupt a live
+  // entry).
+  WriteProbe ProbeForWrite(const void* key, uint64_t hash) {
+    WriteProbe result;
+    const uint8_t tag = H2(hash);
+    size_t group = HomeGroup(hash);
+    for (size_t probe = 0; probe <= group_mask_; ++probe) {
+      result.groups_probed = probe + 1;
+      const size_t base = group * kGroupWidth;
+      for (size_t i = 0; i < kGroupWidth; ++i) {
+        const uint8_t c = GetCtrl(base + i);
+        if (c == tag &&
+            std::memcmp(KeyPtr(base + i), key, spec().key_size) == 0) {
+          result.existing = base + i;
+          return result;
+        }
+        if (c == kEmpty) {
+          // First empty ends the probe: an existing copy of the key can
+          // never live past it (slots never revert to empty, and inserts
+          // always take the first reusable slot in scan order).
+          if (result.insert == kNpos) {
+            result.insert = base + i;
+          }
+          return result;
+        }
+        if (c == kDeleted && result.insert == kNpos &&
+            ReclaimableSlot(base + i)) {
+          result.insert = base + i;
+        }
+      }
+      group = (group + 1) & group_mask_;
+    }
+    return result;
+  }
+
+  bool ReclaimableSlot(size_t slot) {
+    return !retire_epochs_.empty() && Reclaimable(retire_epochs_[slot]);
+  }
+
+  // True once no reader pinned before the retirement can remain: every
+  // pin at epoch >= retire_epoch provably saw the tombstone (the retiring
+  // Advance() is a full fence after the tombstone store), so only pins
+  // strictly below it are dangerous, and the horizon scan waits those
+  // out. The horizon is monotone, so a cached verdict never regresses —
+  // recomputation (a 128-slot scan) happens at most once per op.
+  bool Reclaimable(uint64_t retire_epoch) {
+    if (reclaim_horizon_ >= retire_epoch) {
+      return true;
+    }
+    epoch::Domain& domain = epoch::Domain::Global();
+    const uint64_t min = domain.MinPinned();
+    const uint64_t horizon =
+        min == epoch::kNoReaders ? domain.current() : min;
+    if (horizon > reclaim_horizon_) {
+      reclaim_horizon_ = horizon;
+    }
+    return reclaim_horizon_ >= retire_epoch;
+  }
+
+  // --- spilled-value slab (value_size > 16) ------------------------------
+  //
+  // Chunks are never freed or moved, so cell pointers are stable for the
+  // map's lifetime. Retired cells keep their retire metadata EXTERNAL to
+  // the cell (a deque, not freelist links written into dead cells): a
+  // stale reader may still scan the old bytes, and the old bytes must
+  // stay exactly "the old value", never a freelist pointer.
+  uint32_t AllocCell() {
+    while (!retired_cells_.empty() &&
+           Reclaimable(retired_cells_.front().second)) {
+      free_cells_.push_back(retired_cells_.front().first);
+      retired_cells_.pop_front();
+    }
+    if (!free_cells_.empty()) {
+      const uint32_t cell = free_cells_.back();
+      free_cells_.pop_back();
+      return cell;
+    }
+    if (next_cell_ == chunks_.size() * kCellsPerChunk) {
+      chunks_.push_back(std::make_unique<uint64_t[]>(
+          static_cast<size_t>(kCellsPerChunk) * cell_stride_u64_));
+    }
+    return next_cell_++;
+  }
+
+  // --- geometry (fixed at construction) ----------------------------------
+  uint64_t slots_ = 0;
+  size_t group_mask_ = 0;
+  uint32_t key_stride_ = 0;
+  uint32_t value_stride_ = 0;
+  uint32_t cell_stride_u64_ = 0;
+  bool inline_values_ = true;
+
+  // --- slot arrays (readers race writers through the seqlock) ------------
+  std::unique_ptr<uint8_t[]> ctrl_;
+  std::unique_ptr<std::atomic<uint32_t>[]> stamps_;
+  std::unique_ptr<uint64_t[]> keys_;
+  std::unique_ptr<uint64_t[]> values_;  // inline values only
+  std::unique_ptr<std::atomic<uint32_t>[]> slot_cell_;  // slab values only
+
+  // --- writer state (guarded by writer_mu_) ------------------------------
+  std::mutex writer_mu_;
+  std::vector<std::unique_ptr<uint64_t[]>> chunks_;
+  std::vector<uint32_t> free_cells_;
+  std::deque<std::pair<uint32_t, uint64_t>> retired_cells_;
+  uint32_t next_cell_ = 0;
+  std::vector<uint64_t> retire_epochs_;  // sized lazily on first delete
+  uint64_t reclaim_horizon_ = 0;
+
+  // --- stats (relaxed; written under writer_mu_, read anywhere) ----------
   std::atomic<uint32_t> size_{0};
+  std::atomic<uint64_t> tombstones_{0};
+  std::atomic<uint64_t> max_probe_groups_{0};
 };
 
 }  // namespace syrup

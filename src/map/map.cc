@@ -1,10 +1,28 @@
 #include "src/map/map.h"
 
+#include <atomic>
+#include <cstdlib>
+
+#include "src/common/logging.h"
 #include "src/map/array_map.h"
+#include "src/map/chained_hash_map.h"
 #include "src/map/hash_map.h"
 #include "src/map/prog_array.h"
 
 namespace syrup {
+
+void Map::NoteBucketClamp(uint64_t clamped_to) {
+  counters_.bucket_clamp->IncAtomic();
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    SYRUP_LOG(Warning) << "hash map '" << spec_.name << "' ("
+                       << spec_.max_entries
+                       << " max_entries) exceeds the table clamp; sized at "
+                       << clamped_to
+                       << " slots — expect longer probes under load "
+                          "(map.bucket_clamp counts affected maps)";
+  }
+}
 
 std::string_view MapTypeName(MapType type) {
   switch (type) {
@@ -33,8 +51,16 @@ StatusOr<std::shared_ptr<Map>> CreateMap(const MapSpec& spec) {
         return InvalidArgumentError("array map keys must be u32");
       }
       return std::shared_ptr<Map>(std::make_shared<ArrayMap>(spec));
-    case MapType::kHash:
+    case MapType::kHash: {
+      // Oracle mode (same pattern as SimEngine::kReference): the retained
+      // chained implementation stands in for the swiss table so whole
+      // suites can be diffed against the old semantics.
+      const char* ref = std::getenv("SYRUP_MAP_REFERENCE");
+      if (ref != nullptr && ref[0] == '1') {
+        return std::shared_ptr<Map>(std::make_shared<ChainedHashMap>(spec));
+      }
       return std::shared_ptr<Map>(std::make_shared<HashMap>(spec));
+    }
     case MapType::kProgArray:
       if (spec.key_size != sizeof(uint32_t) ||
           spec.value_size != sizeof(uint64_t)) {

@@ -31,6 +31,10 @@ struct MapOpCounters {
   std::shared_ptr<obs::Counter> misses;
   std::shared_ptr<obs::Counter> updates;
   std::shared_ptr<obs::Counter> deletes;
+  // Bumped once at construction when the spec's requested table size
+  // exceeded the implementation's bucket/slot clamp (the map still works,
+  // with degraded probe behavior; the cell makes the degradation visible).
+  std::shared_ptr<obs::Counter> bucket_clamp;
 
   static MapOpCounters Detached() {
     MapOpCounters c;
@@ -38,6 +42,7 @@ struct MapOpCounters {
     c.misses = std::make_shared<obs::Counter>();
     c.updates = std::make_shared<obs::Counter>();
     c.deletes = std::make_shared<obs::Counter>();
+    c.bucket_clamp = std::make_shared<obs::Counter>();
     return c;
   }
 
@@ -49,8 +54,21 @@ struct MapOpCounters {
     c.misses = registry.GetCounter(app, "map", map_name + ".misses");
     c.updates = registry.GetCounter(app, "map", map_name + ".updates");
     c.deletes = registry.GetCounter(app, "map", map_name + ".deletes");
+    c.bucket_clamp =
+        registry.GetCounter(app, "map", map_name + ".bucket_clamp");
     return c;
   }
+};
+
+// Point-in-time internals a map exposes for the per-map observability
+// gauges (map.{occupancy,max_probe_len,tombstones,epoch_lag}); Syrupd
+// refreshes them into the MetricsRegistry on every StatsSnapshot(). Only
+// the swiss-table HashMap fills all four; other maps report occupancy.
+struct MapRuntimeStats {
+  uint64_t occupancy = 0;      // live entries
+  uint64_t max_probe_len = 0;  // worst insert probe distance seen (groups)
+  uint64_t tombstones = 0;     // deleted slots awaiting epoch-gated reuse
+  uint64_t epoch_lag = 0;      // global epoch minus slowest pinned reader
 };
 
 enum class MapType {
@@ -114,6 +132,50 @@ class Map {
     return value;
   }
 
+  // Batched lookup: out[i] = value pointer for keys[i] (nullptr on miss).
+  // `keys` is n contiguous keys of spec().key_size bytes each. Equivalent
+  // to n Lookup() calls — same pointers, same counter accounting — but
+  // implementations overlap hashing, probing, and memory prefetch across
+  // the batch (HashMap software-pipelines it), which is what
+  // Syrupd::DispatchBatch rides on flow-cache misses.
+  void LookupBatch(uint32_t n, const void* keys, void** out) {
+    counters_.lookups->IncAtomic(n);
+    DoLookupBatch(n, keys, out);
+    uint64_t miss = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      miss += out[i] == nullptr ? 1 : 0;
+    }
+    if (miss != 0) {
+      counters_.misses->IncAtomic(miss);
+    }
+  }
+
+  // The VM helper flavor (map_lookup_batch): copies each hit's u64 value
+  // into out[i] (misses write 0) and returns the hit bitmap (bit i set =
+  // keys[i] present). Only valid for value_size == 8 maps — the verifier
+  // enforces that, this entry point just trusts it. Values are read with
+  // the same relaxed-atomic load the policies use through Lookup pointers.
+  uint64_t LookupBatchU64(uint32_t n, const void* keys, uint64_t* out) {
+    void* ptrs[kMaxLookupBatch];
+    n = n <= kMaxLookupBatch ? n : kMaxLookupBatch;
+    LookupBatch(n, keys, ptrs);
+    uint64_t hits = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (ptrs[i] != nullptr) {
+        hits |= uint64_t{1} << i;
+        out[i] = AtomicLoad(ptrs[i]);
+      } else {
+        out[i] = 0;
+      }
+    }
+    return hits;
+  }
+
+  // Largest batch the VM helper accepts; bounds the helper's stack needs
+  // (n keys + n u64 results must fit the 512-byte VM frame) and keeps the
+  // hit bitmap in the low half of r0.
+  static constexpr uint32_t kMaxLookupBatch = 32;
+
   Status Update(const void* key, const void* value, UpdateFlag flag) {
     counters_.updates->IncAtomic();
     Status status = DoUpdate(key, value, flag);
@@ -159,6 +221,7 @@ class Map {
     cells.misses->IncAtomic(counters_.misses->Load());
     cells.updates->IncAtomic(counters_.updates->Load());
     cells.deletes->IncAtomic(counters_.deletes->Load());
+    cells.bucket_clamp->IncAtomic(counters_.bucket_clamp->Load());
     counters_ = cells;
   }
 
@@ -166,6 +229,14 @@ class Map {
 
   // Number of live entries (array maps: max_entries, all preallocated).
   virtual uint32_t Size() const = 0;
+
+  // Internals snapshot for the observability gauges; cheap enough to call
+  // on every StatsSnapshot().
+  virtual MapRuntimeStats RuntimeStats() const {
+    MapRuntimeStats stats;
+    stats.occupancy = Size();
+    return stats;
+  }
 
   // Invokes fn(key, value) for every live entry (bpftool-style iteration
   // for introspection). Hash maps hold the bucket lock during each call:
@@ -222,6 +293,21 @@ class Map {
   virtual Status DoUpdate(const void* key, const void* value,
                           UpdateFlag flag) = 0;
   virtual Status DoDelete(const void* key) = 0;
+
+  // Default batched lookup: the sequential loop. HashMap overrides with a
+  // hash/probe/prefetch software pipeline.
+  virtual void DoLookupBatch(uint32_t n, const void* keys, void** out) {
+    const auto* k = static_cast<const uint8_t*>(keys);
+    for (uint32_t i = 0; i < n; ++i) {
+      out[i] = DoLookup(k + static_cast<size_t>(i) * spec_.key_size);
+    }
+  }
+
+  // Records that this map's table size was clamped below what the spec
+  // asked for: one warning per process (not per map — a fleet of clamped
+  // maps should not spam the log) plus a per-map counter the registry
+  // surfaces as "<name>.bucket_clamp". Defined in map.cc for the logger.
+  void NoteBucketClamp(uint64_t clamped_to);
 
  private:
   MapSpec spec_;

@@ -169,6 +169,65 @@ pass:
 
 std::string LeastLoadedPolicyAsm(uint32_t num_executors,
                                  const std::string& load_map_path) {
+  // Batch variant: one map_lookup_batch call reads every load register,
+  // then an unrolled scan picks the minimum from the copied-out values on
+  // the stack. The verifier demands a constant batch count, so the scan is
+  // generated unrolled per executor; fleets above kMaxLookupBatch fall
+  // back to the per-key loop below.
+  if (num_executors >= 1 && num_executors <= Map::kMaxLookupBatch) {
+    const uint32_t n = num_executors;
+    // Stack frame: out values at [r10-256, r10-256+8n), keys below them at
+    // [r10-(256+4n), r10-256).
+    const int out_base = -256;
+    const int key_base = out_base - static_cast<int>(4 * n);
+    std::string s;
+    s += ".name least_loaded\n.ctx packet\n.extern_map load ";
+    s += load_map_path;
+    s += "\n";
+    for (uint32_t i = 0; i < n; ++i) {
+      s += "  stw [r10" + std::to_string(key_base + static_cast<int>(4 * i)) +
+           "], " + std::to_string(i) + "\n";
+    }
+    s += "  ldmapfd r1, load\n";
+    s += "  mov r2, r10\n  add r2, " + std::to_string(key_base) + "\n";
+    s += "  mov r3, r10\n  add r3, " + std::to_string(out_base) + "\n";
+    s += "  mov r4, " + std::to_string(n) + "\n";
+    s += "  call map_lookup_batch\n";
+    // All registers present iff the hit bitmap is full; any miss defers to
+    // the default policy, as the per-key loop does.
+    s += "  mov r1, 1\n  lsh r1, " + std::to_string(n) + "\n  sub r1, 1\n";
+    s += "  jeq r0, r1, have_all\n  mov r0, PASS\n  exit\nhave_all:\n";
+    // Two passes over the copied-out values (stable: they're a private
+    // stack snapshot). Pass 1 folds only the minimum VALUE — after the
+    // first load both branch arms leave r8 unknown, so the verifier's
+    // pruning collapses the states and exploration stays linear. A
+    // single-pass scan tracking (index, value) pairs never merges and
+    // explodes to 2^n paths.
+    auto out_at = [&](uint32_t i) {
+      return "[r10" + std::to_string(out_base + static_cast<int>(8 * i)) +
+             "]";
+    };
+    s += "  ldxdw r8, " + out_at(0) + "\n";
+    for (uint32_t i = 1; i < n; ++i) {
+      const std::string skip = "skip" + std::to_string(i);
+      s += "  ldxdw r9, " + out_at(i) + "\n";
+      s += "  jle r8, r9, " + skip + "\n";
+      s += "  mov r8, r9\n";
+      s += skip + ":\n";
+    }
+    // Pass 2: first index holding the minimum (ties toward the lowest
+    // index, as the native policy breaks them). Each miss falls through
+    // with an unchanged state; each hit exits directly.
+    for (uint32_t i = 0; i + 1 < n; ++i) {
+      const std::string next = "next" + std::to_string(i);
+      s += "  ldxdw r9, " + out_at(i) + "\n";
+      s += "  jne r9, r8, " + next + "\n";
+      s += "  mov r0, " + std::to_string(i) + "\n  exit\n";
+      s += next + ":\n";
+    }
+    s += "  mov r0, " + std::to_string(n - 1) + "\n  exit\n";
+    return s;
+  }
   constexpr char kTemplate[] = R"(
 .name least_loaded
 .ctx packet
@@ -204,6 +263,9 @@ done:
 
 std::string PowerOfTwoPolicyAsm(uint32_t num_executors,
                                 const std::string& load_map_path) {
+  // Both candidates' loads come back from one map_lookup_batch call (keys
+  // packed at [r10-24, r10-16), values copied out to [r10-16, r10)); a
+  // full hit bitmap (3) is required, any miss defers to the default.
   constexpr char kTemplate[] = R"(
 .name power_of_two
 .ctx packet
@@ -214,20 +276,18 @@ std::string PowerOfTwoPolicyAsm(uint32_t num_executors,
   call get_prandom_u32
   mov r7, r0
   mod r7, %N%          ; candidate b
-  stxw [r10-4], r6
+  stxw [r10-24], r6
+  stxw [r10-20], r7
   ldmapfd r1, load
   mov r2, r10
-  add r2, -4
-  call map_lookup_elem
-  jeq r0, 0, pass
-  ldxdw r8, [r0+0]
-  stxw [r10-4], r7
-  ldmapfd r1, load
-  mov r2, r10
-  add r2, -4
-  call map_lookup_elem
-  jeq r0, 0, pass
-  ldxdw r9, [r0+0]
+  add r2, -24
+  mov r3, r10
+  add r3, -16
+  mov r4, 2
+  call map_lookup_batch
+  jne r0, 3, pass
+  ldxdw r8, [r10-16]   ; load of a
+  ldxdw r9, [r10-8]    ; load of b
   jlt r9, r8, pick_b
   mov r0, r6
   exit

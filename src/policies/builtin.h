@@ -199,15 +199,28 @@ class LeastLoadedPolicy : public PacketPolicy {
   Decision Schedule(const PacketView&) override {
     uint32_t best = 0;
     uint64_t best_load = ~uint64_t{0};
-    for (uint32_t i = 0; i < n_; ++i) {
-      void* counter = load_->Lookup(&i);
-      if (counter == nullptr) {
-        return kPass;
+    // Batched scan: one LookupBatch per ≤32 registers pipelines the hash
+    // probes instead of serializing n dependent lookups. Same pointers,
+    // same counter accounting, same decisions as the per-key loop.
+    for (uint32_t base = 0; base < n_; base += Map::kMaxLookupBatch) {
+      const uint32_t count = n_ - base < Map::kMaxLookupBatch
+                                 ? n_ - base
+                                 : Map::kMaxLookupBatch;
+      uint32_t keys[Map::kMaxLookupBatch];
+      void* counters[Map::kMaxLookupBatch];
+      for (uint32_t i = 0; i < count; ++i) {
+        keys[i] = base + i;
       }
-      const uint64_t load = Map::AtomicLoad(counter);
-      if (load < best_load) {
-        best_load = load;
-        best = i;
+      load_->LookupBatch(count, keys, counters);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (counters[i] == nullptr) {
+          return kPass;
+        }
+        const uint64_t load = Map::AtomicLoad(counters[i]);
+        if (load < best_load) {
+          best_load = load;
+          best = base + i;
+        }
       }
     }
     return best;
@@ -237,14 +250,14 @@ class PowerOfTwoPolicy : public PacketPolicy {
         random_(std::move(random)) {}
 
   Decision Schedule(const PacketView&) override {
-    const uint32_t a = random_() % n_;
-    const uint32_t b = random_() % n_;
-    void* load_a = load_->Lookup(&a);
-    void* load_b = load_->Lookup(&b);
-    if (load_a == nullptr || load_b == nullptr) {
+    const uint32_t keys[2] = {random_() % n_, random_() % n_};
+    void* loads[2];
+    load_->LookupBatch(2, keys, loads);
+    if (loads[0] == nullptr || loads[1] == nullptr) {
       return kPass;
     }
-    return Map::AtomicLoad(load_b) < Map::AtomicLoad(load_a) ? b : a;
+    return Map::AtomicLoad(loads[1]) < Map::AtomicLoad(loads[0]) ? keys[1]
+                                                                 : keys[0];
   }
 
   std::string_view name() const override { return "power_of_two"; }

@@ -725,6 +725,155 @@ TEST(VerifierPruning, DoesNotPruneStatesWithLiveDifferences) {
   EXPECT_EQ(stats.pruned_states, 0u);
 }
 
+// --- map_lookup_batch --------------------------------------------------------
+
+TEST(Verifier, AcceptsMapLookupBatch) {
+  EXPECT_TRUE(VerifyPacket(R"(
+.map m hash 4 8 8
+  stw [r10-24], 0
+  stw [r10-20], 1
+  ldmapfd r1, m
+  mov r2, r10
+  add r2, -24
+  mov r3, r10
+  add r3, -16
+  mov r4, 2
+  call map_lookup_batch
+  ldxdw r5, [r10-16]   ; the helper initialized the out span
+  ldxdw r6, [r10-8]
+  mov r0, PASS
+  exit
+)")
+                  .ok());
+}
+
+TEST(Verifier, BatchRejectsNonConstantCount) {
+  EXPECT_TRUE(Rejects(R"(
+.map m hash 4 8 8
+  stw [r10-24], 0
+  stw [r10-20], 1
+  call get_prandom_u32
+  mov r4, r0
+  and r4, 1
+  add r4, 1
+  ldmapfd r1, m
+  mov r2, r10
+  add r2, -24
+  mov r3, r10
+  add r3, -16
+  call map_lookup_batch
+  mov r0, PASS
+  exit
+)",
+                      "known constant"));
+}
+
+TEST(Verifier, BatchRejectsCountOutOfRange) {
+  EXPECT_TRUE(Rejects(R"(
+.map m hash 4 8 8
+  stw [r10-8], 0
+  ldmapfd r1, m
+  mov r2, r10
+  add r2, -8
+  mov r3, r10
+  add r3, -4
+  mov r4, 0
+  call map_lookup_batch
+  mov r0, PASS
+  exit
+)",
+                      "count must be 1.."));
+  EXPECT_TRUE(Rejects(R"(
+.map m hash 4 8 64
+  ldmapfd r1, m
+  mov r2, r10
+  add r2, -384
+  mov r3, r10
+  add r3, -264
+  mov r4, 33
+  call map_lookup_batch
+  mov r0, PASS
+  exit
+)",
+                      "count must be 1.."));
+}
+
+TEST(Verifier, BatchRejectsWideValueMap) {
+  EXPECT_TRUE(Rejects(R"(
+.map m hash 4 16 8
+  stw [r10-16], 0
+  ldmapfd r1, m
+  mov r2, r10
+  add r2, -16
+  mov r3, r10
+  add r3, -8
+  mov r4, 1
+  call map_lookup_batch
+  mov r0, PASS
+  exit
+)",
+                      "value_size"));
+}
+
+TEST(Verifier, BatchRejectsUninitializedKeySpan) {
+  // Two keys declared but only one stored: the second key's 4 bytes are
+  // uninitialized stack.
+  EXPECT_TRUE(Rejects(R"(
+.map m hash 4 8 8
+  stw [r10-24], 0
+  ldmapfd r1, m
+  mov r2, r10
+  add r2, -24
+  mov r3, r10
+  add r3, -16
+  mov r4, 2
+  call map_lookup_batch
+  mov r0, PASS
+  exit
+)",
+                      "uninitialized"));
+}
+
+TEST(Verifier, BatchRejectsOutSpanOverflowingFrame) {
+  // out needs 2*8 bytes but sits 8 bytes below the frame top: the span
+  // would extend past r10.
+  EXPECT_TRUE(Rejects(R"(
+.map m hash 4 8 8
+  stw [r10-24], 0
+  stw [r10-20], 1
+  ldmapfd r1, m
+  mov r2, r10
+  add r2, -24
+  mov r3, r10
+  add r3, -8
+  mov r4, 2
+  call map_lookup_batch
+  mov r0, PASS
+  exit
+)",
+                      "stack"));
+}
+
+TEST(Verifier, BatchHitBitmapRangeIsKnown) {
+  // r0 after a batch of 2 is the hit bitmap in [0, 3]; using it directly
+  // as the decision must verify (bounded executor index), which only
+  // works if the verifier tracks the range.
+  EXPECT_TRUE(VerifyPacket(R"(
+.map m hash 4 8 8
+  stw [r10-24], 0
+  stw [r10-20], 1
+  ldmapfd r1, m
+  mov r2, r10
+  add r2, -24
+  mov r3, r10
+  add r3, -16
+  mov r4, 2
+  call map_lookup_batch
+  exit
+)")
+                  .ok());
+}
+
 TEST(VerifierPruning, CutsVisitedInsnsOnBranchiestBuiltin) {
   // The acceptance bar from the issue: a measurable visited_insns drop on
   // the branchiest shipped policy (least-loaded scans every executor with

@@ -174,9 +174,12 @@ TEST(DispatchBatch, UncacheableStatefulPolicyMatchesSingleOnAllHooks) {
 }
 
 TEST(DispatchBatch, MapReadingPolicyWithChurnMatchesSingle) {
-  // least_loaded reads the pinned load map; chunk-boundary updates force
-  // invalidations at identical packet indices on both sides.
-  for (Hook hook : {Hook::kXdpOffload, Hook::kSocketSelect}) {
+  // least_loaded reads the pinned load map through map_lookup_batch (its
+  // asm twin batches the whole register scan); chunk-boundary updates
+  // force invalidations at identical packet indices on both sides. All
+  // packet hooks: the batched miss path must stay bit-identical to
+  // single-packet dispatch everywhere.
+  for (Hook hook : kPacketHooks) {
     RunDifferential(hook, LeastLoadedPolicyAsm(6, "/syrup/a/load"),
                     /*with_load_map=*/true, 3);
   }

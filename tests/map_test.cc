@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/map/array_map.h"
+#include "src/map/chained_hash_map.h"
 #include "src/map/hash_map.h"
 #include "src/map/map.h"
 #include "src/map/offload_proxy.h"
@@ -363,21 +364,33 @@ TEST(HashMap, ConcurrentInsertsAreSafe) {
   }
 }
 
-// Regression: the bucket count used to be computed as NextPow2 of the u32
+// Regression: table sizing used to be computed as NextPow2 of the u32
 // product `max_entries * 2`, which wraps to 0 for max_entries >= 2^31 and
 // collapsed the table to a single bucket. Sizing must be monotonic in
-// max_entries up to the cap.
-TEST(HashMap, HugeMaxEntriesStillShardsBuckets) {
+// max_entries up to the cap — and hitting the cap must be *reported*, not
+// silent: the constructor bumps the per-map bucket_clamp counter.
+TEST(HashMap, HugeMaxEntriesClampIsCountedNotSilent) {
   HashMap huge(HashSpec(1u << 31));
   HashMap small(HashSpec(64));
-  EXPECT_GE(huge.bucket_count(), small.bucket_count());
-  EXPECT_EQ(huge.bucket_count(), 1u << 20);  // sizing cap, not 1
+  EXPECT_GE(huge.slot_count(), small.slot_count());
+  EXPECT_EQ(huge.slot_count(), HashMap::kMaxSlots);  // sizing cap, not 1
+  EXPECT_EQ(huge.op_counters().bucket_clamp->Load(), 1u);
+  EXPECT_EQ(small.op_counters().bucket_clamp->Load(), 0u);
   // And the degenerate pre-fix behavior — every key in one chain — stays
-  // gone: distinct keys land in distinct buckets at least once.
+  // gone: distinct keys stay retrievable.
   ASSERT_TRUE(huge.UpdateU64(1, 10).ok());
   ASSERT_TRUE(huge.UpdateU64(2, 20).ok());
   EXPECT_EQ(huge.LookupU64(1).value(), 10u);
   EXPECT_EQ(huge.LookupU64(2).value(), 20u);
+}
+
+// Same clamp reporting on the retained chained oracle (2^20 buckets).
+TEST(ChainedHashMap, BucketClampIsCounted) {
+  ChainedHashMap huge(HashSpec(1u << 31));
+  EXPECT_EQ(huge.bucket_count(), 1u << 20);
+  EXPECT_EQ(huge.op_counters().bucket_clamp->Load(), 1u);
+  ASSERT_TRUE(huge.UpdateU64(1, 10).ok());
+  EXPECT_EQ(huge.LookupU64(1).value(), 10u);
 }
 
 TEST(HashMap, ConcurrentReadersDontBlockEachOther) {
@@ -637,6 +650,177 @@ TEST(MapVisit, VisitCanMutateValuesInPlace) {
   for (uint32_t key = 0; key < 3; ++key) {
     EXPECT_EQ(map.LookupU64(key).value(), 5u);
   }
+}
+
+// --- swiss-table vs chained differential -------------------------------------
+// The retained ChainedHashMap is the oracle (SimEngine::kReference
+// pattern): a long randomized op stream — insert/overwrite/flagged
+// update/delete/lookup — must produce byte-identical results on both
+// implementations at every step, across key sizes, value sizes (inline
+// and slab), and Visit/Size shapes.
+
+// Deterministic xorshift so failures replay.
+class DiffRng {
+ public:
+  explicit DiffRng(uint64_t seed) : state_(seed | 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+void RunDifferential(uint32_t key_size, uint32_t value_size, uint64_t seed) {
+  SCOPED_TRACE("key_size=" + std::to_string(key_size) +
+               " value_size=" + std::to_string(value_size) +
+               " seed=" + std::to_string(seed));
+  constexpr uint32_t kEntries = 128;
+  constexpr int kOps = 4000;
+  HashMap subject(HashSpec(kEntries, key_size, value_size));
+  ChainedHashMap oracle(HashSpec(kEntries, key_size, value_size));
+  DiffRng rng(seed);
+
+  auto make_key = [&](uint64_t id, std::vector<uint8_t>* out) {
+    out->assign(key_size, 0);
+    for (uint32_t i = 0; i < key_size && i < 8; ++i) {
+      (*out)[i] = static_cast<uint8_t>(id >> (8 * i));
+    }
+  };
+  std::vector<uint8_t> key;
+  std::vector<uint8_t> value(value_size);
+  for (int op = 0; op < kOps; ++op) {
+    // Key universe ~2x capacity so both hit and miss paths churn.
+    make_key(rng.Next() % (2 * kEntries), &key);
+    switch (rng.Next() % 4) {
+      case 0:
+      case 1: {  // update, cycling through the three flags
+        for (uint32_t i = 0; i < value_size; ++i) {
+          value[i] = static_cast<uint8_t>(rng.Next());
+        }
+        const auto flag = static_cast<UpdateFlag>(rng.Next() % 3);
+        const Status a = subject.Update(key.data(), value.data(), flag);
+        const Status b = oracle.Update(key.data(), value.data(), flag);
+        ASSERT_EQ(a.ok(), b.ok()) << "op " << op << ": " << a.message()
+                                  << " vs " << b.message();
+        break;
+      }
+      case 2: {  // delete
+        const Status a = subject.Delete(key.data());
+        const Status b = oracle.Delete(key.data());
+        ASSERT_EQ(a.ok(), b.ok()) << "op " << op;
+        break;
+      }
+      default: {  // lookup: same presence, same bytes
+        void* a = subject.Lookup(key.data());
+        void* b = oracle.Lookup(key.data());
+        ASSERT_EQ(a == nullptr, b == nullptr) << "op " << op;
+        if (a != nullptr) {
+          ASSERT_EQ(std::memcmp(a, b, value_size), 0) << "op " << op;
+        }
+      }
+    }
+    ASSERT_EQ(subject.Size(), oracle.Size()) << "op " << op;
+  }
+
+  // Full-table sweep: identical contents, and Visit sees exactly the
+  // live entries with matching bytes.
+  std::map<std::vector<uint8_t>, std::vector<uint8_t>> subject_entries;
+  subject.Visit([&](const void* k, void* v) {
+    std::vector<uint8_t> kk(static_cast<const uint8_t*>(k),
+                            static_cast<const uint8_t*>(k) + key_size);
+    std::vector<uint8_t> vv(static_cast<uint8_t*>(v),
+                            static_cast<uint8_t*>(v) + value_size);
+    ASSERT_TRUE(subject_entries.emplace(kk, vv).second);
+  });
+  std::map<std::vector<uint8_t>, std::vector<uint8_t>> oracle_entries;
+  oracle.Visit([&](const void* k, void* v) {
+    std::vector<uint8_t> kk(static_cast<const uint8_t*>(k),
+                            static_cast<const uint8_t*>(k) + key_size);
+    std::vector<uint8_t> vv(static_cast<uint8_t*>(v),
+                            static_cast<uint8_t*>(v) + value_size);
+    ASSERT_TRUE(oracle_entries.emplace(kk, vv).second);
+  });
+  EXPECT_EQ(subject_entries, oracle_entries);
+}
+
+TEST(HashMapDifferential, U32KeysU64Values) { RunDifferential(4, 8, 1); }
+TEST(HashMapDifferential, U64KeysInlineStructValues) {
+  RunDifferential(8, 16, 2);
+}
+TEST(HashMapDifferential, OddKeysSlabValues) { RunDifferential(13, 40, 3); }
+TEST(HashMapDifferential, ManySeeds) {
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    RunDifferential(4, 8, seed);
+    RunDifferential(8, 40, seed);
+  }
+}
+
+// --- batched lookup ----------------------------------------------------------
+
+TEST(HashMapBatch, MatchesSequentialLookups) {
+  HashMap map(HashSpec(256));
+  for (uint32_t k = 0; k < 200; k += 3) {
+    ASSERT_TRUE(map.UpdateU64(k, uint64_t{k} * 7).ok());
+  }
+  uint32_t keys[Map::kMaxLookupBatch];
+  void* batched[Map::kMaxLookupBatch];
+  for (uint32_t i = 0; i < Map::kMaxLookupBatch; ++i) {
+    keys[i] = i * 5;  // mix of present and absent keys
+  }
+  map.LookupBatch(Map::kMaxLookupBatch, keys, batched);
+  for (uint32_t i = 0; i < Map::kMaxLookupBatch; ++i) {
+    EXPECT_EQ(batched[i], map.Lookup(&keys[i])) << "key " << keys[i];
+  }
+}
+
+TEST(HashMapBatch, U64FlavorCopiesValuesAndBitmap) {
+  HashMap map(HashSpec(64));
+  ASSERT_TRUE(map.UpdateU64(2, 22).ok());
+  ASSERT_TRUE(map.UpdateU64(5, 55).ok());
+  const uint32_t keys[4] = {2, 3, 5, 7};
+  uint64_t out[4] = {99, 99, 99, 99};
+  const uint64_t hits = map.LookupBatchU64(4, keys, out);
+  EXPECT_EQ(hits, 0b101u);
+  EXPECT_EQ(out[0], 22u);
+  EXPECT_EQ(out[1], 0u);  // miss writes 0
+  EXPECT_EQ(out[2], 55u);
+  EXPECT_EQ(out[3], 0u);
+}
+
+TEST(HashMapBatch, CountersMatchSequentialAccounting) {
+  HashMap map(HashSpec(64));
+  ASSERT_TRUE(map.UpdateU64(1, 1).ok());
+  const uint64_t lookups_before = map.op_counters().lookups->Load();
+  const uint64_t misses_before = map.op_counters().misses->Load();
+  const uint32_t keys[3] = {1, 2, 3};
+  void* out[3];
+  map.LookupBatch(3, keys, out);
+  EXPECT_EQ(map.op_counters().lookups->Load() - lookups_before, 3u);
+  EXPECT_EQ(map.op_counters().misses->Load() - misses_before, 2u);
+}
+
+// --- runtime gauges ----------------------------------------------------------
+
+TEST(HashMapStats, RuntimeStatsTrackOccupancyAndTombstones) {
+  HashMap map(HashSpec(64));
+  for (uint32_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(map.UpdateU64(k, k).ok());
+  }
+  MapRuntimeStats stats = map.RuntimeStats();
+  EXPECT_EQ(stats.occupancy, 10u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_GE(stats.max_probe_len, 1u);
+
+  for (uint32_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(map.Delete(&k).ok());
+  }
+  stats = map.RuntimeStats();
+  EXPECT_EQ(stats.occupancy, 6u);
+  EXPECT_EQ(stats.tombstones, 4u);
 }
 
 }  // namespace

@@ -319,6 +319,143 @@ TEST(MicaHome, NativeMatchesBytecode) {
   }
 }
 
+// --- LeastLoaded / PowerOfTwo (batched map reads) ---------------------------------
+
+// Variant of LoadBytecode that resolves `.extern_map` slots to a caller
+// map, so native and bytecode read the same load registers.
+LoadedPolicy LoadBytecodeExtern(const std::string& source,
+                                const std::shared_ptr<Map>& extern_map,
+                                bpf::ExecEnv env = {}) {
+  auto assembled = bpf::Assemble(source);
+  EXPECT_TRUE(assembled.ok()) << assembled.status();
+  auto program = std::make_shared<bpf::Program>();
+  program->name = assembled->name;
+  program->insns = assembled->insns;
+  LoadedPolicy out;
+  for (const bpf::MapSlot& slot : assembled->map_slots) {
+    auto map = slot.is_extern ? extern_map : CreateMap(slot.spec).value();
+    out.maps.push_back(map);
+    program->maps.push_back(map);
+  }
+  EXPECT_TRUE(bpf::Verify(*program, bpf::ProgramContext::kPacket).ok())
+      << source;
+  out.policy = std::make_unique<BytecodePacketPolicy>(program, std::move(env));
+  return out;
+}
+
+std::shared_ptr<Map> LoadRegisterMap(uint32_t entries) {
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = entries;
+  spec.name = "load";
+  return CreateMap(spec).value();
+}
+
+TEST(LeastLoaded, PicksMinimumTiesTowardLowIndex) {
+  auto load = LoadRegisterMap(8);
+  const uint64_t loads[6] = {3, 1, 4, 1, 5, 9};
+  for (uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(load->UpdateU64(i, loads[i]).ok());
+  }
+  LeastLoadedPolicy policy(6, load);
+  Packet pkt = MakePacket(ReqType::kGet);
+  EXPECT_EQ(policy.Schedule(PacketView::Of(pkt)), 1u);
+}
+
+TEST(LeastLoaded, MissingRegisterPasses) {
+  auto load = LoadRegisterMap(8);
+  ASSERT_TRUE(load->UpdateU64(0, 1).ok());  // registers 1..5 absent
+  LeastLoadedPolicy policy(6, load);
+  Packet pkt = MakePacket(ReqType::kGet);
+  EXPECT_EQ(policy.Schedule(PacketView::Of(pkt)), kPass);
+}
+
+// The batched scan (LookupBatch under the hood, in ≤32-key chunks) must
+// pick exactly the executor a plain sequential Lookup scan picks, for
+// fleet sizes below, at, and above one batch.
+TEST(LeastLoaded, BatchedScanMatchesSequentialScan) {
+  for (uint32_t n : {1u, 6u, 32u, 40u}) {
+    auto load = LoadRegisterMap(2 * n);
+    LeastLoadedPolicy policy(n, load);
+    Packet pkt = MakePacket(ReqType::kGet);
+    const PacketView view = PacketView::Of(pkt);
+    Rng rng(n);
+    for (int round = 0; round < 50; ++round) {
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(load->UpdateU64(i, rng.NextBounded(16)).ok());
+      }
+      uint32_t best = 0;
+      uint64_t best_load = ~uint64_t{0};
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t v = load->LookupU64(i).value();
+        if (v < best_load) {
+          best_load = v;
+          best = i;
+        }
+      }
+      ASSERT_EQ(policy.Schedule(view), best)
+          << "n=" << n << " round=" << round;
+    }
+  }
+}
+
+TEST(LeastLoaded, NativeMatchesBytecode) {
+  // n=6 exercises the map_lookup_batch asm twin, n=32 a full batch. (The
+  // per-key loop fallback for n > 32 exceeds the verifier's exploration
+  // budget, as it always has; the native policy chunks any n.)
+  for (uint32_t n : {6u, 32u}) {
+    auto load = LoadRegisterMap(2 * n);
+    LoadedPolicy bytecode =
+        LoadBytecodeExtern(LeastLoadedPolicyAsm(n, "/syrup/t/load"), load);
+    LeastLoadedPolicy native(n, load);
+    Packet pkt = MakePacket(ReqType::kGet);
+    const PacketView view = PacketView::Of(pkt);
+    Rng rng(7 + n);
+    for (int round = 0; round < 60; ++round) {
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(load->UpdateU64(i, rng.NextBounded(100)).ok());
+      }
+      if (round == 30) {
+        // Knock a register out: both sides must defer to the default.
+        const uint32_t victim = n / 2;
+        ASSERT_TRUE(load->Delete(&victim).ok());
+      }
+      ASSERT_EQ(native.Schedule(view), bytecode.policy->Schedule(view))
+          << "n=" << n << " round=" << round;
+      if (round == 30) {
+        ASSERT_EQ(native.Schedule(view), kPass);
+        ASSERT_TRUE(load->UpdateU64(n / 2, 0).ok());
+      }
+    }
+  }
+}
+
+TEST(PowerOfTwo, NativeMatchesBytecodeWithSharedRandomness) {
+  auto load = LoadRegisterMap(16);
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(load->UpdateU64(i, i * 3 % 7).ok());
+  }
+  LoadedPolicy bytecode = [&load] {
+    auto shared_rng = std::make_shared<Rng>(31);
+    bpf::ExecEnv env;
+    env.random_u32 = [shared_rng]() {
+      return static_cast<uint32_t>(shared_rng->Next());
+    };
+    return LoadBytecodeExtern(PowerOfTwoPolicyAsm(8, "/syrup/t/load"), load,
+                              env);
+  }();
+  auto native_rng = std::make_shared<Rng>(31);
+  PowerOfTwoPolicy native(8, load, [native_rng]() {
+    return static_cast<uint32_t>(native_rng->Next());
+  });
+  Packet pkt = MakePacket(ReqType::kGet);
+  const PacketView view = PacketView::Of(pkt);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(native.Schedule(view), bytecode.policy->Schedule(view))
+        << "diverged at decision " << i;
+  }
+}
+
 // --- ConstIndex -------------------------------------------------------------------
 
 TEST(ConstIndex, ReturnsConfiguredIndex) {

@@ -267,6 +267,34 @@ TEST_F(SyrupdTest, MapFdLifecycle) {
   EXPECT_FALSE(client.syr_map_close(*fd).ok());
 }
 
+TEST_F(SyrupdTest, StatsSnapshotCarriesMapRuntimeGauges) {
+  auto app = syrupd_.RegisterApp("a", 1000, 9000).value();
+  MapSpec spec;
+  spec.type = MapType::kHash;
+  spec.max_entries = 64;
+  spec.name = "flows";
+  auto fd = syrupd_.MapCreate(app, spec, "/pins/flows");
+  ASSERT_TRUE(fd.ok());
+  auto map = syrupd_.MapByFd(*fd);
+  for (uint32_t k = 0; k < 12; ++k) {
+    ASSERT_TRUE(map->UpdateU64(k, k).ok());
+  }
+  for (uint32_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(map->Delete(&k).ok());
+  }
+
+  const obs::Snapshot snap = syrupd_.StatsSnapshot();
+  EXPECT_EQ(snap.GaugeValue("a", "map", "flows.occupancy"), 7);
+  EXPECT_EQ(snap.GaugeValue("a", "map", "flows.tombstones"), 5);
+  EXPECT_GE(snap.GaugeValue("a", "map", "flows.max_probe_len"), 1);
+  EXPECT_GE(snap.GaugeValue("a", "map", "flows.epoch_lag"), 0);
+
+  // Gauges refresh on every snapshot, not just the first.
+  ASSERT_TRUE(map->UpdateU64(100, 1).ok());
+  EXPECT_EQ(syrupd_.StatsSnapshot().GaugeValue("a", "map", "flows.occupancy"),
+            8);
+}
+
 TEST_F(SyrupdTest, MapOpenEnforcesUid) {
   auto owner = syrupd_.RegisterApp("owner", 1000, 9000).value();
   auto other = syrupd_.RegisterApp("other", 2000, 9001).value();
